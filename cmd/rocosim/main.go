@@ -1,0 +1,176 @@
+// Command rocosim runs a single on-chip-network simulation and prints its
+// measurements. It exposes every knob of the public API: router
+// architecture, routing algorithm, traffic pattern, injection rate, mesh
+// size, run length, and fault injection.
+//
+// Examples:
+//
+//	rocosim -router roco -routing xy -traffic uniform -rate 0.25
+//	rocosim -router generic -routing adaptive -traffic transpose -rate 0.3
+//	rocosim -router roco -faults 2 -faultclass critical -rate 0.3 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/rocosim/roco"
+)
+
+func main() {
+	var (
+		routerName  = flag.String("router", "roco", "router architecture: generic, pathsensitive, roco, pdr (xy only)")
+		routingName = flag.String("routing", "xy", "routing algorithm: xy, xyyx, adaptive")
+		trafficName = flag.String("traffic", "uniform", "traffic pattern: uniform, transpose, selfsimilar, mpeg2, bitcomplement, hotspot")
+		rate        = flag.Float64("rate", 0.25, "injection rate in flits/node/cycle")
+		width       = flag.Int("width", 8, "mesh width")
+		height      = flag.Int("height", 8, "mesh height")
+		warmup      = flag.Int64("warmup", 2000, "warm-up packets before measurement")
+		measure     = flag.Int64("measure", 30000, "measured packets")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		faults      = flag.Int("faults", 0, "number of random permanent faults to inject")
+		faultClass  = flag.String("faultclass", "critical", "random fault population: critical, noncritical")
+		flits       = flag.Int("flits", 4, "flits per packet")
+		hotspot     = flag.Int("hotspot", 27, "hotspot node (hotspot traffic)")
+		hotFrac     = flag.Float64("hotfrac", 0.2, "fraction of traffic sent to the hotspot")
+		verbose     = flag.Bool("v", false, "print the full result breakdown")
+		heatmap     = flag.Bool("heatmap", false, "print a per-node link-utilization heatmap")
+		tracePkts   = flag.Int("trace", 0, "sample and print this many packet journeys")
+	)
+	flag.Parse()
+
+	cfg := roco.Config{
+		Width: *width, Height: *height,
+		InjectionRate:   *rate,
+		FlitsPerPacket:  *flits,
+		WarmupPackets:   *warmup,
+		MeasurePackets:  *measure,
+		Seed:            *seed,
+		HotspotNode:     *hotspot,
+		HotspotFraction: *hotFrac,
+	}
+
+	var ok bool
+	if cfg.Router, ok = parseRouter(*routerName); !ok {
+		fatalf("unknown router %q (want generic, pathsensitive, roco)", *routerName)
+	}
+	if cfg.Algorithm, ok = parseRouting(*routingName); !ok {
+		fatalf("unknown routing %q (want xy, xyyx, adaptive)", *routingName)
+	}
+	if cfg.Traffic, ok = parseTraffic(*trafficName); !ok {
+		fatalf("unknown traffic %q", *trafficName)
+	}
+	if *faults > 0 {
+		class := roco.CriticalFaults
+		switch strings.ToLower(*faultClass) {
+		case "critical":
+		case "noncritical", "non-critical":
+			class = roco.NonCriticalFaults
+		default:
+			fatalf("unknown fault class %q (want critical, noncritical)", *faultClass)
+		}
+		cfg.Faults = roco.RandomFaults(class, *faults, *width, *height, *seed)
+		for _, f := range cfg.Faults {
+			fmt.Printf("fault: node %d, %s (module %d, vc %d)\n", f.Node, f.Component, f.Module, f.VC)
+		}
+	}
+
+	var res roco.Result
+	var detail roco.Detailed
+	var traces []roco.PacketTrace
+	needDetail := *heatmap || *verbose
+	switch {
+	case *tracePkts > 0:
+		res, traces = roco.RunTraced(cfg, *tracePkts)
+	case needDetail:
+		detail = roco.RunDetailed(cfg)
+		res = detail.Result
+	default:
+		res = roco.Run(cfg)
+	}
+	fmt.Printf("%s | %s routing | %s traffic | rate %.2f | %dx%d mesh\n",
+		cfg.Router, cfg.Algorithm, cfg.Traffic, *rate, *width, *height)
+	fmt.Printf("  avg latency      %10.2f cycles\n", res.AvgLatency)
+	fmt.Printf("  completion       %10.4f\n", res.Completion)
+	fmt.Printf("  throughput       %10.4f flits/node/cycle\n", res.Throughput)
+	fmt.Printf("  energy/packet    %10.4f nJ\n", res.EnergyPerPacketNJ)
+	fmt.Printf("  PEF              %10.2f nJ*cycles/prob\n", res.PEF)
+	if *verbose {
+		fmt.Printf("  p95 latency      %10.1f cycles\n", res.P95Latency)
+		fmt.Printf("  p99 latency      %10.1f cycles\n", res.P99Latency)
+		fmt.Printf("  max latency      %10.1f cycles\n", res.MaxLatency)
+		fmt.Printf("  source queue     %10.2f cycles (included in latency)\n", res.SourceQueueDelay)
+		fmt.Printf("  contention row   %10.4f\n", res.ContentionRow)
+		fmt.Printf("  contention col   %10.4f\n", res.ContentionCol)
+		fmt.Printf("  dynamic energy   %10.2f nJ\n", res.DynamicNJ)
+		fmt.Printf("  leakage energy   %10.2f nJ\n", res.LeakageNJ)
+		fmt.Printf("  delivered        %10d / %d packets\n", res.DeliveredPackets, res.GeneratedPackets)
+		fmt.Printf("  simulated        %10d cycles (saturated=%v)\n", res.Cycles, res.Saturated)
+		if *tracePkts == 0 {
+			e := detail.Energy
+			fmt.Printf("  energy split: buffers %.0f, crossbar %.0f, links %.0f, arbitration %.0f, routing %.0f, ejection %.0f, leakage %.0f nJ\n",
+				e.BuffersNJ, e.CrossbarNJ, e.LinksNJ, e.ArbitrationNJ, e.RoutingNJ, e.EjectionNJ, e.LeakageNJ)
+		}
+	}
+	if *heatmap && *tracePkts == 0 && detail.Nodes != nil {
+		fmt.Println()
+		detail.RenderHeatmap(os.Stdout)
+	}
+	if len(traces) > 0 {
+		fmt.Println()
+		for _, t := range traces {
+			fmt.Println(t)
+		}
+	}
+}
+
+func parseRouter(s string) (roco.RouterKind, bool) {
+	switch strings.ToLower(s) {
+	case "generic", "gen":
+		return roco.Generic, true
+	case "pathsensitive", "path-sensitive", "ps":
+		return roco.PathSensitive, true
+	case "roco":
+		return roco.RoCo, true
+	case "pdr":
+		return roco.PDR, true
+	}
+	return 0, false
+}
+
+func parseRouting(s string) (roco.Algorithm, bool) {
+	switch strings.ToLower(s) {
+	case "xy", "dor":
+		return roco.XY, true
+	case "xyyx", "xy-yx":
+		return roco.XYYX, true
+	case "adaptive", "oddeven", "odd-even":
+		return roco.Adaptive, true
+	}
+	return 0, false
+}
+
+func parseTraffic(s string) (roco.TrafficPattern, bool) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return roco.Uniform, true
+	case "transpose":
+		return roco.Transpose, true
+	case "selfsimilar", "self-similar", "web":
+		return roco.SelfSimilar, true
+	case "mpeg2", "mpeg", "video":
+		return roco.MPEG2, true
+	case "bitcomplement", "bit-complement":
+		return roco.BitComplement, true
+	case "hotspot":
+		return roco.Hotspot, true
+	}
+	return 0, false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rocosim: "+format+"\n", args...)
+	os.Exit(2)
+}

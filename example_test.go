@@ -1,0 +1,67 @@
+package roco_test
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/rocosim/roco"
+)
+
+// The simplest use: run one simulation and read its headline metrics.
+func ExampleRun() {
+	res := roco.Run(roco.Config{
+		Router:         roco.RoCo,
+		Algorithm:      roco.XY,
+		Traffic:        roco.Uniform,
+		InjectionRate:  0.15,
+		WarmupPackets:  200,
+		MeasurePackets: 2000,
+		Seed:           1,
+	})
+	fmt.Printf("completion %.0f%%, all packets delivered: %v\n",
+		res.Completion*100, res.DeliveredPackets == res.GeneratedPackets)
+	// Output:
+	// completion 100%, all packets delivered: true
+}
+
+// Inject permanent faults and observe graceful degradation.
+func ExampleRun_faults() {
+	faults := roco.RandomFaults(roco.NonCriticalFaults, 2, 8, 8, 7)
+	res := roco.Run(roco.Config{
+		Router:          roco.RoCo,
+		Algorithm:       roco.XY,
+		Traffic:         roco.Uniform,
+		InjectionRate:   0.15,
+		WarmupPackets:   200,
+		MeasurePackets:  2000,
+		Seed:            1,
+		Faults:          faults,
+		InactivityLimit: 1500,
+	})
+	// Non-critical faults (RC, buffer) are fully recovered by RoCo's
+	// hardware-recycling schemes.
+	fmt.Printf("completion with 2 recoverable faults: %.2f\n", res.Completion)
+	// Output:
+	// completion with 2 recoverable faults: 1.00
+}
+
+// Regenerate the paper's Table 2 (non-blocking probabilities).
+func ExampleTable2() {
+	res := roco.Table2(100000, 1)
+	fmt.Printf("generic %.3f, path-sensitive %.3f, roco %.3f\n",
+		res.Generic, res.PathSensitive, res.RoCo)
+	// Output:
+	// generic 0.043, path-sensitive 0.125, roco 0.250
+}
+
+// Render the paper's Table 1 (RoCo VC configurations).
+func ExampleTable1() {
+	roco.Table1(os.Stdout)
+	// Output:
+	// Table 1 — RoCo VC buffer configuration per routing algorithm
+	// | routing  | Row P1       | Row P2      | Col P1       | Col P2     |
+	// | -------- | ------------ | ----------- | ------------ | ---------- |
+	// | XY       | dx dx Injxy  | dx dx Injxy | dy txy Injyx | dy dy txy  |
+	// | XY-YX    | dx tyx Injxy | dx dx tyx   | dy txy Injyx | dy dy txy  |
+	// | Adaptive | dx tyx Injxy | dx dx tyx   | dy txy Injyx | dy txy txy |
+}

@@ -1,0 +1,48 @@
+// Custom traffic: use the public API's extension patterns (hotspot and
+// bit-complement, beyond the paper's three workloads) and sweep the
+// hotspot concentration to see how the three routers degrade when traffic
+// converges on one node.
+package main
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco"
+)
+
+func main() {
+	fmt.Println("Hotspot sweep: 8x8 mesh, XY routing, 20% load, hotspot at node 27 (3,3)")
+	fmt.Printf("%-10s %-20s %12s %12s\n", "hot frac", "router", "latency", "throughput")
+	for _, frac := range []float64{0.0, 0.1, 0.2, 0.4} {
+		for _, kind := range roco.RouterKinds {
+			res := roco.Run(roco.Config{
+				Router:          kind,
+				Algorithm:       roco.XY,
+				Traffic:         roco.Hotspot,
+				InjectionRate:   0.20,
+				HotspotNode:     27,
+				HotspotFraction: frac,
+				Seed:            11,
+				MeasurePackets:  15000,
+				MaxCycles:       400000,
+			})
+			fmt.Printf("%-10.2f %-20s %12.2f %12.3f\n", frac, kind, res.AvgLatency, res.Throughput)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("Bit-complement: every node b talks to node ^b (adversarial for XY)")
+	fmt.Printf("%-20s %12s\n", "router", "latency")
+	for _, kind := range roco.RouterKinds {
+		res := roco.Run(roco.Config{
+			Router:         kind,
+			Algorithm:      roco.Adaptive,
+			Traffic:        roco.BitComplement,
+			InjectionRate:  0.15,
+			Seed:           11,
+			MeasurePackets: 15000,
+			MaxCycles:      400000,
+		})
+		fmt.Printf("%-20s %12.2f\n", kind, res.AvgLatency)
+	}
+}

@@ -1,0 +1,48 @@
+// Fault tolerance: demonstrate graceful degradation. We inject permanent
+// faults into random routers and compare how much traffic each
+// architecture still delivers — the experiment behind the paper's Figures
+// 11, 12 and 14.
+//
+// A crossbar fault takes a whole generic or path-sensitive router
+// off-line, but only isolates one of the RoCo router's two modules; RC and
+// buffer faults are fully absorbed by RoCo's hardware-recycling schemes
+// (double routing and virtual queuing).
+package main
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco"
+)
+
+func main() {
+	const rate = 0.30 // the paper's fault-experiment load
+
+	for _, class := range []roco.FaultClass{roco.CriticalFaults, roco.NonCriticalFaults} {
+		fmt.Printf("=== %s faults, XY routing, %d%% injection ===\n", class, int(rate*100))
+		fmt.Printf("%-8s %-20s %12s %12s %10s\n", "faults", "router", "completion", "latency", "PEF")
+		for _, count := range []int{1, 2, 4} {
+			faults := roco.RandomFaults(class, count, 8, 8, 99)
+			for _, kind := range roco.RouterKinds {
+				res := roco.Run(roco.Config{
+					Router:          kind,
+					Algorithm:       roco.XY,
+					Traffic:         roco.Uniform,
+					InjectionRate:   rate,
+					Seed:            42,
+					Faults:          faults,
+					MeasurePackets:  15000,
+					InactivityLimit: 3000,
+				})
+				fmt.Printf("%-8d %-20s %12.3f %12.1f %10.2f\n",
+					count, kind, res.Completion, res.AvgLatency, res.PEF)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Expected: under critical faults the baselines lose entire routers")
+	fmt.Println("while RoCo keeps one module serving; under non-critical faults")
+	fmt.Println("RoCo recovers completely (completion = 1.0) with only a small")
+	fmt.Println("latency penalty from the recovery handshakes.")
+}

@@ -1,0 +1,59 @@
+// Observability: the simulator's introspection tools — sampled packet
+// journeys, a link-utilization heatmap, the per-component energy split,
+// and a windowed delivery time series that makes self-similar burstiness
+// visible.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/rocosim/roco"
+)
+
+func main() {
+	base := roco.Config{
+		Router:         roco.RoCo,
+		Algorithm:      roco.XY,
+		InjectionRate:  0.25,
+		WarmupPackets:  500,
+		MeasurePackets: 8000,
+		Seed:           3,
+	}
+
+	fmt.Println("== Sampled packet journeys (uniform traffic) ==")
+	cfg := base
+	cfg.Traffic = roco.Uniform
+	_, traces := roco.RunTraced(cfg, 5)
+	for _, tr := range traces {
+		fmt.Println(" ", tr)
+	}
+
+	fmt.Println()
+	fmt.Println("== Link utilization and energy split ==")
+	d := roco.RunDetailed(cfg)
+	d.RenderHeatmap(os.Stdout)
+	e := d.Energy
+	fmt.Printf("energy: buffers %.0f nJ, crossbars %.0f nJ, links %.0f nJ, leakage %.0f nJ\n",
+		e.BuffersNJ, e.CrossbarNJ, e.LinksNJ, e.LeakageNJ)
+
+	fmt.Println()
+	fmt.Println("== Windowed deliveries: uniform vs self-similar ==")
+	for _, tp := range []roco.TrafficPattern{roco.Uniform, roco.SelfSimilar} {
+		cfg := base
+		cfg.Traffic = tp
+		_, windows := roco.RunWindowed(cfg, 250)
+		fmt.Printf("%-13s:", tp)
+		for i, w := range windows {
+			if i >= 12 {
+				break
+			}
+			fmt.Printf(" %4d", w.Delivered)
+		}
+		fmt.Println("  (packets per 250-cycle window)")
+	}
+	fmt.Println()
+	fmt.Println("Self-similar windows swing harder than uniform ones (per-node")
+	fmt.Println("bursts partly smooth out in the 64-node aggregate); the dispersion")
+	fmt.Println("gap is what differentiates the paper's Figure 9 from Figure 8.")
+}

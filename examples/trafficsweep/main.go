@@ -1,0 +1,24 @@
+// Traffic sweep: latency-versus-load curves for the three routers across
+// the paper's workloads, rendered as ASCII plots — a miniature of Figures
+// 8, 9 and 10.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/rocosim/roco"
+)
+
+func main() {
+	opts := roco.DefaultOptions()
+	opts.Warmup, opts.Measure = 1000, 10000 // quick demo scale
+	opts.Seed = 7
+
+	for _, tp := range []roco.TrafficPattern{roco.Uniform, roco.SelfSimilar, roco.Transpose} {
+		sweep := roco.RunLatencySweep(opts, tp, roco.XY, roco.LatencyRates)
+		sweep.Render(os.Stdout)
+	}
+	fmt.Println("Each panel compares the generic, path-sensitive and RoCo routers")
+	fmt.Println("under XY routing; run cmd/rocobench for the full figure suite.")
+}

@@ -1,0 +1,541 @@
+package roco
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"github.com/rocosim/roco/internal/analytic"
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/report"
+	"github.com/rocosim/roco/internal/stats"
+)
+
+// Options tunes the experiment drivers that regenerate the paper's tables
+// and figures. The zero value is not useful; start from DefaultOptions.
+type Options struct {
+	// Width and Height set the mesh (paper: 8x8).
+	Width, Height int
+	// Warmup and Measure size each run in packets. The paper uses 20k and
+	// 1M; the defaults trade statistical polish for a suite that finishes
+	// in minutes. EXPERIMENTS.md records the values used for the shipped
+	// numbers.
+	Warmup, Measure int64
+	// FaultTrials is the number of random fault placements averaged per
+	// point in Figures 11, 12 and 14.
+	FaultTrials int
+	// Seed drives all randomness.
+	Seed uint64
+	// Parallel runs independent simulations on multiple cores.
+	Parallel bool
+}
+
+// DefaultOptions returns the harness defaults (8x8 mesh, 2k+30k packets,
+// 3 fault trials, parallel).
+func DefaultOptions() Options {
+	return Options{
+		Width: 8, Height: 8,
+		Warmup: 2000, Measure: 30000,
+		FaultTrials: 3,
+		Seed:        1,
+		Parallel:    true,
+	}
+}
+
+// QuickOptions returns a scaled-down configuration for smoke tests and
+// benchmarks (4k packets).
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Warmup, o.Measure = 500, 4000
+	o.FaultTrials = 2
+	return o
+}
+
+// runAll executes the given configs (in parallel when requested) and
+// returns results in order.
+func runAll(opts Options, cfgs []Config) []Result {
+	out := make([]Result, len(cfgs))
+	if !opts.Parallel {
+		for i, c := range cfgs {
+			out[i] = Run(c)
+		}
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// baseConfig builds the common run configuration for an experiment point.
+func (o Options) baseConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate float64) Config {
+	return Config{
+		Width: o.Width, Height: o.Height,
+		Router: k, Algorithm: alg, Traffic: tp,
+		InjectionRate:  rate,
+		WarmupPackets:  o.Warmup,
+		MeasurePackets: o.Measure,
+		Seed:           o.Seed,
+	}
+}
+
+// LatencyRates is the paper's x-axis for Figures 8-10.
+var LatencyRates = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}
+
+// ContentionRates is the paper's x-axis for Figure 3.
+var ContentionRates = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60}
+
+// FaultCounts is the paper's x-axis for Figures 11, 12 and 14.
+var FaultCounts = []int{1, 2, 4}
+
+// LatencySweep is one panel of Figures 8, 9 or 10: average latency versus
+// injection rate for the three routers under one traffic pattern and one
+// routing algorithm.
+type LatencySweep struct {
+	Traffic   TrafficPattern
+	Algorithm Algorithm
+	Rates     []float64
+	// Latency[k][i] is the average latency of router k at Rates[i].
+	Latency map[RouterKind][]float64
+	// Saturated[k][i] marks points past the saturation throughput.
+	Saturated map[RouterKind][]bool
+}
+
+// RunLatencySweep measures one latency-versus-load panel.
+func RunLatencySweep(opts Options, tp TrafficPattern, alg Algorithm, rates []float64) LatencySweep {
+	sweep := LatencySweep{
+		Traffic: tp, Algorithm: alg, Rates: rates,
+		Latency:   map[RouterKind][]float64{},
+		Saturated: map[RouterKind][]bool{},
+	}
+	var cfgs []Config
+	for _, k := range RouterKinds {
+		for _, rate := range rates {
+			cfg := opts.baseConfig(k, alg, tp, rate)
+			// Past saturation a drain never finishes; cap the run at a
+			// fixed horizon so the sweep terminates with the latency of
+			// the packets that did complete.
+			cfg.MaxCycles = 40 * (opts.Warmup + opts.Measure)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(opts, cfgs)
+	i := 0
+	for _, k := range RouterKinds {
+		sweep.Latency[k] = make([]float64, len(rates))
+		sweep.Saturated[k] = make([]bool, len(rates))
+		for j := range rates {
+			sweep.Latency[k][j] = results[i].AvgLatency
+			sweep.Saturated[k][j] = results[i].Saturated
+			i++
+		}
+	}
+	return sweep
+}
+
+// Render writes the sweep as a table and an ASCII plot.
+func (s LatencySweep) Render(w io.Writer) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Average latency (cycles) — %s traffic, %s routing", s.Traffic, s.Algorithm),
+		append([]string{"rate"}, routerHeaders()...)...)
+	for j, r := range s.Rates {
+		cells := []string{fmt.Sprintf("%.2f", r)}
+		for _, k := range RouterKinds {
+			mark := ""
+			if s.Saturated[k][j] {
+				mark = " (sat)"
+			}
+			cells = append(cells, fmt.Sprintf("%.2f%s", s.Latency[k][j], mark))
+		}
+		tbl.AddRow(cells...)
+	}
+	tbl.Render(w)
+
+	plot := &report.Plot{
+		Title:  fmt.Sprintf("Latency vs injection rate — %s traffic, %s routing", s.Traffic, s.Algorithm),
+		XLabel: "flits/node/cycle", YLabel: "cycles", YMax: 100,
+	}
+	for _, k := range RouterKinds {
+		series := &stats.Series{Label: k.String()}
+		for j, r := range s.Rates {
+			series.Append(r, s.Latency[k][j])
+		}
+		plot.Series = append(plot.Series, series)
+	}
+	plot.Render(w)
+}
+
+func routerHeaders() []string {
+	h := make([]string, 0, len(RouterKinds))
+	for _, k := range RouterKinds {
+		h = append(h, k.String())
+	}
+	return h
+}
+
+// Figure8 reproduces the uniform-traffic latency panels (one sweep per
+// routing algorithm).
+func Figure8(opts Options) []LatencySweep { return latencyFigure(opts, Uniform) }
+
+// Figure9 reproduces the self-similar-traffic latency panels.
+func Figure9(opts Options) []LatencySweep { return latencyFigure(opts, SelfSimilar) }
+
+// Figure10 reproduces the transpose-traffic latency panels.
+func Figure10(opts Options) []LatencySweep { return latencyFigure(opts, Transpose) }
+
+// FigureMPEG is the multimedia experiment the paper ran but omitted for
+// space: the latency sweep under GoP-structured MPEG-2 video streams.
+func FigureMPEG(opts Options) []LatencySweep { return latencyFigure(opts, MPEG2) }
+
+func latencyFigure(opts Options, tp TrafficPattern) []LatencySweep {
+	out := make([]LatencySweep, 0, len(Algorithms))
+	for _, alg := range Algorithms {
+		out = append(out, RunLatencySweep(opts, tp, alg, LatencyRates))
+	}
+	return out
+}
+
+// ContentionSweep is one panel of Figure 3: SA contention probability
+// versus injection rate under uniform traffic.
+type ContentionSweep struct {
+	Algorithm Algorithm
+	// Which dimension's inputs the panel reports: "row", "column" or
+	// "all" (the adaptive panel combines both).
+	Dimension string
+	Rates     []float64
+	Prob      map[RouterKind][]float64
+}
+
+// Figure3 reproduces the three contention panels: row-input contention
+// under XY, column-input contention under XY, and combined contention
+// under adaptive routing.
+func Figure3(opts Options) []ContentionSweep {
+	panels := []ContentionSweep{
+		{Algorithm: XY, Dimension: "row", Rates: ContentionRates},
+		{Algorithm: XY, Dimension: "column", Rates: ContentionRates},
+		{Algorithm: Adaptive, Dimension: "all", Rates: ContentionRates},
+	}
+	// Two underlying run sets: XY and adaptive (the two XY panels share
+	// the same runs, reading different counters).
+	for pi := range panels {
+		panels[pi].Prob = map[RouterKind][]float64{}
+		for _, k := range RouterKinds {
+			panels[pi].Prob[k] = make([]float64, len(ContentionRates))
+		}
+	}
+	for _, alg := range []Algorithm{XY, Adaptive} {
+		var cfgs []Config
+		for _, k := range RouterKinds {
+			for _, rate := range ContentionRates {
+				cfg := opts.baseConfig(k, alg, Uniform, rate)
+				cfg.MaxCycles = 40 * (opts.Warmup + opts.Measure)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		results := runAll(opts, cfgs)
+		i := 0
+		for _, k := range RouterKinds {
+			for j := range ContentionRates {
+				r := results[i]
+				if alg == XY {
+					panels[0].Prob[k][j] = r.ContentionRow
+					panels[1].Prob[k][j] = r.ContentionCol
+				} else {
+					panels[2].Prob[k][j] = r.Contention
+				}
+				i++
+			}
+		}
+	}
+	return panels
+}
+
+// Render writes the contention panel.
+func (s ContentionSweep) Render(w io.Writer) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Contention probability at %s inputs — %s routing, uniform traffic", s.Dimension, s.Algorithm),
+		append([]string{"rate"}, routerHeaders()...)...)
+	for j, r := range s.Rates {
+		cells := []string{fmt.Sprintf("%.2f", r)}
+		for _, k := range RouterKinds {
+			cells = append(cells, fmt.Sprintf("%.3f", s.Prob[k][j]))
+		}
+		tbl.AddRow(cells...)
+	}
+	tbl.Render(w)
+}
+
+// FaultExperiment is one panel of Figures 11/12/14: completion
+// probability, latency and PEF under 1, 2 and 4 random faults at 30%
+// injection, averaged over several random fault placements.
+type FaultExperiment struct {
+	Class     FaultClass
+	Algorithm Algorithm
+	Counts    []int
+	// Completion[k][i], Latency[k][i], PEF[k][i] are averages over trials
+	// with Counts[i] faults.
+	Completion map[RouterKind][]float64
+	Latency    map[RouterKind][]float64
+	PEF        map[RouterKind][]float64
+}
+
+// FaultInjectionRate is the offered load of the fault experiments (the
+// paper's 30%).
+const FaultInjectionRate = 0.30
+
+// RunFaultExperiment measures one fault panel.
+func RunFaultExperiment(opts Options, class FaultClass, alg Algorithm) FaultExperiment {
+	exp := FaultExperiment{
+		Class: class, Algorithm: alg, Counts: FaultCounts,
+		Completion: map[RouterKind][]float64{},
+		Latency:    map[RouterKind][]float64{},
+		PEF:        map[RouterKind][]float64{},
+	}
+	trials := opts.FaultTrials
+	if trials < 1 {
+		trials = 1
+	}
+	var cfgs []Config
+	for _, k := range RouterKinds {
+		for _, count := range FaultCounts {
+			for t := 0; t < trials; t++ {
+				cfg := opts.baseConfig(k, alg, Uniform, FaultInjectionRate)
+				// All routers see the same fault placements per trial.
+				cfg.Faults = RandomFaults(class, count, opts.Width, opts.Height, opts.Seed+uint64(t)*1000+uint64(count))
+				cfg.MaxCycles = 60 * (opts.Warmup + opts.Measure)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results := runAll(opts, cfgs)
+	i := 0
+	for _, k := range RouterKinds {
+		exp.Completion[k] = make([]float64, len(FaultCounts))
+		exp.Latency[k] = make([]float64, len(FaultCounts))
+		exp.PEF[k] = make([]float64, len(FaultCounts))
+		for ci := range FaultCounts {
+			var comp, lat, pef float64
+			for t := 0; t < trials; t++ {
+				comp += results[i].Completion
+				lat += results[i].AvgLatency
+				pef += results[i].PEF
+				i++
+			}
+			exp.Completion[k][ci] = comp / float64(trials)
+			exp.Latency[k][ci] = lat / float64(trials)
+			exp.PEF[k][ci] = pef / float64(trials)
+		}
+	}
+	return exp
+}
+
+// Figure11 reproduces the completion-probability panels under
+// router-centric (critical) faults, one per routing algorithm.
+func Figure11(opts Options) []FaultExperiment {
+	out := make([]FaultExperiment, 0, len(Algorithms))
+	for _, alg := range Algorithms {
+		out = append(out, RunFaultExperiment(opts, CriticalFaults, alg))
+	}
+	return out
+}
+
+// Figure12 reproduces the completion-probability panels under
+// message-centric (non-critical) faults.
+func Figure12(opts Options) []FaultExperiment {
+	out := make([]FaultExperiment, 0, len(Algorithms))
+	for _, alg := range Algorithms {
+		out = append(out, RunFaultExperiment(opts, NonCriticalFaults, alg))
+	}
+	return out
+}
+
+// Figure14 reproduces the PEF panels: (a) critical faults, (b)
+// non-critical faults, under deterministic routing.
+func Figure14(opts Options) []FaultExperiment {
+	return []FaultExperiment{
+		RunFaultExperiment(opts, CriticalFaults, XY),
+		RunFaultExperiment(opts, NonCriticalFaults, XY),
+	}
+}
+
+// Render writes the fault panel (completion, latency and PEF).
+func (e FaultExperiment) Render(w io.Writer) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Faults (%s) — %s routing, %.0f%% injection", e.Class, e.Algorithm, FaultInjectionRate*100),
+		"faults", "metric", RouterKinds[0].String(), RouterKinds[1].String(), RouterKinds[2].String())
+	for ci, n := range e.Counts {
+		tbl.AddRow(fmt.Sprintf("%d", n), "completion",
+			fmt.Sprintf("%.3f", e.Completion[Generic][ci]),
+			fmt.Sprintf("%.3f", e.Completion[PathSensitive][ci]),
+			fmt.Sprintf("%.3f", e.Completion[RoCo][ci]))
+		tbl.AddRow("", "latency (cyc)",
+			fmt.Sprintf("%.1f", e.Latency[Generic][ci]),
+			fmt.Sprintf("%.1f", e.Latency[PathSensitive][ci]),
+			fmt.Sprintf("%.1f", e.Latency[RoCo][ci]))
+		tbl.AddRow("", "PEF",
+			fmt.Sprintf("%.2f", e.PEF[Generic][ci]),
+			fmt.Sprintf("%.2f", e.PEF[PathSensitive][ci]),
+			fmt.Sprintf("%.2f", e.PEF[RoCo][ci]))
+	}
+	tbl.Render(w)
+}
+
+// EnergyResult is Figure 13: energy per packet at 30% injection for the
+// three traffic patterns and three routers.
+type EnergyResult struct {
+	Patterns []TrafficPattern
+	// EnergyNJ[k][i] is energy/packet of router k under Patterns[i].
+	EnergyNJ map[RouterKind][]float64
+}
+
+// Figure13 reproduces the energy-per-packet comparison.
+func Figure13(opts Options) EnergyResult {
+	res := EnergyResult{
+		Patterns: []TrafficPattern{Uniform, SelfSimilar, Transpose},
+		EnergyNJ: map[RouterKind][]float64{},
+	}
+	var cfgs []Config
+	for _, k := range RouterKinds {
+		for _, tp := range res.Patterns {
+			cfg := opts.baseConfig(k, XY, tp, FaultInjectionRate)
+			cfg.MaxCycles = 40 * (opts.Warmup + opts.Measure)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results := runAll(opts, cfgs)
+	i := 0
+	for _, k := range RouterKinds {
+		res.EnergyNJ[k] = make([]float64, len(res.Patterns))
+		for j := range res.Patterns {
+			res.EnergyNJ[k][j] = results[i].EnergyPerPacketNJ
+			i++
+		}
+	}
+	return res
+}
+
+// Render writes the energy comparison.
+func (e EnergyResult) Render(w io.Writer) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Energy per packet (nJ) at %.0f%% injection, XY routing", FaultInjectionRate*100),
+		append([]string{"traffic"}, routerHeaders()...)...)
+	for j, tp := range e.Patterns {
+		cells := []string{tp.String()}
+		for _, k := range RouterKinds {
+			cells = append(cells, fmt.Sprintf("%.3f", e.EnergyNJ[k][j]))
+		}
+		tbl.AddRow(cells...)
+	}
+	tbl.Render(w)
+}
+
+// Figure2 renders the VA-complexity comparison of the paper's Figure 2:
+// arbiter counts and sizes for the generic and RoCo allocators under both
+// routing-function regimes.
+func Figure2(w io.Writer, vcsPerPort int) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Figure 2 — VA arbiter complexity (v = %d VCs per port)", vcsPerPort),
+		"design", "regime", "1st stage", "2nd stage")
+	stage := func(n, fan int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d arbiters, %d:1", n, fan)
+	}
+	for _, pc := range []bool{false, true} {
+		regime := "R => v"
+		if pc {
+			regime = "R => P"
+		}
+		g := analytic.GenericVAComplexity(vcsPerPort, pc)
+		r := analytic.RoCoVAComplexity(vcsPerPort, pc)
+		tbl.AddRow("generic", regime, stage(g.FirstStageArbiters, g.FirstStageFanIn), stage(g.SecondStageArbiters, g.SecondStageFanIn))
+		tbl.AddRow("RoCo", regime, stage(r.FirstStageArbiters, r.FirstStageFanIn), stage(r.SecondStageArbiters, r.SecondStageFanIn))
+	}
+	tbl.Render(w)
+}
+
+// Table1 renders the RoCo VC buffer configurations of the paper's Table 1.
+func Table1(w io.Writer) {
+	tbl := report.NewTable("Table 1 — RoCo VC buffer configuration per routing algorithm",
+		"routing", "Row P1", "Row P2", "Col P1", "Col P2")
+	for _, alg := range Algorithms {
+		cfg := core.ConfigFor(alg.internal())
+		set := func(lo int) string {
+			names := make([]string, 0, core.VCsPerSet)
+			for i := lo; i < lo+core.VCsPerSet; i++ {
+				names = append(names, cfg.Class[i].String())
+			}
+			return fmt.Sprintf("%s %s %s", names[0], names[1], names[2])
+		}
+		tbl.AddRow(alg.String(), set(0), set(3), set(6), set(9))
+	}
+	tbl.Render(w)
+}
+
+// Table2Result holds the non-blocking probabilities of the paper's Table 2
+// with Monte-Carlo cross-checks.
+type Table2Result struct {
+	Generic, PathSensitive, RoCo   float64
+	GenericMC, PathSensitiveMC, MC float64
+	NonBlockingCount5              float64
+	MonteCarloSamples              int
+}
+
+// Table2 computes the non-blocking probabilities analytically (paper
+// Equation 1) and by Monte Carlo.
+func Table2(samples int, seed uint64) Table2Result {
+	rng := stats.NewRNG(seed)
+	return Table2Result{
+		Generic:           analytic.GenericNonBlocking(5),
+		PathSensitive:     analytic.PathSensitiveNonBlocking(),
+		RoCo:              analytic.RoCoNonBlocking(),
+		GenericMC:         analytic.MonteCarloGeneric(5, samples, rng),
+		PathSensitiveMC:   analytic.MonteCarloPathSensitive(samples, rng),
+		MC:                analytic.MonteCarloRoCo(samples, rng),
+		NonBlockingCount5: analytic.NonBlockingCount(5),
+		MonteCarloSamples: samples,
+	}
+}
+
+// Render writes Table 2.
+func (t Table2Result) Render(w io.Writer) {
+	tbl := report.NewTable("Table 2 — Non-blocking (maximal matching) probabilities (N=5)",
+		"router", "analytic", "monte-carlo")
+	tbl.AddRow("Generic", fmt.Sprintf("%.3f  (F(5)=%.0f)", t.Generic, t.NonBlockingCount5), fmt.Sprintf("%.3f", t.GenericMC))
+	tbl.AddRow("Path-Sensitive", fmt.Sprintf("%.3f", t.PathSensitive), fmt.Sprintf("%.3f", t.PathSensitiveMC))
+	tbl.AddRow("RoCo", fmt.Sprintf("%.3f", t.RoCo), fmt.Sprintf("%.3f", t.MC))
+	tbl.Render(w)
+}
+
+// Table3 renders the component fault classification of the paper's
+// Table 3.
+func Table3(w io.Writer) {
+	tbl := report.NewTable("Table 3 — Component fault classification and RoCo recovery",
+		"component", "centricity", "regime", "critical path", "recoverable", "RoCo reaction")
+	for _, c := range fault.AllComponents() {
+		cl := fault.Classify(c)
+		tbl.AddRow(c.String(), cl.Centricity.String(), cl.Regime.String(),
+			fmt.Sprintf("%v", cl.Critical), fmt.Sprintf("%v", cl.RoCoRecoverable), cl.Recovery)
+	}
+	tbl.Render(w)
+}

@@ -1,0 +1,90 @@
+package roco
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// routerMapToJSON converts RouterKind-keyed maps into name-keyed maps so
+// the experiment results serialize into self-describing JSON.
+func routerMapToJSON[T any](m map[RouterKind]T) map[string]T {
+	out := make(map[string]T, len(m))
+	for k, v := range m {
+		out[k.String()] = v
+	}
+	return out
+}
+
+// MarshalJSON serializes the sweep with router names as keys.
+func (s LatencySweep) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Traffic   string               `json:"traffic"`
+		Algorithm string               `json:"algorithm"`
+		Rates     []float64            `json:"rates"`
+		Latency   map[string][]float64 `json:"latency"`
+		Saturated map[string][]bool    `json:"saturated"`
+	}{
+		Traffic:   s.Traffic.String(),
+		Algorithm: s.Algorithm.String(),
+		Rates:     s.Rates,
+		Latency:   routerMapToJSON(s.Latency),
+		Saturated: routerMapToJSON(s.Saturated),
+	})
+}
+
+// MarshalJSON serializes the contention panel with router names as keys.
+func (s ContentionSweep) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Algorithm string               `json:"algorithm"`
+		Dimension string               `json:"dimension"`
+		Rates     []float64            `json:"rates"`
+		Prob      map[string][]float64 `json:"contention"`
+	}{
+		Algorithm: s.Algorithm.String(),
+		Dimension: s.Dimension,
+		Rates:     s.Rates,
+		Prob:      routerMapToJSON(s.Prob),
+	})
+}
+
+// MarshalJSON serializes the fault panel with router names as keys.
+func (e FaultExperiment) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Class      string               `json:"faultClass"`
+		Algorithm  string               `json:"algorithm"`
+		Counts     []int                `json:"faultCounts"`
+		Completion map[string][]float64 `json:"completion"`
+		Latency    map[string][]float64 `json:"latency"`
+		PEF        map[string][]float64 `json:"pef"`
+	}{
+		Class:      e.Class.String(),
+		Algorithm:  e.Algorithm.String(),
+		Counts:     e.Counts,
+		Completion: routerMapToJSON(e.Completion),
+		Latency:    routerMapToJSON(e.Latency),
+		PEF:        routerMapToJSON(e.PEF),
+	})
+}
+
+// MarshalJSON serializes the energy comparison with router names as keys.
+func (e EnergyResult) MarshalJSON() ([]byte, error) {
+	patterns := make([]string, len(e.Patterns))
+	for i, p := range e.Patterns {
+		patterns[i] = p.String()
+	}
+	return json.Marshal(struct {
+		Patterns []string             `json:"patterns"`
+		EnergyNJ map[string][]float64 `json:"energyPerPacketNJ"`
+	}{
+		Patterns: patterns,
+		EnergyNJ: routerMapToJSON(e.EnergyNJ),
+	})
+}
+
+// WriteJSON serializes any experiment result (or a map of them) to w with
+// indentation, for downstream plotting tools.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

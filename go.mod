@@ -1,0 +1,3 @@
+module github.com/rocosim/roco
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package analytic provides the closed-form results of the paper's
+// Section 3.2: the count of non-blocking (maximal) input-output matchings
+// of a crossbar (Equation 1) and the non-blocking probabilities of the
+// three router architectures (Table 2), together with a Monte-Carlo
+// cross-check that samples random request patterns.
+package analytic
+
+import (
+	"math"
+
+	"github.com/rocosim/roco/internal/stats"
+)
+
+// NonBlockingCount returns F(N), the number of request patterns of an
+// N x N crossbar in which every output is requested by exactly one input —
+// the paper's Equation 1:
+//
+//	F(N) = N! - sum_{j=1..N} C(N,j) * F(N-j),  F(1) = 0, F(2) = 1
+//
+// (F is the derangement count: each of the N inputs requests one of the
+// N-1 outputs other than its own, and the non-blocking patterns are the
+// permutations without fixed points.)
+func NonBlockingCount(n int) float64 {
+	if n < 1 {
+		panic("analytic: N must be >= 1")
+	}
+	f := make([]float64, n+1)
+	f[0] = 1 // the empty matching, needed to ground the recurrence
+	if n >= 1 {
+		f[1] = 0
+	}
+	for k := 2; k <= n; k++ {
+		v := factorial(k)
+		for j := 1; j <= k; j++ {
+			v -= binomial(k, j) * f[k-j]
+		}
+		f[k] = v
+	}
+	return f[n]
+}
+
+func factorial(n int) float64 {
+	v := 1.0
+	for i := 2; i <= n; i++ {
+		v *= float64(i)
+	}
+	return v
+}
+
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	return factorial(n) / (factorial(k) * factorial(n-k))
+}
+
+// GenericNonBlocking returns the probability that a full N x N crossbar
+// achieves maximal matching when each input requests one of its N-1
+// foreign outputs uniformly: F(N) / (N-1)^N. For N = 5 this is the paper's
+// 0.043.
+func GenericNonBlocking(n int) float64 {
+	return NonBlockingCount(n) / math.Pow(float64(n-1), float64(n))
+}
+
+// PathSensitiveNonBlocking returns the non-blocking probability of the
+// Path-Sensitive router's decomposed crossbar: each output is contended by
+// two quadrant path sets whose requests are chained, giving 2 favorable
+// patterns out of 2^4 (the paper's 0.125).
+func PathSensitiveNonBlocking() float64 { return 2.0 / 16.0 }
+
+// RoCoNonBlocking returns the non-blocking probability of the RoCo router:
+// each 2x2 module achieves maximal matching in 2 of its 4 request
+// patterns, and the two modules are independent: (1 - 0.5)^2 ... the paper
+// writes it as (1-0.5)^2 = 0.25.
+func RoCoNonBlocking() float64 { return 0.25 }
+
+// MonteCarloGeneric estimates GenericNonBlocking by sampling: each of the
+// n inputs requests a uniform foreign output; the pattern is non-blocking
+// when all outputs are distinct (and, with each input requesting a foreign
+// output, every output is then covered).
+func MonteCarloGeneric(n int, samples int, rng *stats.RNG) float64 {
+	hits := 0
+	seen := make([]bool, n)
+	for s := 0; s < samples; s++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		ok := true
+		for i := 0; i < n; i++ {
+			o := rng.Intn(n - 1)
+			if o >= i {
+				o++
+			}
+			if seen[o] {
+				ok = false
+				break
+			}
+			seen[o] = true
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// MonteCarloRoCo estimates the RoCo module-pair non-blocking probability:
+// each module's two inputs independently request one of its two outputs;
+// the router is non-blocking when both modules see a perfect matching.
+func MonteCarloRoCo(samples int, rng *stats.RNG) float64 {
+	hits := 0
+	for s := 0; s < samples; s++ {
+		ok := true
+		for m := 0; m < 2; m++ {
+			a, b := rng.Intn(2), rng.Intn(2)
+			if a == b {
+				ok = false
+			}
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// MonteCarloPathSensitive estimates the Path-Sensitive non-blocking
+// probability: the four quadrant sets each request one of their two
+// outputs; the pattern is non-blocking when all four outputs are covered
+// exactly once. The adjacency (NE,NW share North; NE,SE share East; ...)
+// admits exactly 2 of the 16 patterns.
+func MonteCarloPathSensitive(samples int, rng *stats.RNG) float64 {
+	// Set outputs: NE:{N,E}, NW:{N,W}, SE:{S,E}, SW:{S,W} with
+	// N=0,E=1,S=2,W=3.
+	outputs := [4][2]int{{0, 1}, {0, 3}, {2, 1}, {2, 3}}
+	hits := 0
+	var seen [4]bool
+	for s := 0; s < samples; s++ {
+		seen = [4]bool{}
+		ok := true
+		for q := 0; q < 4; q++ {
+			o := outputs[q][rng.Intn(2)]
+			if seen[o] {
+				ok = false
+				break
+			}
+			seen[o] = true
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// VAComplexity captures the virtual-channel-allocator hardware comparison
+// of the paper's Figure 2: how many arbiters each design needs and how
+// wide they are, for v VCs per port, under the two routing-function
+// regimes (R => v: the routing function returns a single VC; R => P: it
+// returns the VCs of a single physical channel).
+type VAComplexity struct {
+	Design string
+	// FirstStageArbiters x FirstStageFanIn describes the per-input stage
+	// (zero arbiters when the regime needs none).
+	FirstStageArbiters int
+	FirstStageFanIn    int
+	// SecondStageArbiters x SecondStageFanIn describes the output stage.
+	SecondStageArbiters int
+	SecondStageFanIn    int
+}
+
+// GenericVAComplexity returns Figure 2(a): the generic 5-port router needs
+// 5v arbiters of size 5v:1 (R => v regime has no first stage; R => P adds
+// 5v first-stage v:1 arbiters).
+func GenericVAComplexity(v int, routingReturnsPC bool) VAComplexity {
+	c := VAComplexity{
+		Design:              "generic",
+		SecondStageArbiters: 5 * v,
+		SecondStageFanIn:    5 * v,
+	}
+	if routingReturnsPC {
+		c.FirstStageArbiters = 5 * v
+		c.FirstStageFanIn = v
+	}
+	return c
+}
+
+// RoCoVAComplexity returns Figure 2(b): early ejection removes the PE path
+// set, leaving 4 ports split into two decoupled pairs, so the RoCo router
+// needs only 4v arbiters of size 2v:1 — fewer and smaller than the generic
+// case.
+func RoCoVAComplexity(v int, routingReturnsPC bool) VAComplexity {
+	c := VAComplexity{
+		Design:              "roco",
+		SecondStageArbiters: 4 * v,
+		SecondStageFanIn:    2 * v,
+	}
+	if routingReturnsPC {
+		c.FirstStageArbiters = 4 * v
+		c.FirstStageFanIn = v
+	}
+	return c
+}

@@ -1,0 +1,95 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rocosim/roco/internal/stats"
+)
+
+func TestNonBlockingCountIsDerangements(t *testing.T) {
+	// F(N) from the paper's recurrence equals the derangement numbers.
+	want := []float64{1, 0, 1, 2, 9, 44, 265, 1854}
+	for n := 1; n < len(want); n++ {
+		if got := NonBlockingCount(n); got != want[n] {
+			t.Errorf("F(%d) = %v, want %v", n, got, want[n])
+		}
+	}
+}
+
+func TestTable2Values(t *testing.T) {
+	// The paper's Table 2: 0.043, 0.125, 0.25.
+	if g := GenericNonBlocking(5); math.Abs(g-44.0/1024.0) > 1e-12 {
+		t.Errorf("generic = %v, want 44/1024", g)
+	}
+	if math.Abs(GenericNonBlocking(5)-0.043) > 0.0005 {
+		t.Errorf("generic = %v, want ~0.043", GenericNonBlocking(5))
+	}
+	if PathSensitiveNonBlocking() != 0.125 {
+		t.Error("path-sensitive should be 0.125")
+	}
+	if RoCoNonBlocking() != 0.25 {
+		t.Error("RoCo should be 0.25")
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	rng := stats.NewRNG(1)
+	const samples = 500000
+	if mc := MonteCarloGeneric(5, samples, rng); math.Abs(mc-GenericNonBlocking(5)) > 0.003 {
+		t.Errorf("generic MC = %v, analytic %v", mc, GenericNonBlocking(5))
+	}
+	if mc := MonteCarloRoCo(samples, rng); math.Abs(mc-0.25) > 0.003 {
+		t.Errorf("RoCo MC = %v, want 0.25", mc)
+	}
+	if mc := MonteCarloPathSensitive(samples, rng); math.Abs(mc-0.125) > 0.003 {
+		t.Errorf("path-sensitive MC = %v, want 0.125", mc)
+	}
+}
+
+func TestMonteCarloGenericOtherSizes(t *testing.T) {
+	rng := stats.NewRNG(2)
+	for _, n := range []int{3, 4} {
+		want := NonBlockingCount(n) / math.Pow(float64(n-1), float64(n))
+		if mc := MonteCarloGeneric(n, 400000, rng); math.Abs(mc-want) > 0.005 {
+			t.Errorf("N=%d: MC %v vs analytic %v", n, mc, want)
+		}
+	}
+}
+
+func TestOrderingMatchesPaper(t *testing.T) {
+	// RoCo is ~6x the generic probability and 2x the path-sensitive one.
+	g, p, r := GenericNonBlocking(5), PathSensitiveNonBlocking(), RoCoNonBlocking()
+	if !(r > p && p > g) {
+		t.Errorf("ordering wrong: %v %v %v", g, p, r)
+	}
+	if ratio := r / g; ratio < 5.5 || ratio > 6.5 {
+		t.Errorf("RoCo/generic = %v, want ~5.8", ratio)
+	}
+	if r/p != 2 {
+		t.Errorf("RoCo/path-sensitive = %v, want 2", r/p)
+	}
+}
+
+func TestFigure2VAComplexity(t *testing.T) {
+	// The paper's claim: RoCo needs FEWER (4v vs 5v) and SMALLER (2v:1 vs
+	// 5v:1) arbiters, in both routing-function regimes.
+	for _, pc := range []bool{false, true} {
+		g := GenericVAComplexity(3, pc)
+		r := RoCoVAComplexity(3, pc)
+		if !(r.SecondStageArbiters < g.SecondStageArbiters) {
+			t.Errorf("pc=%v: RoCo should need fewer arbiters (%d vs %d)", pc, r.SecondStageArbiters, g.SecondStageArbiters)
+		}
+		if !(r.SecondStageFanIn < g.SecondStageFanIn) {
+			t.Errorf("pc=%v: RoCo arbiters should be smaller (%d vs %d)", pc, r.SecondStageFanIn, g.SecondStageFanIn)
+		}
+	}
+	g := GenericVAComplexity(3, false)
+	if g.SecondStageArbiters != 15 || g.SecondStageFanIn != 15 {
+		t.Errorf("generic v=3: %d arbiters of %d:1, want 15 of 15:1", g.SecondStageArbiters, g.SecondStageFanIn)
+	}
+	r := RoCoVAComplexity(3, true)
+	if r.SecondStageArbiters != 12 || r.SecondStageFanIn != 6 || r.FirstStageArbiters != 12 || r.FirstStageFanIn != 3 {
+		t.Errorf("roco v=3 R=>P: %+v", r)
+	}
+}

@@ -1,0 +1,173 @@
+// Package arbiter implements the arbitration primitives the three router
+// microarchitectures are built from: round-robin arbiters (the v:1 and P:1
+// units of separable VA/SA stages) and the paper's Mirror allocator, which
+// achieves maximal matching on a 2x2 crossbar with a single global 2:1
+// arbiter per module.
+package arbiter
+
+// RoundRobin is an n-input round-robin arbiter. The input granted most
+// recently gets the lowest priority in the next round, which provides
+// strong fairness — the same discipline assumed by the paper's separable
+// allocators.
+type RoundRobin struct {
+	n    int
+	next int // index with highest priority in the next round
+}
+
+// NewRoundRobin returns an arbiter over n request lines.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic("arbiter: round-robin needs at least one input")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Size returns the number of request lines.
+func (a *RoundRobin) Size() int { return a.n }
+
+// Grant returns the index of the winning request, or -1 if no line is
+// asserted. The priority pointer advances past the winner.
+func (a *RoundRobin) Grant(requests []bool) int {
+	if len(requests) != a.n {
+		panic("arbiter: request vector size mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	return -1
+}
+
+// Peek returns the index that would win without advancing the priority
+// pointer, or -1 if no line is asserted.
+func (a *RoundRobin) Peek(requests []bool) int {
+	if len(requests) != a.n {
+		panic("arbiter: request vector size mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Reset restores the priority pointer to input 0.
+func (a *RoundRobin) Reset() { a.next = 0 }
+
+// MirrorDecision is the outcome of one Mirror-allocator round for a 2x2
+// module: which input port drives which of the module's two output
+// directions. -1 entries mean the corresponding output stays idle.
+type MirrorDecision struct {
+	// OutWinner[d] is the input port index (0 or 1) granted output
+	// direction d (0 or 1), or -1 when that output is unmatched.
+	OutWinner [2]int
+}
+
+// Mirror implements the paper's "Mirroring Effect" switch allocator for a
+// 2x2 crossbar module. Each input port presents, per output direction, a
+// locally arbitrated candidate (has[port][dir]). A single global 2:1
+// arbiter decides the primary port's direction; the other port is granted
+// the mirrored (opposite) direction, which by construction yields a maximal
+// matching. The primary port alternates every round so neither port
+// starves.
+type Mirror struct {
+	global  *RoundRobin // 2:1 arbiter over the primary port's two directions
+	primary int         // which input port the global decision is made at
+}
+
+// NewMirror returns a Mirror allocator for one 2x2 module.
+func NewMirror() *Mirror {
+	return &Mirror{global: NewRoundRobin(2)}
+}
+
+// Allocate computes one allocation round. has[p][d] reports whether input
+// port p holds a switch-ready flit for output direction d. The result is a
+// maximal matching of the 2x2 module: if any complete (2-edge) matching
+// exists among the requests, Allocate finds one.
+func (m *Mirror) Allocate(has [2][2]bool) MirrorDecision {
+	dec := MirrorDecision{OutWinner: [2]int{-1, -1}}
+	p := m.primary
+	q := 1 - p
+
+	// Global arbitration happens only at the primary port: pick its
+	// direction among those it has candidates for, preferring a direction
+	// whose mirror the other port can fill (that is what makes the matching
+	// maximal rather than merely conflict-free).
+	var reqs [2]bool
+	for d := 0; d < 2; d++ {
+		reqs[d] = has[p][d]
+	}
+	// Prefer the direction that lets port q take the opposite output.
+	pDir := -1
+	if reqs[0] && reqs[1] {
+		// Both directions available at the primary port: steer toward full
+		// utilization when only one choice mirrors, otherwise round-robin.
+		switch {
+		case has[q][1] && !has[q][0]:
+			pDir = 0
+		case has[q][0] && !has[q][1]:
+			pDir = 1
+		default:
+			pDir = m.global.Grant(reqs[:])
+		}
+	} else {
+		pDir = m.global.Grant(reqs[:])
+	}
+
+	if pDir >= 0 {
+		dec.OutWinner[pDir] = p
+		// Mirroring Effect: the other port is granted the opposite
+		// direction without a second global arbitration.
+		if has[q][1-pDir] {
+			dec.OutWinner[1-pDir] = q
+		}
+	} else {
+		// Primary port idle: the secondary port may use either output.
+		switch {
+		case has[q][0] && has[q][1]:
+			d := m.global.Grant([]bool{true, true})
+			dec.OutWinner[d] = q
+		case has[q][0]:
+			dec.OutWinner[0] = q
+		case has[q][1]:
+			dec.OutWinner[1] = q
+		}
+	}
+
+	m.primary = 1 - m.primary
+	return dec
+}
+
+// IsMaximal reports whether dec is a maximal matching for the request
+// pattern has: no unmatched output could be matched to an unmatched input
+// that requests it. Used by tests and assertions.
+func (dec MirrorDecision) IsMaximal(has [2][2]bool) bool {
+	used := [2]bool{}
+	for d := 0; d < 2; d++ {
+		if w := dec.OutWinner[d]; w >= 0 {
+			if !has[w][d] {
+				return false // granted a non-existent request
+			}
+			if used[w] {
+				return false // one port granted two outputs
+			}
+			used[w] = true
+		}
+	}
+	for d := 0; d < 2; d++ {
+		if dec.OutWinner[d] != -1 {
+			continue
+		}
+		for p := 0; p < 2; p++ {
+			if has[p][d] && !used[p] {
+				return false // an augmenting edge was left on the table
+			}
+		}
+	}
+	return true
+}

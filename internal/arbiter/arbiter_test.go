@@ -1,0 +1,179 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundRobinGrantsAssertedLine(t *testing.T) {
+	a := NewRoundRobin(4)
+	reqs := []bool{false, true, false, true}
+	for i := 0; i < 16; i++ {
+		w := a.Grant(reqs)
+		if w != 1 && w != 3 {
+			t.Fatalf("granted unasserted line %d", w)
+		}
+	}
+}
+
+func TestRoundRobinNoRequest(t *testing.T) {
+	a := NewRoundRobin(3)
+	if w := a.Grant([]bool{false, false, false}); w != -1 {
+		t.Fatalf("empty request vector granted %d", w)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	a := NewRoundRobin(4)
+	all := []bool{true, true, true, true}
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[a.Grant(all)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("line %d granted %d/400 times under full load; round-robin should be exact", i, c)
+		}
+	}
+}
+
+func TestRoundRobinNoStarvation(t *testing.T) {
+	// A persistently asserted line must be granted within n rounds no
+	// matter what the other lines do.
+	f := func(pattern []uint8) bool {
+		a := NewRoundRobin(5)
+		waiting := 0
+		for i := 0; i < len(pattern); i++ {
+			reqs := make([]bool, 5)
+			reqs[4] = true // our line
+			for j := 0; j < 4; j++ {
+				reqs[j] = pattern[i]&(1<<j) != 0
+			}
+			if a.Grant(reqs) == 4 {
+				waiting = 0
+			} else {
+				waiting++
+				if waiting >= 5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundRobinPeekDoesNotAdvance(t *testing.T) {
+	a := NewRoundRobin(3)
+	reqs := []bool{true, true, true}
+	p := a.Peek(reqs)
+	if g := a.Grant(reqs); g != p {
+		t.Errorf("Peek %d then Grant %d", p, g)
+	}
+}
+
+func TestRoundRobinSizeMismatchPanics(t *testing.T) {
+	a := NewRoundRobin(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch should panic")
+		}
+	}()
+	a.Grant([]bool{true})
+}
+
+// allPatterns enumerates every 2x2 request matrix.
+func allPatterns() [][2][2]bool {
+	var out [][2][2]bool
+	for m := 0; m < 16; m++ {
+		var has [2][2]bool
+		has[0][0] = m&1 != 0
+		has[0][1] = m&2 != 0
+		has[1][0] = m&4 != 0
+		has[1][1] = m&8 != 0
+		out = append(out, has)
+	}
+	return out
+}
+
+func TestMirrorAlwaysMaximal(t *testing.T) {
+	// The Mirroring Effect's whole point: the decision is a maximal
+	// matching for every request pattern, at every point of the arbiter's
+	// internal rotation.
+	for _, has := range allPatterns() {
+		m := NewMirror()
+		for round := 0; round < 8; round++ {
+			dec := m.Allocate(has)
+			if !dec.IsMaximal(has) {
+				t.Fatalf("round %d: decision %v not maximal for %v", round, dec, has)
+			}
+		}
+	}
+}
+
+func TestMirrorFullMatchingWhenPossible(t *testing.T) {
+	// Whenever a perfect 2-edge matching exists, the mirror finds it.
+	for _, has := range allPatterns() {
+		perfect := (has[0][0] && has[1][1]) || (has[0][1] && has[1][0])
+		if !perfect {
+			continue
+		}
+		m := NewMirror()
+		for round := 0; round < 8; round++ {
+			dec := m.Allocate(has)
+			if dec.OutWinner[0] < 0 || dec.OutWinner[1] < 0 {
+				t.Fatalf("perfect matching exists for %v but got %v", has, dec)
+			}
+		}
+	}
+}
+
+func TestMirrorFairnessUnderConflict(t *testing.T) {
+	// Both ports want only direction 0: grants must alternate.
+	m := NewMirror()
+	has := [2][2]bool{{true, false}, {true, false}}
+	counts := [2]int{}
+	for i := 0; i < 100; i++ {
+		dec := m.Allocate(has)
+		if dec.OutWinner[0] < 0 {
+			t.Fatal("output 0 must be granted")
+		}
+		if dec.OutWinner[1] != -1 {
+			t.Fatal("output 1 has no requests")
+		}
+		counts[dec.OutWinner[0]]++
+	}
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Errorf("conflicting ports granted %v, want 50/50", counts)
+	}
+}
+
+func TestMirrorDecisionValidity(t *testing.T) {
+	f := func(bits uint8, rounds uint8) bool {
+		var has [2][2]bool
+		has[0][0] = bits&1 != 0
+		has[0][1] = bits&2 != 0
+		has[1][0] = bits&4 != 0
+		has[1][1] = bits&8 != 0
+		m := NewMirror()
+		for i := 0; i < int(rounds%16)+1; i++ {
+			dec := m.Allocate(has)
+			// Never grant a non-request; never give one port two outputs.
+			if dec.OutWinner[0] >= 0 && !has[dec.OutWinner[0]][0] {
+				return false
+			}
+			if dec.OutWinner[1] >= 0 && !has[dec.OutWinner[1]][1] {
+				return false
+			}
+			if dec.OutWinner[0] >= 0 && dec.OutWinner[0] == dec.OutWinner[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

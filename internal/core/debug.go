@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// DebugVCs renders the state of every non-idle channel, one line per VC
+// (empty string for idle channels). It exists for diagnosing stalls in
+// tests and the CLI's verbose mode.
+func (r *Router) DebugVCs() [NumVCs]string {
+	var out [NumVCs]string
+	for id, vc := range r.vcs {
+		if vc.Idle() {
+			continue
+		}
+		front := "-"
+		if f := vc.Front(); f != nil {
+			front = f.String()
+		}
+		out[id] = fmt.Sprintf("class=%s len=%d outPort=%s nextOut=%s outVC=%d eject=%v front=%s",
+			vc.Class, vc.Len(), vc.OutPort(), vc.NextOut(), vc.OutVC(), vc.EjectNext(), front)
+	}
+	return out
+}
+
+// DebugProbe reports, for every channel holding a flit, whether its front
+// flit is switch-ready and credit-clear at the given cycle, and if not,
+// why. Used to distinguish true protocol deadlock from allocator bugs.
+func (r *Router) DebugProbe(cycle int64) [NumVCs]string {
+	var out [NumVCs]string
+	for id, vc := range r.vcs {
+		if vc.Len() == 0 {
+			continue
+		}
+		f := vc.Front()
+		switch {
+		case vc.NeedsVA():
+			out[id] = fmt.Sprintf("class=%s len=%d WAIT-VA outPort=%s nextOut=%s front=%s", vc.Class, vc.Len(), vc.OutPort(), vc.NextOut(), f)
+		case !vc.SwitchReady(cycle):
+			out[id] = fmt.Sprintf("class=%s len=%d NOT-READY readyAt=%d cyc=%d outVC=%d eject=%v front=%s", vc.Class, vc.Len(), f.ReadyAt, cycle, vc.OutVC(), vc.EjectNext(), f)
+		case !r.creditOK(vc):
+			out[id] = fmt.Sprintf("class=%s len=%d NO-CREDIT outPort=%s outVC=%d credits=%d front=%s", vc.Class, vc.Len(), vc.OutPort(), vc.OutVC(), r.books[vc.OutPort()].Credits(vc.OutVC()), f)
+		default:
+			out[id] = fmt.Sprintf("class=%s len=%d MOVABLE outPort=%s outVC=%d front=%s", vc.Class, vc.Len(), vc.OutPort(), vc.OutVC(), f)
+		}
+	}
+	return out
+}
+
+// DebugClassStats accumulates, per VC class, how many VA attempts and
+// grants its channels saw — the retry ratio localizes allocation
+// bottlenecks. Enabled by tests and probes only.
+type DebugClassStats struct {
+	Ops, Grants, SAReady, Moves [8]int64
+}
+
+// DebugStats is filled when DebugCollect is non-nil.
+var DebugCollect *DebugClassStats

@@ -1,0 +1,662 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/arbiter"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
+)
+
+// Router is the RoCo decoupled router.
+type Router struct {
+	id     int
+	engine *router.RouteEngine
+	cfg    VCConfig
+	sink   router.Sink
+
+	in        [5]*router.Conn
+	out       [5]*router.Conn
+	books     [5]*router.OutVCBook
+	neighbors [5]router.Router
+
+	vcs [NumVCs]*router.VC
+
+	// Per-module allocation hardware.
+	vaArb  [5][]*arbiter.RoundRobin // per (output dir, downstream vc id)
+	saArb  [2][2][2]*arbiter.RoundRobin
+	mirror [2]*arbiter.Mirror
+	outArb [2][2]*arbiter.RoundRobin // separable fallback: per (module, port) nomination
+	outSel [2][2]*arbiter.RoundRobin // separable fallback: per (module, direction) selection
+
+	// disableMirror replaces the Mirroring-Effect allocator with a plain
+	// separable output stage (one 2:1 arbiter per output, no mirrored
+	// global decision). Ablation only: quantifies what the mirror buys.
+	disableMirror bool
+
+	injVC int
+
+	// Fault state (Hardware Recycling, paper Section 4).
+	blocked  [2]bool // module isolated (VA/crossbar/MUX-DEMUX failure)
+	saShared [2]bool // SA offloaded onto the module's VA arbiters
+	rcFault  bool    // routing unit failed: neighbors double-route
+	vaBusy   [2]bool // VA handled a header this cycle (gates shared SA)
+
+	act  router.Activity
+	cont router.Contention
+
+	vaFailed [NumVCs]bool
+	reqVec   [NumVCs]bool
+	setVec   [VCsPerSet]bool
+}
+
+// New returns a RoCo router for the given node, configured per Table 1 for
+// the engine's routing algorithm.
+func New(id int, engine *router.RouteEngine) *Router {
+	r := &Router{id: id, engine: engine, cfg: ConfigFor(engine.Algorithm()), injVC: -1}
+	for v := 0; v < NumVCs; v++ {
+		vc := router.NewVC(v, BufferDepth)
+		vc.Class = r.cfg.Class[v]
+		r.vcs[v] = vc
+	}
+	for _, d := range topology.CardinalDirections {
+		arbs := make([]*arbiter.RoundRobin, NumVCs)
+		for i := range arbs {
+			arbs[i] = arbiter.NewRoundRobin(NumVCs)
+		}
+		r.vaArb[d] = arbs
+	}
+	for m := 0; m < 2; m++ {
+		for p := 0; p < 2; p++ {
+			for d := 0; d < 2; d++ {
+				r.saArb[m][p][d] = arbiter.NewRoundRobin(VCsPerSet)
+			}
+			r.outArb[m][p] = arbiter.NewRoundRobin(2)
+			r.outSel[m][p] = arbiter.NewRoundRobin(2)
+		}
+		r.mirror[m] = arbiter.NewMirror()
+	}
+	return r
+}
+
+// DisableMirror switches the router's switch allocation to a plain
+// separable output stage. Call before traffic flows; ablation use only.
+func (r *Router) DisableMirror() { r.disableMirror = true }
+
+// Config exposes the router's Table 1 VC configuration (tests and the
+// Table 1 experiment read it).
+func (r *Router) Config() VCConfig { return r.cfg }
+
+// ID returns the node this router serves.
+func (r *Router) ID() int { return r.id }
+
+// AttachInput wires an arriving link.
+func (r *Router) AttachInput(d topology.Direction, c *router.Conn) { r.in[d] = c }
+
+// AttachOutput wires a departing link and sizes its credit book from the
+// downstream per-VC depths.
+func (r *Router) AttachOutput(d topology.Direction, c *router.Conn, depths []int) {
+	r.out[d] = c
+	r.books[d] = router.NewOutVCBook(len(depths), BufferDepth)
+	for vc, depth := range depths {
+		if depth != BufferDepth {
+			r.books[d].SetDepth(vc, depth)
+		}
+	}
+}
+
+// SetNeighbor records the router reached through output d.
+func (r *Router) SetNeighbor(d topology.Direction, n router.Router) { r.neighbors[d] = n }
+
+// SetSink installs the PE delivery callback.
+func (r *Router) SetSink(s router.Sink) { r.sink = s }
+
+// Activity returns the per-component event counters.
+func (r *Router) Activity() *router.Activity { return &r.act }
+
+// Contention returns the switch-conflict tallies.
+func (r *Router) Contention() *router.Contention { return &r.cont }
+
+// ApplyFault reacts to a permanent fault per the Hardware Recycling table:
+// RC failures are absorbed by downstream double routing, buffer failures by
+// virtual queuing over the bypass path, SA failures by offloading onto the
+// idle VA arbiters, and VA/crossbar/MUX-DEMUX failures by isolating the
+// afflicted module while the other module keeps full service.
+func (r *Router) ApplyFault(flt fault.Fault) {
+	m := Module(flt.Module % 2)
+	switch flt.Component {
+	case fault.RC:
+		r.rcFault = true
+	case fault.Buffer:
+		id := flt.VC % NumVCs
+		vc := r.vcs[id]
+		vc.Faulty = true
+		vc.FaultPenalty = 2 // round-trip of the virtual-queuing handshake
+	case fault.SA:
+		r.saShared[m] = true
+	case fault.VA, fault.Crossbar, fault.MuxDemux:
+		r.blocked[m] = true
+	}
+}
+
+// Blocked reports whether module m is isolated (tests use it).
+func (r *Router) Blocked(m Module) bool { return r.blocked[m] }
+
+// CanServe reports whether a flit entering on side from and leaving
+// through out can be served. Early ejection (out == Local) survives module
+// faults; a cardinal output requires its module alive and a VC class for
+// the (from, out) transition to exist in the configuration.
+func (r *Router) CanServe(from, out topology.Direction) bool {
+	switch out {
+	case topology.Local:
+		return true
+	case topology.Invalid:
+		// "Any service at all": at least one module still operates (the
+		// decoupled design's graceful degradation) or ejection suffices.
+		return !r.blocked[Row] || !r.blocked[Col]
+	}
+	if r.blocked[ModuleOf(out)] {
+		return false
+	}
+	turn := routing.TurnOf(from, out)
+	for _, mode := range []flit.RouteMode{flit.XFirst, flit.YFirst} {
+		for id := range r.cfg.Class {
+			if r.cfg.Admits(id, turn, mode, out) && !r.blocked[ModuleOfVC(id)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CongestionCost estimates pressure on output out from the credit
+// occupancy of its book; a blocked module is infinitely expensive.
+func (r *Router) CongestionCost(out topology.Direction) float64 {
+	if out.IsCardinal() && r.blocked[ModuleOf(out)] {
+		return 1e9
+	}
+	b := r.books[out]
+	if b == nil {
+		return 0
+	}
+	capacity := b.Size() * BufferDepth
+	return float64(capacity-b.FreeSlots()) / float64(capacity)
+}
+
+// NumInputVCs returns the router-wide VC namespace size.
+func (r *Router) NumInputVCs(topology.Direction) int { return NumVCs }
+
+// InputVCDepth returns the usable depth of VC vc (1 under virtual queuing,
+// 0 inside a blocked module).
+func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
+	if r.blocked[ModuleOfVC(vc)] {
+		return 0
+	}
+	return r.vcs[vc].Capacity()
+}
+
+// InputVCClaimable reports whether VC vc can take a new packet arriving
+// over link from.
+func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
+	return !r.blocked[ModuleOfVC(vc)] && r.vcs[vc].Claimable(from)
+}
+
+// ClaimInputVC reserves VC vc for an inbound packet.
+func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
+	if !r.InputVCClaimable(from, vc) {
+		return false
+	}
+	r.vcs[vc].Claim(from)
+	return true
+}
+
+// Quiescent reports whether no flit is buffered anywhere in the router.
+func (r *Router) Quiescent() bool {
+	for _, vc := range r.vcs {
+		if vc.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TryInject offers the next flit of the PE's current packet. Self-addressed
+// packets are delivered straight back to the PE.
+func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
+	if f.Type.IsHead() && f.OutPort == topology.Local {
+		// Loopback: the packet never enters the network fabric.
+		r.sink(f, cycle)
+		if !f.Type.IsTail() {
+			r.injVC = -2 // sentinel: loopback packet in progress
+		}
+		return true
+	}
+	if r.injVC == -2 {
+		r.sink(f, cycle)
+		if f.Type.IsTail() {
+			r.injVC = -1
+		}
+		return true
+	}
+	if f.Type.IsHead() {
+		if r.injVC >= 0 {
+			return false
+		}
+		class := routing.InjectX
+		if f.OutPort.IsY() {
+			class = routing.InjectY
+		}
+		for id, cl := range r.cfg.Class {
+			if cl != class || r.blocked[ModuleOfVC(id)] {
+				continue
+			}
+			vc := r.vcs[id]
+			if vc.Claimable(topology.Local) && vc.HasRoom() {
+				f.ReadyAt = cycle + 1
+				vc.Claim(topology.Local)
+				vc.PushFrom(f, topology.Local)
+				r.act.BufferWrites++
+				if !f.Type.IsTail() {
+					r.injVC = id
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if r.injVC < 0 {
+		return false
+	}
+	vc := r.vcs[r.injVC]
+	if !vc.HasRoom() {
+		return false
+	}
+	f.ReadyAt = cycle + 1
+	vc.PushFrom(f, topology.Local)
+	r.act.BufferWrites++
+	if f.Type.IsTail() {
+		r.injVC = -1
+	}
+	return true
+}
+
+// Tick advances the router one cycle.
+func (r *Router) Tick(cycle int64) {
+	r.act.Cycles++
+
+	// Credits from downstream.
+	for _, d := range topology.CardinalDirections {
+		if r.out[d] == nil {
+			continue
+		}
+		for _, vc := range r.out[d].Credit.Read() {
+			r.books[d].ReturnCredit(vc)
+		}
+	}
+
+	// Arrivals: early-eject or guided-queue into the upstream-allocated VC.
+	for _, d := range topology.CardinalDirections {
+		if r.in[d] == nil {
+			continue
+		}
+		f := r.in[d].Flit.Read()
+		if f == nil {
+			continue
+		}
+		f.Hops++
+		if f.OutPort == topology.Local {
+			// Early Ejection: delivered straight off the input decoder,
+			// skipping SA and switch traversal entirely.
+			r.act.EarlyEjections++
+			r.sink(f, cycle)
+			continue
+		}
+		if ModuleOfVC(f.VC) != ModuleOf(f.OutPort) {
+			panic(fmt.Sprintf("core: guided queuing violation: %v into vc %d", f, f.VC))
+		}
+		f.ReadyAt = cycle + 1 + f.Penalty
+		if f.Penalty > 0 {
+			// Double routing on behalf of a neighbor with a failed RC unit.
+			r.act.RouteComputations++
+			f.Penalty = 0
+		}
+		if f.Rec != nil {
+			f.Rec.Visit(r.id, cycle, trace.Arrived)
+		}
+		r.vcs[f.VC].PushFrom(f, d)
+		r.act.BufferWrites++
+	}
+
+	r.drainDoomed()
+	r.vaBusy[Row], r.vaBusy[Col] = false, false
+	r.allocateVCs(cycle)
+	for m := Module(0); m < numModules; m++ {
+		r.allocateSwitch(m, cycle)
+	}
+}
+
+// drainDoomed discards flits of packets whose route is permanently
+// fault-blocked, returning their credits upstream so the rest of the
+// network keeps flowing.
+func (r *Router) drainDoomed() {
+	for _, vc := range r.vcs {
+		for vc.Doomed() && vc.Len() > 0 {
+			feeder := vc.Feeder()
+			f := vc.Pop()
+			r.act.DroppedFlits++
+			if f.Rec != nil && f.Type.IsHead() {
+				f.Rec.Visit(r.id, 0, trace.Dropped)
+			}
+			if feeder.IsCardinal() && r.in[feeder] != nil {
+				r.in[feeder].Credit.Write(vc.Index)
+			}
+			if f.Type.IsTail() {
+				break
+			}
+		}
+	}
+}
+
+// vaRequest is one head flit's chosen downstream channel for this cycle.
+type vaRequest struct {
+	vcID    int
+	choice  int
+	nextOut topology.Direction
+}
+
+// allocateVCs runs the two modules' separable VC allocators (they are
+// physically independent; one pass covers both since requests never cross
+// modules).
+func (r *Router) allocateVCs(cycle int64) {
+	var byTarget [5][NumVCs][]vaRequest
+
+	for id, vc := range r.vcs {
+		r.vaFailed[id] = false
+		if r.blocked[ModuleOfVC(id)] {
+			continue
+		}
+		head := vc.Front()
+		if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
+			continue
+		}
+		m := ModuleOfVC(id)
+		r.vaBusy[m] = true
+		r.act.VAOps++
+		if DebugCollect != nil {
+			DebugCollect.Ops[vc.Class]++
+		}
+		if vc.NextOut() == topology.Invalid {
+			r.act.RouteComputations++
+		}
+		req, ok := r.selectDownstreamVC(vc, head)
+		if !ok {
+			// A head flit bound for downstream early ejection needs no
+			// channel at all; anything else failed allocation this cycle.
+			if !vc.EjectNext() {
+				r.vaFailed[id] = true
+			}
+			continue
+		}
+		req.vcID = id
+		byTarget[vc.OutPort()][req.choice] = append(byTarget[vc.OutPort()][req.choice], req)
+	}
+
+	for _, out := range topology.CardinalDirections {
+		for c := 0; c < NumVCs; c++ {
+			claims := byTarget[out][c]
+			if len(claims) == 0 {
+				continue
+			}
+			for i := range r.reqVec {
+				r.reqVec[i] = false
+			}
+			for _, cl := range claims {
+				r.reqVec[cl.vcID] = true
+			}
+			w := r.vaArb[out][c].Grant(r.reqVec[:])
+			for _, cl := range claims {
+				if cl.vcID != w {
+					r.vaFailed[cl.vcID] = true
+					continue
+				}
+				vc := r.vcs[cl.vcID]
+				nbr := r.neighbors[out]
+				if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), cl.choice) {
+					r.vaFailed[cl.vcID] = true
+					continue
+				}
+				r.books[out].EnqueueGrant(cl.choice, cl.vcID)
+				vc.GrantRoute(cl.choice, cl.nextOut)
+				r.act.VAGrants++
+				if DebugCollect != nil {
+					DebugCollect.Grants[vc.Class]++
+				}
+			}
+		}
+	}
+}
+
+// selectDownstreamVC computes the look-ahead route and picks one candidate
+// downstream channel for a head flit (the input stage of the separable VA).
+func (r *Router) selectDownstreamVC(vc *router.VC, head *flit.Flit) (vaRequest, bool) {
+	out := vc.OutPort()
+	nbr := r.neighbors[out]
+	book := r.books[out]
+	if nbr == nil || book == nil {
+		return vaRequest{}, false
+	}
+	downstream, ok := r.engine.Topology().Neighbor(r.id, out)
+	if !ok {
+		return vaRequest{}, false
+	}
+	from := out.Opposite() // the side the flit enters the downstream router on
+	nextOut := r.engine.RouteAt(downstream, from, head)
+	vc.SetNextOut(nextOut)
+
+	if nextOut == topology.Local {
+		if !nbr.CanServe(from, topology.Local) {
+			vc.Doom()
+			return vaRequest{}, false
+		}
+		// Early ejection downstream: no channel needed.
+		vc.GrantEject()
+		return vaRequest{}, false // no arbitration required; not a failure
+	}
+	if !nbr.CanServe(from, nextOut) {
+		// A permanent fault blocks the packet's only route; static fault
+		// handling discards it rather than letting the stranded wormhole
+		// assert backpressure forever.
+		vc.Doom()
+		return vaRequest{}, false
+	}
+
+	turn := routing.TurnOf(from, nextOut)
+	if c, ok := r.pickCandidate(nbr, book, from, turn, nextOut, head); ok {
+		return vaRequest{choice: c, nextOut: nextOut}, true
+	}
+	return vaRequest{}, false
+}
+
+// pickCandidate returns the least-loaded claimable downstream channel the
+// packet's class and direction discipline admits, spreading back-to-back
+// packets across equivalent channels.
+func (r *Router) pickCandidate(nbr router.Router, book *router.OutVCBook, from topology.Direction, turn routing.Turn, nextOut topology.Direction, head *flit.Flit) (int, bool) {
+	best, bestLoad := -1, 0
+	for id := range r.cfg.Class {
+		if !r.cfg.Admits(id, turn, head.Mode, nextOut) {
+			continue
+		}
+		if book.Alive(id) && nbr.InputVCClaimable(from, id) {
+			if load := book.QueuedGrants(id); best < 0 || load < bestLoad {
+				best, bestLoad = id, load
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// allocateSwitch runs one module's Mirroring-Effect switch allocation and
+// forwards the winners through its 2x2 crossbar.
+func (r *Router) allocateSwitch(m Module, cycle int64) {
+	if r.blocked[m] {
+		return
+	}
+	if r.saShared[m] && r.vaBusy[m] {
+		// SA fault with resource sharing: the VA arbiters stand in for the
+		// broken SA hardware, but only on cycles they are not processing a
+		// header (the VA is a per-packet unit; the paper's Figure 7).
+		return
+	}
+
+	var has [2][2]bool
+	var winner [2][2]int
+	base := int(m) * 2 * VCsPerSet
+
+	// Figure 3 contention: a crossbar input port requests a direction when
+	// it holds a switch-ready flit for it; the request is contended when
+	// the module's other port wants the same direction this cycle.
+	var desire [2][2]bool
+	for p := 0; p < 2; p++ {
+		for s := 0; s < VCsPerSet; s++ {
+			vc := r.vcs[base+p*VCsPerSet+s]
+			if vc.SwitchReady(cycle) && r.creditOK(vc) {
+				desire[p][DirSlot(vc.OutPort())] = true
+			}
+		}
+	}
+	for d := 0; d < 2; d++ {
+		n := 0
+		for p := 0; p < 2; p++ {
+			if desire[p][d] {
+				n++
+			}
+		}
+		if n > 0 {
+			r.countContention(outsOf(m)[d], n, n > 1)
+		}
+	}
+
+	for p := 0; p < 2; p++ {
+		for d := 0; d < 2; d++ {
+			winner[p][d] = -1
+			for s := 0; s < VCsPerSet; s++ {
+				id := base + p*VCsPerSet + s
+				vc := r.vcs[id]
+				ready := vc.SwitchReady(cycle) && r.creditOK(vc) && DirSlot(vc.OutPort()) == d
+				r.setVec[s] = ready
+				if ready {
+					r.act.SAOps++
+				} else if r.vaFailed[id] && vc.OutPort().IsCardinal() && DirSlot(vc.OutPort()) == d {
+					// Failed speculation: the parallel SA request was
+					// issued and arbitrated (energy), but a speculative
+					// grant has lower priority than any real request and
+					// never displaces one (Peh-Dally speculation), so it
+					// cannot affect the matching.
+					r.act.SAOps++
+				}
+			}
+			w := r.saArb[m][p][d].Grant(r.setVec[:])
+			if w >= 0 {
+				winner[p][d] = base + p*VCsPerSet + w
+				has[p][d] = true
+			}
+		}
+	}
+
+	var dec arbiter.MirrorDecision
+	if r.disableMirror {
+		// Separable fallback: each input port nominates one direction
+		// (its local RR pick among candidate directions), then each
+		// output arbitrates among nominating ports — the chained
+		// allocation the Mirroring Effect replaces.
+		var nominated [2]int // direction nominated per port, or -1
+		for p := 0; p < 2; p++ {
+			nominated[p] = -1
+			reqs := []bool{has[p][0], has[p][1]}
+			if w := r.outArb[m][p].Grant(reqs); w >= 0 {
+				nominated[p] = w
+			}
+		}
+		dec.OutWinner = [2]int{-1, -1}
+		for d := 0; d < 2; d++ {
+			reqs := []bool{nominated[0] == d, nominated[1] == d}
+			dec.OutWinner[d] = r.outSel[m][d].Grant(reqs)
+		}
+	} else {
+		dec = r.mirror[m].Allocate(has)
+	}
+	outs := outsOf(m)
+	for d := 0; d < 2; d++ {
+		p := dec.OutWinner[d]
+		if p < 0 {
+			continue
+		}
+		r.act.SAGrants++
+		r.traverse(outs[d], winner[p][d], cycle)
+	}
+}
+
+// outsOf returns the module's output directions.
+func outsOf(m Module) [2]topology.Direction { return m.Outputs() }
+
+// creditOK reports whether the front flit may stream downstream: buffer
+// space exists and the channel's oldest grant belongs to this VC.
+func (r *Router) creditOK(vc *router.VC) bool {
+	if vc.EjectNext() {
+		return true
+	}
+	book := r.books[vc.OutPort()]
+	return book.Credits(vc.OutVC()) > 0 && book.MayStream(vc.OutVC(), vc.Index)
+}
+
+// countContention tallies n requests for output out, all of them contended
+// when contended is true (Figure 3).
+func (r *Router) countContention(out topology.Direction, n int, contended bool) {
+	c := 0
+	if contended {
+		c = n
+	}
+	switch {
+	case out.IsX():
+		r.cont.RowRequests += int64(n)
+		r.cont.RowFailures += int64(c)
+	case out.IsY():
+		r.cont.ColRequests += int64(n)
+		r.cont.ColFailures += int64(c)
+	}
+}
+
+// traverse moves a winning flit through its module's crossbar onto the
+// output link. RC-unit faults charge the double-routing penalty to the
+// departing flit here.
+func (r *Router) traverse(out topology.Direction, vcID int, cycle int64) {
+	vc := r.vcs[vcID]
+	outVC, nextOut, ejectNext, feeder := vc.OutVC(), vc.NextOut(), vc.EjectNext(), vc.Feeder()
+	f := vc.Pop()
+	r.act.BufferReads++
+	r.act.CrossbarTraversals++
+	if feeder.IsCardinal() && r.in[feeder] != nil {
+		r.in[feeder].Credit.Write(vcID)
+	}
+	f.OutPort = nextOut
+	if ejectNext {
+		f.VC = -1
+	} else {
+		f.VC = outVC
+		r.books[out].Send(outVC, f.Type.IsTail())
+	}
+	f.ReadyAt = 0
+	if r.rcFault {
+		f.Penalty = 1
+	}
+	r.act.LinkFlits++
+	r.act.LinkFlitsByDir[out]++
+	r.out[out].Flit.Write(f)
+}

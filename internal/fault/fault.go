@@ -1,0 +1,234 @@
+// Package fault models permanent (hard) intra-router failures after the
+// paper's Section 4: a taxonomy of the six major router components, their
+// classification along the message-centric / router-centric and critical /
+// non-critical axes (paper Table 3), and generation of the random fault
+// sets used by the evaluation (Figures 11, 12 and 14).
+package fault
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/stats"
+)
+
+// Component names the six major router components of the paper's fault
+// model.
+type Component uint8
+
+const (
+	// RC is the routing-computation unit (per-packet, message-centric,
+	// non-critical: recoverable by double routing at the neighbors).
+	RC Component = iota
+	// Buffer is a VC buffer (per-flit, message-centric; non-critical when a
+	// bypass path exists, enabling virtual queuing).
+	Buffer
+	// VA is the virtual-channel allocator (per-packet, router-centric,
+	// non-critical pathway but unrecoverable by sharing: the module must be
+	// disabled).
+	VA
+	// SA is the switch allocator (per-flit, router-centric, non-critical
+	// pathway; recoverable by offloading onto the idle VA arbiters).
+	SA
+	// Crossbar is the switch fabric (per-flit, router-centric, critical
+	// pathway: the module must be disabled).
+	Crossbar
+	// MuxDemux covers the input decoders and output multiplexers (per-flit,
+	// message-centric, critical pathway: the module must be disabled).
+	MuxDemux
+
+	numComponents
+)
+
+// String names the component.
+func (c Component) String() string {
+	switch c {
+	case RC:
+		return "RC"
+	case Buffer:
+		return "Buffer"
+	case VA:
+		return "VA"
+	case SA:
+		return "SA"
+	case Crossbar:
+		return "Crossbar"
+	case MuxDemux:
+		return "MUX/DEMUX"
+	default:
+		return "?"
+	}
+}
+
+// Centricity distinguishes components that operate on a single message in
+// isolation (message-centric) from those that arbitrate across messages and
+// need router-wide state (router-centric).
+type Centricity uint8
+
+const (
+	MessageCentric Centricity = iota
+	RouterCentric
+)
+
+// String names the centricity class.
+func (c Centricity) String() string {
+	if c == MessageCentric {
+		return "message-centric"
+	}
+	return "router-centric"
+}
+
+// OperationRegime distinguishes per-flit components (exercised by every
+// flit) from per-packet components (exercised only by head flits).
+type OperationRegime uint8
+
+const (
+	PerFlit OperationRegime = iota
+	PerPacket
+)
+
+// String names the operation regime.
+func (r OperationRegime) String() string {
+	if r == PerFlit {
+		return "per-flit"
+	}
+	return "per-packet"
+}
+
+// Classification captures one row of the paper's Table 3 for a component.
+type Classification struct {
+	Component  Component
+	Centricity Centricity
+	Regime     OperationRegime
+	// Critical reports whether the component lies on the critical datapath
+	// (buffers are critical only without a bypass path; this reproduction
+	// models buffers with bypass paths, matching the virtual-queuing
+	// recovery scheme, so Buffer is non-critical here).
+	Critical bool
+	// RoCoRecoverable reports whether the RoCo hardware-recycling schemes
+	// can keep the affected module in (possibly degraded) service.
+	RoCoRecoverable bool
+	// Recovery names the RoCo reaction.
+	Recovery string
+}
+
+// Classify returns the Table 3 row for a component.
+func Classify(c Component) Classification {
+	switch c {
+	case RC:
+		return Classification{c, MessageCentric, PerPacket, false, true, "double routing at downstream nodes"}
+	case Buffer:
+		return Classification{c, MessageCentric, PerFlit, false, true, "virtual queuing over the buffer bypass path"}
+	case VA:
+		return Classification{c, RouterCentric, PerPacket, false, false, "disable the affected module"}
+	case SA:
+		return Classification{c, RouterCentric, PerFlit, false, true, "offload arbitration onto idle VA arbiters"}
+	case Crossbar:
+		return Classification{c, RouterCentric, PerFlit, true, false, "disable the affected module"}
+	case MuxDemux:
+		return Classification{c, MessageCentric, PerFlit, true, false, "disable the affected module"}
+	default:
+		panic(fmt.Sprintf("fault: unknown component %d", c))
+	}
+}
+
+// Class selects which fault population an experiment draws from. The
+// paper's Figure 11 injects router-centric / critical-pathway faults;
+// Figure 12 injects message-centric / non-critical faults.
+type Class uint8
+
+const (
+	// Critical selects router-centric and critical-pathway components
+	// (VA, SA, Crossbar, MUX/DEMUX).
+	Critical Class = iota
+	// NonCritical selects message-centric, non-critical components with a
+	// recovery scheme (RC, Buffer).
+	NonCritical
+)
+
+// String names the class as the figures do.
+func (c Class) String() string {
+	if c == Critical {
+		return "router-centric/critical"
+	}
+	return "message-centric/non-critical"
+}
+
+// Components returns the component population of the class.
+func (c Class) Components() []Component {
+	if c == Critical {
+		return []Component{VA, SA, Crossbar, MuxDemux}
+	}
+	return []Component{RC, Buffer}
+}
+
+// Module identifies which RoCo module a fault lands in. Baseline routers
+// ignore the module (any fault blocks the whole node).
+type Module uint8
+
+const (
+	RowModule Module = iota
+	ColumnModule
+	numModules
+)
+
+// String names the module.
+func (m Module) String() string {
+	if m == RowModule {
+		return "row"
+	}
+	return "column"
+}
+
+// Fault is one permanent intra-router failure, injected statically before
+// the simulation starts.
+type Fault struct {
+	// Node is the afflicted router.
+	Node int
+	// Component is the failed unit.
+	Component Component
+	// Module localizes the fault within a RoCo router; baselines ignore it.
+	Module Module
+	// VC localizes a Buffer fault to one virtual channel (an index into the
+	// afflicted module's or router's VC space); ignored otherwise.
+	VC int
+}
+
+// String renders the fault for logs and reports.
+func (f Fault) String() string {
+	s := fmt.Sprintf("node %d: %s fault (%s module", f.Node, f.Component, f.Module)
+	if f.Component == Buffer {
+		s += fmt.Sprintf(", vc %d", f.VC)
+	}
+	return s + ")"
+}
+
+// RandomSet draws count faults of the given class, each at a distinct
+// random non-edge... any random node, matching the paper's "randomly
+// injected into the network infrastructure". Nodes are distinct so k faults
+// degrade k routers. vcsPerModule bounds the VC index for Buffer faults.
+func RandomSet(class Class, count, nodes, vcsPerModule int, rng *stats.RNG) []Fault {
+	if count > nodes {
+		panic("fault: more faults than nodes")
+	}
+	comps := class.Components()
+	perm := rng.Perm(nodes)
+	out := make([]Fault, count)
+	for i := range out {
+		out[i] = Fault{
+			Node:      perm[i],
+			Component: comps[rng.Intn(len(comps))],
+			Module:    Module(rng.Intn(int(numModules))),
+			VC:        rng.Intn(vcsPerModule),
+		}
+	}
+	return out
+}
+
+// AllComponents lists every component in declaration order.
+func AllComponents() []Component {
+	out := make([]Component, 0, int(numComponents))
+	for c := Component(0); c < numComponents; c++ {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/stats"
+)
+
+func TestTable3Classification(t *testing.T) {
+	cases := []struct {
+		c           Component
+		centricity  Centricity
+		regime      OperationRegime
+		critical    bool
+		recoverable bool
+	}{
+		{RC, MessageCentric, PerPacket, false, true},
+		{Buffer, MessageCentric, PerFlit, false, true},
+		{VA, RouterCentric, PerPacket, false, false},
+		{SA, RouterCentric, PerFlit, false, true},
+		{Crossbar, RouterCentric, PerFlit, true, false},
+		{MuxDemux, MessageCentric, PerFlit, true, false},
+	}
+	for _, tc := range cases {
+		got := Classify(tc.c)
+		if got.Centricity != tc.centricity || got.Regime != tc.regime ||
+			got.Critical != tc.critical || got.RoCoRecoverable != tc.recoverable {
+			t.Errorf("Classify(%s) = %+v", tc.c, got)
+		}
+		if got.Recovery == "" {
+			t.Errorf("Classify(%s) has no recovery description", tc.c)
+		}
+	}
+}
+
+func TestClassPopulations(t *testing.T) {
+	crit := Critical.Components()
+	if len(crit) != 4 {
+		t.Fatalf("critical class has %d components", len(crit))
+	}
+	for _, c := range crit {
+		cl := Classify(c)
+		if cl.Centricity != RouterCentric && !cl.Critical {
+			t.Errorf("%s in the critical population but neither router-centric nor critical-path", c)
+		}
+	}
+	for _, c := range NonCritical.Components() {
+		cl := Classify(c)
+		if !cl.RoCoRecoverable {
+			t.Errorf("%s in the non-critical population but not recoverable", c)
+		}
+	}
+}
+
+func TestRandomSetDistinctNodes(t *testing.T) {
+	rng := stats.NewRNG(9)
+	for trial := 0; trial < 50; trial++ {
+		set := RandomSet(Critical, 4, 64, 12, rng)
+		if len(set) != 4 {
+			t.Fatalf("got %d faults", len(set))
+		}
+		seen := map[int]bool{}
+		for _, f := range set {
+			if seen[f.Node] {
+				t.Fatalf("duplicate node %d in fault set", f.Node)
+			}
+			seen[f.Node] = true
+			if f.Node < 0 || f.Node >= 64 {
+				t.Fatalf("node %d out of range", f.Node)
+			}
+			if f.VC < 0 || f.VC >= 12 {
+				t.Fatalf("vc %d out of range", f.VC)
+			}
+		}
+	}
+}
+
+func TestRandomSetDrawsFromClass(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for trial := 0; trial < 50; trial++ {
+		for _, f := range RandomSet(NonCritical, 4, 64, 12, rng) {
+			if f.Component != RC && f.Component != Buffer {
+				t.Fatalf("non-critical set contained %s", f.Component)
+			}
+		}
+		for _, f := range RandomSet(Critical, 4, 64, 12, rng) {
+			if f.Component == RC || f.Component == Buffer {
+				t.Fatalf("critical set contained %s", f.Component)
+			}
+		}
+	}
+}
+
+func TestRandomSetDeterministic(t *testing.T) {
+	a := RandomSet(Critical, 4, 64, 12, stats.NewRNG(5))
+	b := RandomSet(Critical, 4, 64, 12, stats.NewRNG(5))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fault sets")
+		}
+	}
+}
+
+func TestRandomSetTooManyFaultsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("more faults than nodes should panic")
+		}
+	}()
+	RandomSet(Critical, 5, 4, 12, stats.NewRNG(1))
+}
+
+func TestStrings(t *testing.T) {
+	if RC.String() != "RC" || MuxDemux.String() != "MUX/DEMUX" {
+		t.Error("component names wrong")
+	}
+	if MessageCentric.String() != "message-centric" || RouterCentric.String() != "router-centric" {
+		t.Error("centricity names wrong")
+	}
+	if PerFlit.String() != "per-flit" || PerPacket.String() != "per-packet" {
+		t.Error("regime names wrong")
+	}
+	f := Fault{Node: 3, Component: Buffer, Module: ColumnModule, VC: 7}
+	if f.String() == "" {
+		t.Error("fault string empty")
+	}
+	if len(AllComponents()) != 6 {
+		t.Error("AllComponents should list 6 components")
+	}
+}

@@ -1,0 +1,96 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/rocosim/roco/internal/router"
+)
+
+// WaitEdge re-exports the wait-for dependency type routers report
+// (router.WaitEdge).
+type WaitEdge = router.WaitEdge
+
+// DeadlockReport describes a wait-for cycle found in a quiesced network.
+type DeadlockReport struct {
+	Cycle []WaitEdge
+}
+
+// String renders the cycle.
+func (r DeadlockReport) String() string {
+	if len(r.Cycle) == 0 {
+		return "no deadlock"
+	}
+	var sb strings.Builder
+	sb.WriteString("wait cycle:")
+	for _, e := range r.Cycle {
+		fmt.Fprintf(&sb, " (n%d,vc%d)->(n%d,vc%d)", e.FromNode, e.FromVC, e.ToNode, e.ToVC)
+	}
+	return sb.String()
+}
+
+// DetectDeadlock builds the wait-for graph across all routers that expose
+// it and searches for a cycle. A packet waiting on several alternative
+// channels (an adaptive VA request) blocks only if ALL alternatives are
+// blocked, so edges to any free channel break the wait; the routers only
+// report edges for currently unavailable targets.
+//
+// Returns ok=false when no cycle exists among the reported dependencies.
+func (n *Network) DetectDeadlock() (DeadlockReport, bool) {
+	type nodeKey struct{ node, vc int }
+	adj := map[nodeKey][]WaitEdge{}
+	for _, r := range n.routers {
+		src, okSrc := r.(router.WaitGraphSource)
+		if !okSrc {
+			continue
+		}
+		for _, e := range src.WaitEdges() {
+			if e.ToNode < 0 {
+				continue
+			}
+			k := nodeKey{e.FromNode, e.FromVC}
+			adj[k] = append(adj[k], e)
+		}
+	}
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[nodeKey]int{}
+	parentEdge := map[nodeKey]WaitEdge{}
+
+	var cycle []WaitEdge
+	var dfs func(k nodeKey) bool
+	dfs = func(k nodeKey) bool {
+		color[k] = gray
+		for _, e := range adj[k] {
+			next := nodeKey{e.ToNode, e.ToVC}
+			switch color[next] {
+			case white:
+				parentEdge[next] = e
+				if dfs(next) {
+					return true
+				}
+			case gray:
+				// Found a cycle: unwind from k back to next.
+				cycle = []WaitEdge{e}
+				for at := k; at != next; {
+					pe := parentEdge[at]
+					cycle = append([]WaitEdge{pe}, cycle...)
+					at = nodeKey{pe.FromNode, pe.FromVC}
+				}
+				return true
+			}
+		}
+		color[k] = black
+		return false
+	}
+	for k := range adj {
+		if color[k] == white && dfs(k) {
+			return DeadlockReport{Cycle: cycle}, true
+		}
+	}
+	return DeadlockReport{}, false
+}

@@ -1,0 +1,151 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// builders used across the fault matrix.
+var allBuilders = map[string]func(int, *router.RouteEngine) router.Router{
+	"generic":       genericBuilder,
+	"pathsensitive": psBuilder,
+	"roco":          rocoBuilder,
+}
+
+func faultConfig(build func(int, *router.RouteEngine) router.Router, alg routing.Algorithm, flts []fault.Fault, seed uint64) Config {
+	cfg := smokeConfig(alg, traffic.Uniform, 0.20, seed)
+	cfg.Build = build
+	cfg.Faults = flts
+	cfg.MeasurePackets = 3000
+	cfg.InactivityLimit = 1500
+	return cfg
+}
+
+// TestFaultMatrixNoPanics drives every router kind under every component
+// fault and every routing algorithm; the simulation must terminate cleanly
+// (panics here mean a protocol violation in degraded operation).
+func TestFaultMatrixNoPanics(t *testing.T) {
+	rng := stats.NewRNG(123)
+	for name, build := range allBuilders {
+		for _, alg := range routing.Algorithms {
+			for _, comp := range fault.AllComponents() {
+				flt := fault.Fault{
+					Node:      5 + int(rng.Uint64()%6),
+					Component: comp,
+					Module:    fault.Module(rng.Uint64() % 2),
+					VC:        int(rng.Uint64() % 12),
+				}
+				res := New(faultConfig(build, alg, []fault.Fault{flt}, 4)).Run()
+				if res.Summary.Completion <= 0 {
+					t.Errorf("%s/%s/%s: nothing delivered at all", name, alg, comp)
+				}
+			}
+		}
+	}
+}
+
+// TestRoCoFaultToleranceOrdering: with critical faults under deterministic
+// routing, RoCo must complete more traffic than both baselines (Figure 11a).
+func TestRoCoFaultToleranceOrdering(t *testing.T) {
+	rng := stats.NewRNG(55)
+	better := 0
+	const trials = 3
+	for trial := 0; trial < trials; trial++ {
+		flts := fault.RandomSet(fault.Critical, 2, 16, 12, rng)
+		g := New(faultConfig(genericBuilder, routing.XY, flts, 8)).Run().Summary.Completion
+		rc := New(faultConfig(rocoBuilder, routing.XY, flts, 8)).Run().Summary.Completion
+		if rc > g {
+			better++
+		}
+		t.Logf("trial %d: generic=%.3f roco=%.3f", trial, g, rc)
+	}
+	if better < trials {
+		t.Errorf("RoCo beat generic completion in only %d/%d critical-fault trials", better, trials)
+	}
+}
+
+// TestAdaptiveRoutesAroundFaults: with a critical fault, adaptive routing
+// should complete more traffic than deterministic routing on the baselines
+// (alternate paths, paper Section 5.4).
+func TestAdaptiveRoutesAroundFaults(t *testing.T) {
+	flts := []fault.Fault{{Node: 5, Component: fault.Crossbar}}
+	xy := New(faultConfig(genericBuilder, routing.XY, flts, 21)).Run().Summary.Completion
+	ad := New(faultConfig(genericBuilder, routing.Adaptive, flts, 21)).Run().Summary.Completion
+	if ad <= xy {
+		t.Errorf("adaptive completion %.3f should beat deterministic %.3f around a dead node", ad, xy)
+	}
+	t.Logf("generic: xy=%.3f adaptive=%.3f", xy, ad)
+}
+
+// TestRCFaultLatencyPenalty: double routing recovers completely but costs
+// latency on flits leaving the afflicted router.
+func TestRCFaultLatencyPenalty(t *testing.T) {
+	base := New(faultConfig(rocoBuilder, routing.XY, nil, 31)).Run()
+	flt := []fault.Fault{{Node: 5, Component: fault.RC}}
+	faulty := New(faultConfig(rocoBuilder, routing.XY, flt, 31)).Run()
+	if faulty.Summary.Completion != 1 {
+		t.Fatalf("RC fault should be fully recovered, completion=%.3f", faulty.Summary.Completion)
+	}
+	if faulty.Summary.AvgLatency <= base.Summary.AvgLatency {
+		t.Errorf("double routing should cost latency: base=%.2f faulty=%.2f",
+			base.Summary.AvgLatency, faulty.Summary.AvgLatency)
+	}
+}
+
+// TestInactivityTermination: a run that cannot complete must stop within
+// the inactivity window rather than spin to MaxCycles.
+func TestInactivityTermination(t *testing.T) {
+	flts := []fault.Fault{{Node: 5, Component: fault.Crossbar}}
+	cfg := faultConfig(genericBuilder, routing.XY, flts, 77)
+	cfg.InactivityLimit = 500
+	cfg.MaxCycles = 500000
+	res := New(cfg).Run()
+	if res.Saturated {
+		t.Error("faulty run should terminate by inactivity, not MaxCycles")
+	}
+	if res.Summary.Completion >= 1 {
+		t.Error("a dead central node must strand some deterministic traffic")
+	}
+}
+
+// TestBufferFaultCreditBookSync: the upstream credit book must see the
+// degraded depth of a faulty downstream buffer (no overflow panics, full
+// completion).
+func TestBufferFaultCreditBookSync(t *testing.T) {
+	for vc := 0; vc < 12; vc += 5 {
+		flt := []fault.Fault{{Node: 5, Component: fault.Buffer, Module: fault.RowModule, VC: vc}}
+		res := New(faultConfig(rocoBuilder, routing.XY, flt, 13)).Run()
+		if res.Summary.Completion != 1 {
+			t.Errorf("vc %d: buffer fault should be fully recovered (completion %.3f)", vc, res.Summary.Completion)
+		}
+	}
+}
+
+// TestSAFaultDegradedButAlive: SA-fault recovery shares the VA arbiters;
+// traffic still completes with some slowdown.
+func TestSAFaultDegradedButAlive(t *testing.T) {
+	flt := []fault.Fault{{Node: 5, Component: fault.SA, Module: fault.ColumnModule}}
+	res := New(faultConfig(rocoBuilder, routing.XY, flt, 17)).Run()
+	if res.Summary.Completion != 1 {
+		t.Errorf("SA fault with resource sharing should complete all traffic, got %.3f", res.Summary.Completion)
+	}
+}
+
+// TestMultipleFaults: four simultaneous critical faults must not wedge or
+// panic any architecture.
+func TestMultipleFaults(t *testing.T) {
+	rng := stats.NewRNG(3)
+	flts := fault.RandomSet(fault.Critical, 4, 16, 12, rng)
+	for name, build := range allBuilders {
+		res := New(faultConfig(build, routing.Adaptive, flts, 6)).Run()
+		t.Logf("%s: completion %.3f", name, res.Summary.Completion)
+		if res.Summary.Completion <= 0.2 {
+			t.Errorf("%s: completion %.3f implausibly low under 4 faults with adaptive routing", name, res.Summary.Completion)
+		}
+	}
+}

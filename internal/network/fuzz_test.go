@@ -1,0 +1,94 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// TestRandomizedConfigurations drives many random (router, algorithm,
+// traffic, rate, mesh, packet size, faults) combinations and checks global
+// invariants on each: the run terminates, flits are conserved (delivered +
+// dropped + in-flight accounts for everything injected), and a fault-free
+// run completes fully. This is the repository's broad-spectrum regression
+// net: any protocol violation surfaces as a panic or an invariant failure.
+func TestRandomizedConfigurations(t *testing.T) {
+	rng := stats.NewRNG(20260704)
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+		xy    bool // XY only (PDR)
+	}{
+		{"generic", genericBuilder, false},
+		{"pathsensitive", psBuilder, false},
+		{"roco", rocoBuilder, false},
+		{"pdr", pdrBuilder, true},
+	}
+	patterns := []traffic.Pattern{traffic.Uniform, traffic.Transpose, traffic.SelfSimilar, traffic.BitComplement, traffic.Hotspot}
+
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		b := builders[rng.Intn(len(builders))]
+		alg := routing.Algorithms[rng.Intn(3)]
+		if b.xy {
+			alg = routing.XY
+		}
+		pattern := patterns[rng.Intn(len(patterns))]
+		rate := 0.05 + 0.25*rng.Float64()
+		w := 3 + rng.Intn(5)
+		h := 3 + rng.Intn(5)
+		flits := 1 + rng.Intn(6)
+		var faults []fault.Fault
+		withFaults := rng.Bernoulli(0.4)
+		if withFaults {
+			class := fault.Critical
+			if rng.Bernoulli(0.5) {
+				class = fault.NonCritical
+			}
+			faults = fault.RandomSet(class, 1+rng.Intn(2), w*h, 12, rng)
+		}
+
+		name := fmt.Sprintf("%02d-%s-%s-%s-%dx%d-f%d-flt%d",
+			trial, b.name, alg, pattern, w, h, flits, len(faults))
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{
+				Topo:      topology.NewMesh(w, h),
+				Algorithm: alg,
+				Build:     b.build,
+				Traffic: traffic.Config{
+					Pattern: pattern, Rate: rate, FlitsPerPacket: flits,
+					HotspotNode: rng.Intn(w * h), HotspotFraction: 0.25,
+				},
+				WarmupPackets:   100,
+				MeasurePackets:  800,
+				Faults:          faults,
+				InactivityLimit: 1200,
+				MaxCycles:       600_000,
+				Seed:            rng.Uint64(),
+			}
+			res := New(cfg).Run()
+
+			if !withFaults && !res.Saturated && res.Summary.Completion != 1 {
+				t.Fatalf("fault-free unsaturated run lost traffic: %.3f", res.Summary.Completion)
+			}
+			// Flit conservation: every measured delivered flit crossed the
+			// crossbars it claims; grants match traversals.
+			a := res.Activity
+			if a.SAGrants != a.CrossbarTraversals {
+				t.Fatalf("grants %d != traversals %d", a.SAGrants, a.CrossbarTraversals)
+			}
+			if a.VAGrants > a.VAOps {
+				t.Fatal("more VA grants than attempts")
+			}
+			if res.Summary.Completion > 1.0001 {
+				t.Fatalf("completion %v exceeds 1", res.Summary.Completion)
+			}
+		})
+	}
+}

@@ -1,0 +1,485 @@
+// Package network assembles routers into a complete on-chip network and
+// drives the cycle-accurate simulation: it wires the 1-cycle link and
+// credit pipes, runs the per-node processing elements (packet generation,
+// source queuing, injection, and delivery accounting), installs permanent
+// faults, and decides termination — drain completion for healthy runs, the
+// paper's inactivity rule for faulty ones.
+package network
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/metrics"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Topo is the network topology (the paper's evaluation uses an 8x8
+	// mesh).
+	Topo topology.Topology
+	// Algorithm is the routing discipline.
+	Algorithm routing.Algorithm
+	// Build constructs the router for one node; the caller selects the
+	// microarchitecture (generic, path-sensitive, RoCo) here.
+	Build func(id int, engine *router.RouteEngine) router.Router
+	// Traffic describes the workload. Its FlitsPerPacket is authoritative.
+	Traffic traffic.Config
+	// WarmupPackets are generated and routed before measurement starts;
+	// MeasurePackets are the measured population (paper: 20k + 1M; the
+	// default harness scales these down — see DESIGN.md).
+	WarmupPackets, MeasurePackets int64
+	// Faults are installed before the first cycle.
+	Faults []fault.Fault
+	// MaxCycles hard-caps the run (saturation guard). Zero selects a
+	// generous default.
+	MaxCycles int64
+	// InactivityLimit terminates a run when no packet has been delivered
+	// for this many cycles after generation finished — the paper's rule
+	// for faulty networks ("twice the fault-free completion time" is the
+	// spirit; a fixed window is its practical form). Zero selects a
+	// default.
+	InactivityLimit int64
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// TraceEvery samples packet journeys: every TraceEvery-th generated
+	// packet gets a trace record (0 disables tracing).
+	TraceEvery uint64
+}
+
+// Result carries everything a run measured.
+type Result struct {
+	Summary    metrics.Summary
+	Latency    *metrics.Latency
+	Completion metrics.Completion
+	// Activity is the sum over all routers, measured from the end of
+	// warm-up; Contention likewise. PerRouter keeps the per-node split
+	// (indexed by node ID) for utilization heatmaps.
+	Activity   router.Activity
+	PerRouter  []router.Activity
+	Contention router.Contention
+	// MeasuredCycles is the span from the end of warm-up to termination.
+	MeasuredCycles int64
+	// TotalCycles is the full run length.
+	TotalCycles int64
+	// DeliveredFlits counts measured-window flit deliveries.
+	DeliveredFlits int64
+	// Saturated reports that the run hit MaxCycles before draining.
+	Saturated bool
+}
+
+// pe is the processing element attached to one router: an infinite source
+// queue of segmented packets plus delivery bookkeeping.
+type pe struct {
+	id      int
+	gen     traffic.Generator
+	backlog []*flit.Flit // flits awaiting injection, across packets in order
+}
+
+// Network is a fully wired simulation instance.
+type Network struct {
+	cfg     Config
+	topo    topology.Topology
+	engine  *router.RouteEngine
+	routers []router.Router
+	pes     []*pe
+	conns   []*router.Conn
+	gens    []traffic.Generator
+	rng     *stats.RNG
+
+	nextPacketID uint64
+	generated    int64 // all packets created
+	deliveredAll int64 // all packets delivered (tails)
+	cycle        int64
+
+	tracer *trace.Collector
+
+	measuring      bool
+	measureStart   int64
+	latency        *metrics.Latency
+	srcQueue       stats.Running
+	completion     metrics.Completion
+	deliveredFlits int64
+	lastDelivery   int64
+}
+
+// New wires a network per cfg.
+func New(cfg Config) *Network {
+	if cfg.Topo == nil {
+		panic("network: nil topology")
+	}
+	if cfg.Build == nil {
+		panic("network: nil router builder")
+	}
+	if cfg.Traffic.FlitsPerPacket < 1 {
+		panic("network: FlitsPerPacket must be >= 1")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 2_000_000
+	}
+	if cfg.InactivityLimit == 0 {
+		cfg.InactivityLimit = 8192
+	}
+
+	n := &Network{
+		cfg:     cfg,
+		topo:    cfg.Topo,
+		latency: metrics.NewLatency(),
+		rng:     stats.NewRNG(cfg.Seed),
+		tracer:  &trace.Collector{},
+	}
+	nodes := cfg.Topo.Nodes()
+	n.routers = make([]router.Router, nodes)
+	n.engine = router.NewRouteEngine(cfg.Topo, cfg.Algorithm, func(id int) router.Router { return n.routers[id] })
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = cfg.Build(id, n.engine)
+	}
+
+	// Install faults before wiring so credit books see degraded depths.
+	for _, flt := range cfg.Faults {
+		if flt.Node < 0 || flt.Node >= nodes {
+			panic(fmt.Sprintf("network: fault at nonexistent node %d", flt.Node))
+		}
+		n.routers[flt.Node].ApplyFault(flt)
+	}
+
+	// Wire every directed link with a Conn; size credit books from the
+	// downstream router's (possibly fault-degraded) VC depths.
+	for id := 0; id < nodes; id++ {
+		for _, d := range topology.CardinalDirections {
+			nb, ok := cfg.Topo.Neighbor(id, d)
+			if !ok {
+				continue
+			}
+			conn := &router.Conn{}
+			n.conns = append(n.conns, conn)
+			from := d.Opposite()
+			down := n.routers[nb]
+			depths := make([]int, down.NumInputVCs(from))
+			for vc := range depths {
+				depths[vc] = down.InputVCDepth(from, vc)
+			}
+			n.routers[id].AttachOutput(d, conn, depths)
+			n.routers[id].SetNeighbor(d, down)
+			down.AttachInput(from, conn)
+		}
+		id := id
+		n.routers[id].SetSink(func(f *flit.Flit, cycle int64) { n.deliver(id, f, cycle) })
+	}
+
+	// Traffic generators, one independent stream per node.
+	n.gens = traffic.New(cfg.Traffic, cfg.Topo, n.rng.Split(0x726166666963)) // "raffic"
+	n.pes = make([]*pe, nodes)
+	for id := range n.pes {
+		n.pes[id] = &pe{id: id, gen: n.gens[id]}
+	}
+	return n
+}
+
+// Engine exposes the route engine (tests use it).
+func (n *Network) Engine() *router.RouteEngine { return n.engine }
+
+// Router exposes one router (tests use it).
+func (n *Network) Router(id int) router.Router { return n.routers[id] }
+
+// Cycle returns the current simulation time.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// deliver is the sink shared by all routers.
+func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
+	if f.Dst != node {
+		panic(fmt.Sprintf("network: flit %v delivered to wrong node %d", f, node))
+	}
+	measured := f.PacketID >= uint64(n.cfg.WarmupPackets)
+	if measured {
+		n.deliveredFlits++
+	}
+	if f.Rec != nil && f.Type.IsHead() {
+		f.Rec.Visit(node, cycle, trace.Delivered)
+	}
+	if !f.Type.IsTail() {
+		return
+	}
+	n.deliveredAll++
+	n.lastDelivery = cycle
+	if measured {
+		n.completion.Delivered++
+		n.latency.Record(cycle - f.CreatedAt)
+		n.srcQueue.Add(float64(f.InjectedAt - f.CreatedAt))
+	}
+}
+
+// targetPackets returns the total generation budget.
+func (n *Network) targetPackets() int64 { return n.cfg.WarmupPackets + n.cfg.MeasurePackets }
+
+// generate runs every PE's traffic source for this cycle.
+func (n *Network) generate() {
+	if n.generated >= n.targetPackets() {
+		return
+	}
+	fpp := n.cfg.Traffic.FlitsPerPacket
+	for _, p := range n.pes {
+		if n.generated >= n.targetPackets() {
+			break
+		}
+		dst, ok := p.gen.NextPacket(n.cycle)
+		if !ok {
+			continue
+		}
+		mode := routing.InjectionMode(n.cfg.Algorithm, func() bool { return n.rng.Bernoulli(0.5) })
+		pkt := flit.Packet{
+			ID:        n.nextPacketID,
+			Src:       p.id,
+			Dst:       dst,
+			Flits:     fpp,
+			CreatedAt: n.cycle,
+			Mode:      mode,
+		}
+		n.nextPacketID++
+		n.generated++
+		flits := pkt.Segment()
+		if n.cfg.TraceEvery > 0 && pkt.ID%n.cfg.TraceEvery == 0 {
+			flits[0].Rec = n.tracer.NewRecord(pkt.ID, pkt.Src, pkt.Dst, pkt.CreatedAt)
+		}
+		p.backlog = append(p.backlog, flits...)
+
+		// The warm-up boundary: reset measurement state the moment the
+		// first measured packet is created. Measured-ness is a property of
+		// the packet ID (IDs are assigned in creation order), so packets
+		// created earlier in the boundary cycle stay unmeasured.
+		if pkt.ID >= uint64(n.cfg.WarmupPackets) {
+			if !n.measuring {
+				n.beginMeasurement()
+			}
+			n.completion.Generated++
+		}
+	}
+}
+
+// beginMeasurement zeroes the activity and contention counters so energy
+// and contention reflect steady state only.
+func (n *Network) beginMeasurement() {
+	n.measuring = true
+	n.measureStart = n.cycle
+	for _, r := range n.routers {
+		*r.Activity() = router.Activity{}
+		*r.Contention() = router.Contention{}
+	}
+}
+
+// inject advances every PE's source queue by at most one flit (the PE link
+// is one flit wide).
+func (n *Network) inject() {
+	for _, p := range n.pes {
+		if len(p.backlog) == 0 {
+			continue
+		}
+		f := p.backlog[0]
+		if f.Type.IsHead() {
+			f.OutPort = n.engine.FirstHop(p.id, f)
+		}
+		if n.routers[p.id].TryInject(f, n.cycle) {
+			f.InjectedAt = n.cycle
+			if f.Rec != nil {
+				f.Rec.Visit(p.id, n.cycle, trace.Injected)
+			}
+			p.backlog = p.backlog[1:]
+		}
+	}
+}
+
+// Step advances the simulation one cycle.
+func (n *Network) Step() {
+	n.generate()
+	for _, r := range n.routers {
+		r.Tick(n.cycle)
+	}
+	n.inject()
+	for _, c := range n.conns {
+		c.Advance()
+	}
+	n.cycle++
+}
+
+// drained reports whether every generated packet has been delivered and
+// all source queues are empty.
+func (n *Network) drained() bool {
+	if n.deliveredAll < n.generated {
+		return false
+	}
+	for _, p := range n.pes {
+		if len(p.backlog) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the configured simulation to termination and returns the
+// measurements.
+func (n *Network) Run() Result {
+	// Ensure measurement still starts when WarmupPackets is zero.
+	if n.cfg.WarmupPackets == 0 {
+		n.beginMeasurement()
+	}
+	saturated := false
+	for {
+		n.Step()
+		if n.generated >= n.targetPackets() {
+			if n.drained() {
+				break
+			}
+			// Inactivity rule for faulty (or deadlocked) networks.
+			last := n.lastDelivery
+			if last < n.measureStart {
+				last = n.measureStart
+			}
+			if n.cycle-last > n.cfg.InactivityLimit {
+				break
+			}
+		}
+		if n.cycle >= n.cfg.MaxCycles {
+			saturated = true
+			break
+		}
+	}
+	return n.collect(saturated)
+}
+
+// RunCycles advances exactly c cycles (tests and fixed-horizon experiments
+// use it), then collects results.
+func (n *Network) RunCycles(c int64) Result {
+	if n.cfg.WarmupPackets == 0 && !n.measuring {
+		n.beginMeasurement()
+	}
+	for i := int64(0); i < c; i++ {
+		n.Step()
+	}
+	return n.collect(false)
+}
+
+// collect aggregates measurements into a Result. The energy fields of the
+// Summary are zero here; the caller applies a power profile (the network
+// does not know the router technology parameters).
+func (n *Network) collect(saturated bool) Result {
+	res := Result{
+		Latency:        n.latency,
+		Completion:     n.completion,
+		MeasuredCycles: n.cycle - n.measureStart,
+		TotalCycles:    n.cycle,
+		DeliveredFlits: n.deliveredFlits,
+		Saturated:      saturated,
+	}
+	res.PerRouter = make([]router.Activity, len(n.routers))
+	for i, r := range n.routers {
+		res.PerRouter[i] = *r.Activity()
+		res.Activity.Add(r.Activity())
+		res.Contention.Add(r.Contention())
+	}
+	res.Summary = metrics.Summary{
+		AvgLatency:    n.latency.Average(),
+		P95Latency:    n.latency.Quantile(0.95),
+		P99Latency:    n.latency.Quantile(0.99),
+		MaxLatency:    n.latency.Max(),
+		DeliveredPkts: n.completion.Delivered,
+		GeneratedPkts: n.completion.Generated,
+		Completion:    n.completion.Probability(),
+		ThroughputFNC: metrics.Throughput(n.deliveredFlits, res.MeasuredCycles, n.topo.Nodes()),
+		Cycles:        n.cycle,
+		AvgSourceQ:    n.srcQueue.Mean(),
+		ContentionRow: res.Contention.RowProbability(),
+		ContentionCol: res.Contention.ColProbability(),
+		ContentionAll: res.Contention.Probability(),
+	}
+	return res
+}
+
+// WindowPoint is one fixed-width time window's delivery statistics.
+type WindowPoint struct {
+	// StartCycle is the window's first cycle.
+	StartCycle int64
+	// Delivered counts packets completed in the window.
+	Delivered int64
+	// AvgLatency is the mean latency of those packets (0 when none).
+	AvgLatency float64
+}
+
+// RunWindows executes the configured simulation while splitting delivered-
+// packet statistics into fixed-width windows, for time-series views of
+// warm-up convergence and traffic burstiness. It must be called instead of
+// Run, before any stepping.
+func (n *Network) RunWindows(windowCycles int64) (Result, []WindowPoint) {
+	if windowCycles < 1 {
+		panic("network: window width must be >= 1")
+	}
+	if n.cfg.WarmupPackets == 0 {
+		n.beginMeasurement()
+	}
+	var points []WindowPoint
+	cur := WindowPoint{StartCycle: n.cycle}
+	var latSum float64
+	flush := func() {
+		if cur.Delivered > 0 {
+			cur.AvgLatency = latSum / float64(cur.Delivered)
+		}
+		points = append(points, cur)
+	}
+
+	// Per-window deltas are reconstructed from the global accumulator
+	// (count and running sum) after each cycle.
+	lastCount := n.latency.Count()
+	lastSum := n.latency.Average() * float64(lastCount)
+	saturated := false
+	for {
+		n.Step()
+		count := n.latency.Count()
+		sum := n.latency.Average() * float64(count)
+		cur.Delivered += count - lastCount
+		latSum += sum - lastSum
+		lastCount, lastSum = count, sum
+
+		if n.cycle-cur.StartCycle >= windowCycles {
+			flush()
+			cur = WindowPoint{StartCycle: n.cycle}
+			latSum = 0
+		}
+		if n.generated >= n.targetPackets() {
+			if n.drained() {
+				break
+			}
+			last := n.lastDelivery
+			if last < n.measureStart {
+				last = n.measureStart
+			}
+			if n.cycle-last > n.cfg.InactivityLimit {
+				break
+			}
+		}
+		if n.cycle >= n.cfg.MaxCycles {
+			saturated = true
+			break
+		}
+	}
+	flush()
+	return n.collect(saturated), points
+}
+
+// Traces returns the sampled packet journeys (empty without TraceEvery).
+func (n *Network) Traces() []*trace.Record { return n.tracer.Records() }
+
+// Quiescent reports whether no router holds any flit.
+func (n *Network) Quiescent() bool {
+	for _, r := range n.routers {
+		if !r.Quiescent() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,71 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/router/pathsensitive"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+func psBuilder(id int, e *router.RouteEngine) router.Router { return pathsensitive.New(id, e) }
+
+func psConfig(alg routing.Algorithm, pattern traffic.Pattern, rate float64, seed uint64) Config {
+	cfg := smokeConfig(alg, pattern, rate, seed)
+	cfg.Build = psBuilder
+	return cfg
+}
+
+func TestPathSensitiveDrainsAllAlgorithms(t *testing.T) {
+	for _, alg := range routing.Algorithms {
+		for _, pattern := range []traffic.Pattern{traffic.Uniform, traffic.Transpose} {
+			alg, pattern := alg, pattern
+			t.Run(alg.String()+"/"+pattern.String(), func(t *testing.T) {
+				res := New(psConfig(alg, pattern, 0.10, 33)).Run()
+				if res.Summary.Completion != 1 {
+					t.Fatalf("completion = %v, want 1", res.Summary.Completion)
+				}
+				if res.Summary.AvgLatency < 3 || res.Summary.AvgLatency > 60 {
+					t.Fatalf("implausible avg latency %v", res.Summary.AvgLatency)
+				}
+				t.Logf("%s/%s: %s", alg, pattern, res.Summary)
+			})
+		}
+	}
+}
+
+func TestPathSensitiveHighLoadNoDeadlock(t *testing.T) {
+	for _, alg := range routing.Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := psConfig(alg, traffic.Uniform, 0.38, 13)
+			cfg.MeasurePackets = 5000
+			res := New(cfg).Run()
+			if res.Summary.Completion < 0.99 {
+				t.Fatalf("completion = %v at 38%% load; deadlock suspected", res.Summary.Completion)
+			}
+			t.Logf("%s: %s", alg, res.Summary)
+		})
+	}
+}
+
+// TestLatencyOrdering checks the paper's headline ordering at moderate
+// load: RoCo < Path-Sensitive < Generic.
+func TestLatencyOrdering(t *testing.T) {
+	for _, alg := range routing.Algorithms {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			g := New(smokeConfig(alg, traffic.Uniform, 0.25, 77)).Run().Summary.AvgLatency
+			p := New(psConfig(alg, traffic.Uniform, 0.25, 77)).Run().Summary.AvgLatency
+			rc := New(rocoConfig(alg, traffic.Uniform, 0.25, 77)).Run().Summary.AvgLatency
+			t.Logf("%s: generic=%.2f path-sensitive=%.2f roco=%.2f", alg, g, p, rc)
+			if !(rc < g) {
+				t.Errorf("RoCo (%.2f) should beat generic (%.2f)", rc, g)
+			}
+			if !(p < g) {
+				t.Errorf("path-sensitive (%.2f) should beat generic (%.2f)", p, g)
+			}
+		})
+	}
+}

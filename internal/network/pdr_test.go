@@ -1,0 +1,84 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/router/pdr"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+func pdrBuilder(id int, e *router.RouteEngine) router.Router { return pdr.New(id, e) }
+
+func pdrConfig(pattern traffic.Pattern, rate float64, seed uint64) Config {
+	cfg := smokeConfig(routing.XY, pattern, rate, seed)
+	cfg.Build = pdrBuilder
+	return cfg
+}
+
+func TestPDRDrains(t *testing.T) {
+	for _, pattern := range []traffic.Pattern{traffic.Uniform, traffic.Transpose} {
+		res := New(pdrConfig(pattern, 0.10, 19)).Run()
+		if res.Summary.Completion != 1 {
+			t.Fatalf("%s: completion %.3f", pattern, res.Summary.Completion)
+		}
+		if res.Summary.AvgLatency < 3 || res.Summary.AvgLatency > 60 {
+			t.Fatalf("%s: implausible latency %.2f", pattern, res.Summary.AvgLatency)
+		}
+		t.Logf("%s: %s", pattern, res.Summary)
+	}
+}
+
+func TestPDRHighLoadNoDeadlock(t *testing.T) {
+	cfg := pdrConfig(traffic.Uniform, 0.35, 23)
+	cfg.MeasurePackets = 5000
+	res := New(cfg).Run()
+	if res.Summary.Completion < 0.99 {
+		t.Fatalf("completion %.3f at 35%% load; deadlock suspected", res.Summary.Completion)
+	}
+}
+
+func TestPDRConcatenatedTraversalCost(t *testing.T) {
+	// The paper's criticism made measurable: every dimension change (and
+	// every ejection) crosses both crossbars, so PDR's traversal count per
+	// delivered flit exceeds RoCo's, and its latency is higher.
+	pdrRes := New(pdrConfig(traffic.Uniform, 0.15, 29)).Run()
+	rocoRes := New(rocoConfig(routing.XY, traffic.Uniform, 0.15, 29)).Run()
+
+	pdrXbar := float64(pdrRes.Activity.CrossbarTraversals) / float64(pdrRes.DeliveredFlits)
+	rocoXbar := float64(rocoRes.Activity.CrossbarTraversals) / float64(rocoRes.DeliveredFlits)
+	if pdrXbar <= rocoXbar {
+		t.Errorf("PDR traversals/flit %.2f should exceed RoCo's %.2f (concatenated traversals)", pdrXbar, rocoXbar)
+	}
+	if pdrRes.Summary.AvgLatency <= rocoRes.Summary.AvgLatency {
+		t.Errorf("PDR latency %.2f should exceed RoCo's %.2f", pdrRes.Summary.AvgLatency, rocoRes.Summary.AvgLatency)
+	}
+	t.Logf("traversals/flit: pdr=%.2f roco=%.2f; latency: pdr=%.2f roco=%.2f",
+		pdrXbar, rocoXbar, pdrRes.Summary.AvgLatency, rocoRes.Summary.AvgLatency)
+}
+
+func TestPDRFaultBlocksNode(t *testing.T) {
+	cfg := pdrConfig(traffic.Uniform, 0.15, 31)
+	cfg.Faults = []fault.Fault{{Node: 5, Component: fault.Crossbar}}
+	cfg.InactivityLimit = 1500
+	res := New(cfg).Run()
+	if res.Summary.Completion >= 1 {
+		t.Error("a PDR fault should take the whole node off-line")
+	}
+	if res.Summary.Completion < 0.3 {
+		t.Errorf("completion %.3f implausibly low with discard in place", res.Summary.Completion)
+	}
+}
+
+func TestPDRRejectsNonXY(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PDR with adaptive routing should panic")
+		}
+	}()
+	cfg := smokeConfig(routing.Adaptive, traffic.Uniform, 0.1, 1)
+	cfg.Build = pdrBuilder
+	New(cfg)
+}

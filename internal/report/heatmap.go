@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Heatmap renders a W x H grid of values as ASCII shades, used for
+// per-node link-utilization maps. Values are normalized to the grid
+// maximum.
+type Heatmap struct {
+	Title  string
+	Width  int
+	Height int
+	// Value[y*Width+x] is the cell intensity.
+	Value []float64
+}
+
+// shades from cold to hot.
+var shades = []byte{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// Render writes the heatmap to w, row y = Height-1 at the top (matching
+// the coordinate system: Y grows northward).
+func (h *Heatmap) Render(w io.Writer) {
+	if h.Width*h.Height != len(h.Value) {
+		panic(fmt.Sprintf("report: heatmap shape %dx%d does not match %d values", h.Width, h.Height, len(h.Value)))
+	}
+	max := 0.0
+	for _, v := range h.Value {
+		if v > max {
+			max = v
+		}
+	}
+	if h.Title != "" {
+		fmt.Fprintf(w, "%s (max %.3f)\n", h.Title, max)
+	}
+	for y := h.Height - 1; y >= 0; y-- {
+		var sb strings.Builder
+		for x := 0; x < h.Width; x++ {
+			v := h.Value[y*h.Width+x]
+			idx := 0
+			if max > 0 {
+				idx = int(v / max * float64(len(shades)-1))
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			sb.WriteByte(shades[idx])
+			sb.WriteByte(shades[idx]) // double width for square-ish cells
+		}
+		fmt.Fprintf(w, "  %s\n", sb.String())
+	}
+	fmt.Fprintf(w, "  scale: '%c' = 0 ... '%c' = max\n\n", shades[0], shades[len(shades)-1])
+}

@@ -1,0 +1,196 @@
+// Package report renders experiment results as ASCII tables and simple
+// line plots for the command-line harness, so every figure and table of
+// the paper can be regenerated and inspected in a terminal.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/rocosim/roco/internal/stats"
+)
+
+// Table is a simple column-aligned ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends one row of formatted cells.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, 0, len(widths))
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts = append(parts, fmt.Sprintf("%-*s", widths[i], c))
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(widths))
+	for i, wd := range widths {
+		sep[i] = strings.Repeat("-", wd)
+	}
+	line(t.Headers)
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Plot renders one or more series as an ASCII line chart (x ascending),
+// using a distinct marker per series. It is deliberately simple: enough to
+// see knees and crossovers in latency-versus-load curves.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []*stats.Series
+	// YMax clips the vertical axis (0 = auto). Latency curves blow up at
+	// saturation; clipping keeps the pre-saturation shape readable.
+	YMax float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render writes the plot to w.
+func (p *Plot) Render(w io.Writer) {
+	if p.Width == 0 {
+		p.Width = 64
+	}
+	if p.Height == 0 {
+		p.Height = 18
+	}
+	if len(p.Series) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", p.Title)
+		return
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			if !math.IsInf(s.Y[i], 0) && !math.IsNaN(s.Y[i]) {
+				ymax = math.Max(ymax, s.Y[i])
+			}
+		}
+	}
+	if p.YMax > 0 && ymax > p.YMax {
+		ymax = p.YMax
+	}
+	if math.IsInf(ymax, -1) || ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) {
+				continue
+			}
+			if y > ymax {
+				y = ymax
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(p.Width-1))
+			row := p.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(p.Height-1))
+			if row >= 0 && row < p.Height && col >= 0 && col < p.Width {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", ymax)
+		case p.Height - 1:
+			label = fmt.Sprintf("%8.1f", ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(rowBytes))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", p.Width))
+	fmt.Fprintf(w, "%s  %-10.3f%s%10.3f\n", strings.Repeat(" ", 8), xmin,
+		strings.Repeat(" ", maxInt(0, p.Width-20)), xmax)
+	legend := make([]string, 0, len(p.Series))
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	fmt.Fprintf(w, "          %s   [%s vs %s]\n\n", strings.Join(legend, "   "), p.YLabel, p.XLabel)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderCSV writes the table as CSV (headers first), for spreadsheet or
+// plotting-tool import.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,107 @@
+package router
+
+// Activity counts the per-component events of one router over a run. The
+// energy model multiplies these activity factors by per-event energies, the
+// same back-annotation scheme the paper uses with its synthesis-derived
+// power numbers.
+type Activity struct {
+	// BufferWrites and BufferReads count flits entering and leaving VC
+	// buffers.
+	BufferWrites int64
+	BufferReads  int64
+	// CrossbarTraversals counts flits crossing a switch fabric.
+	CrossbarTraversals int64
+	// LinkFlits counts flits driven onto inter-router links;
+	// LinkFlitsByDir splits the count by output direction (indexed by
+	// topology.Direction N/E/S/W) for link-utilization heatmaps.
+	LinkFlits      int64
+	LinkFlitsByDir [4]int64
+	// VAOps counts virtual-channel-allocator request evaluations
+	// (per requester per cycle, including retries — the iterative
+	// re-arbitration cost the paper charges the generic router for).
+	VAOps int64
+	// VAGrants counts successful VC allocations.
+	VAGrants int64
+	// SAOps counts switch-allocator request evaluations (per requester per
+	// cycle, including retries).
+	SAOps int64
+	// SAGrants counts switch grants.
+	SAGrants int64
+	// RouteComputations counts look-ahead (or in-place) route evaluations.
+	RouteComputations int64
+	// Ejections counts flits delivered to the local PE; EarlyEjections is
+	// the subset that bypassed SA and the crossbar.
+	Ejections      int64
+	EarlyEjections int64
+	// DroppedFlits counts flits discarded because a permanent fault
+	// blocked their only route (static fault handling).
+	DroppedFlits int64
+	// Cycles counts simulated cycles (for leakage energy).
+	Cycles int64
+}
+
+// Add accumulates another router's activity into a.
+func (a *Activity) Add(o *Activity) {
+	a.BufferWrites += o.BufferWrites
+	a.BufferReads += o.BufferReads
+	a.CrossbarTraversals += o.CrossbarTraversals
+	a.LinkFlits += o.LinkFlits
+	for i := range a.LinkFlitsByDir {
+		a.LinkFlitsByDir[i] += o.LinkFlitsByDir[i]
+	}
+	a.VAOps += o.VAOps
+	a.VAGrants += o.VAGrants
+	a.SAOps += o.SAOps
+	a.SAGrants += o.SAGrants
+	a.RouteComputations += o.RouteComputations
+	a.Ejections += o.Ejections
+	a.EarlyEjections += o.EarlyEjections
+	a.DroppedFlits += o.DroppedFlits
+	a.Cycles += o.Cycles
+}
+
+// Contention tallies switch-allocation conflicts split by the dimension of
+// the requested output port, the quantity Figure 3 of the paper plots.
+// A request that is switch-ready but denied in a cycle counts as one
+// failure; the contention probability is failures / requests.
+type Contention struct {
+	RowRequests int64 // requests for East/West outputs
+	RowFailures int64
+	ColRequests int64 // requests for North/South outputs
+	ColFailures int64
+}
+
+// Add accumulates another router's contention tallies.
+func (c *Contention) Add(o *Contention) {
+	c.RowRequests += o.RowRequests
+	c.RowFailures += o.RowFailures
+	c.ColRequests += o.ColRequests
+	c.ColFailures += o.ColFailures
+}
+
+// RowProbability returns failures/requests at row (X-dimension) outputs.
+func (c *Contention) RowProbability() float64 {
+	if c.RowRequests == 0 {
+		return 0
+	}
+	return float64(c.RowFailures) / float64(c.RowRequests)
+}
+
+// ColProbability returns failures/requests at column (Y-dimension)
+// outputs.
+func (c *Contention) ColProbability() float64 {
+	if c.ColRequests == 0 {
+		return 0
+	}
+	return float64(c.ColFailures) / float64(c.ColRequests)
+}
+
+// Probability returns the combined contention probability across both
+// dimensions.
+func (c *Contention) Probability() float64 {
+	req := c.RowRequests + c.ColRequests
+	if req == 0 {
+		return 0
+	}
+	return float64(c.RowFailures+c.ColFailures) / float64(req)
+}

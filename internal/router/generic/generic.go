@@ -1,0 +1,587 @@
+// Package generic implements the paper's first baseline: a conventional
+// two-stage, five-port virtual-channel wormhole router (Figure 1a). All
+// five input ports (N/E/S/W/PE) hold 3 VCs of 4-flit-deep buffers (60 flits
+// per router), a monolithic 5x5 crossbar connects every input to every
+// output, and allocation is separable and speculative: head flits perform
+// VA and SA in parallel, wasting the switch slot when speculation fails.
+//
+// Flits destined for the local PE traverse the crossbar to the PE port like
+// any other flit — the two extra cycles the RoCo router's early ejection
+// saves.
+package generic
+
+import (
+	"github.com/rocosim/roco/internal/arbiter"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
+)
+
+const (
+	// VCsPerPort is the number of virtual channels per input port.
+	VCsPerPort = 3
+	// BufferDepth is the per-VC buffer depth in flits. 5 ports x 3 VCs x 4
+	// flits = 60 flits per router, the paper's generic configuration.
+	BufferDepth = 4
+
+	numPorts  = 5
+	numReqs   = numPorts * VCsPerPort
+	xFirstVC  = 0 // XY-YX routing: VCs 0 and 2 carry X-first packets
+	yFirstVC  = 1 // XY-YX routing: VC 1 carries Y-first packets
+	xFirstVC2 = 2
+)
+
+// Router is the generic 5-port baseline.
+type Router struct {
+	id     int
+	engine *router.RouteEngine
+	torus  *topology.Torus // non-nil when running the torus extension
+	sink   router.Sink
+
+	in    [numPorts]*router.Conn
+	out   [numPorts]*router.Conn
+	ports [numPorts][]*router.VC
+	books [numPorts]*router.OutVCBook
+
+	neighbors [numPorts]router.Router
+
+	inArb  [numPorts]*arbiter.RoundRobin
+	outArb [numPorts]*arbiter.RoundRobin
+	vaArb  [numPorts][]*arbiter.RoundRobin
+
+	injVC int // Local-port VC owned by the packet being injected, or -1
+
+	dead bool
+	act  router.Activity
+	cont router.Contention
+
+	// scratch state reused across cycles
+	vaRotate [numPorts][VCsPerPort]int
+	vaFailed [numPorts][VCsPerPort]bool
+	saReqOut [numPorts]topology.Direction
+	saReqVC  [numPorts]int
+	reqVec   [numReqs]bool
+	portVec  [numPorts]bool
+	vcVec    [VCsPerPort]bool
+}
+
+// New returns a generic router for the given node.
+func New(id int, engine *router.RouteEngine) *Router {
+	r := &Router{id: id, engine: engine, injVC: -1}
+	if tor, ok := engine.Topology().(*topology.Torus); ok {
+		if engine.Algorithm() != routing.XY {
+			panic("generic: the torus extension supports XY routing only")
+		}
+		r.torus = tor
+	}
+	for p := 0; p < numPorts; p++ {
+		r.ports[p] = make([]*router.VC, VCsPerPort)
+		for v := 0; v < VCsPerPort; v++ {
+			r.ports[p][v] = router.NewVC(v, BufferDepth)
+		}
+		r.inArb[p] = arbiter.NewRoundRobin(VCsPerPort)
+		r.outArb[p] = arbiter.NewRoundRobin(numPorts)
+		r.vaArb[p] = make([]*arbiter.RoundRobin, VCsPerPort)
+		for v := range r.vaArb[p] {
+			r.vaArb[p][v] = arbiter.NewRoundRobin(numReqs)
+		}
+	}
+	return r
+}
+
+// ID returns the node this router serves.
+func (r *Router) ID() int { return r.id }
+
+// AttachInput wires an arriving link.
+func (r *Router) AttachInput(d topology.Direction, c *router.Conn) { r.in[d] = c }
+
+// AttachOutput wires a departing link and sizes its credit book from the
+// downstream per-VC depths.
+func (r *Router) AttachOutput(d topology.Direction, c *router.Conn, depths []int) {
+	r.out[d] = c
+	r.books[d] = router.NewOutVCBook(len(depths), BufferDepth)
+	for vc, depth := range depths {
+		if depth != BufferDepth {
+			r.books[d].SetDepth(vc, depth)
+		}
+	}
+}
+
+// SetNeighbor records the router reached through output d, for the fault
+// and congestion handshake.
+func (r *Router) SetNeighbor(d topology.Direction, n router.Router) { r.neighbors[d] = n }
+
+// SetSink installs the PE delivery callback.
+func (r *Router) SetSink(s router.Sink) { r.sink = s }
+
+// Activity returns the per-component event counters.
+func (r *Router) Activity() *router.Activity { return &r.act }
+
+// Contention returns the switch-conflict tallies.
+func (r *Router) Contention() *router.Contention { return &r.cont }
+
+// ApplyFault blocks the entire node: the generic router's operation is
+// unified across its components, so any permanent fault takes the whole
+// router off-line (paper Section 4).
+func (r *Router) ApplyFault(fault.Fault) { r.dead = true }
+
+// CanServe reports whether traffic entering on from and leaving through out
+// can be served. The generic router is all-or-nothing.
+func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
+
+// CongestionCost estimates pressure on output out as the buffer occupancy
+// of the downstream input port (consumed credits).
+func (r *Router) CongestionCost(out topology.Direction) float64 {
+	b := r.books[out]
+	if b == nil {
+		return 0
+	}
+	capacity := b.Size() * BufferDepth
+	return float64(capacity-b.FreeSlots()) / float64(capacity)
+}
+
+// NumInputVCs returns the per-port VC namespace size (flit.VC on any
+// arriving link indexes the 3 VCs of that input port).
+func (r *Router) NumInputVCs(from topology.Direction) int { return VCsPerPort }
+
+// InputVCClaimable reports whether input VC vc on side from is free for a
+// new packet.
+func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
+	return !r.dead && r.ports[from][vc].Claimable(from)
+}
+
+// ClaimInputVC reserves input VC vc on side from for an inbound packet.
+func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
+	if !r.InputVCClaimable(from, vc) {
+		return false
+	}
+	r.ports[from][vc].Claim(from)
+	return true
+}
+
+// InputVCDepth returns the usable depth of input VC vc on side from.
+func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
+	return r.ports[from][vc].Capacity()
+}
+
+// Quiescent reports whether no flit is buffered anywhere in the router.
+func (r *Router) Quiescent() bool {
+	for p := range r.ports {
+		for _, vc := range r.ports[p] {
+			if vc.Len() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TryInject offers the next flit of the PE's current packet.
+func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
+	if r.dead {
+		return false
+	}
+	local := r.ports[topology.Local]
+	if f.Type.IsHead() {
+		if r.injVC >= 0 {
+			return false // previous packet's tail not yet accepted
+		}
+		for _, v := range r.injectionVCs(f) {
+			vc := local[v]
+			if vc.Claimable(topology.Local) && vc.HasRoom() {
+				f.ReadyAt = cycle + 1
+				vc.Claim(topology.Local)
+				vc.PushFrom(f, topology.Local)
+				r.act.BufferWrites++
+				if !f.Type.IsTail() {
+					r.injVC = v
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if r.injVC < 0 {
+		return false
+	}
+	vc := local[r.injVC]
+	if !vc.HasRoom() {
+		return false
+	}
+	f.ReadyAt = cycle + 1
+	vc.PushFrom(f, topology.Local)
+	r.act.BufferWrites++
+	if f.Type.IsTail() {
+		r.injVC = -1
+	}
+	return true
+}
+
+// injectionVCs returns the Local-port VC indexes a new packet may start in,
+// respecting the deadlock class discipline of the routing algorithm.
+func (r *Router) injectionVCs(f *flit.Flit) []int {
+	if r.engine.Algorithm() == routing.XYYX {
+		if f.Mode == flit.YFirst {
+			return []int{yFirstVC}
+		}
+		return []int{xFirstVC, xFirstVC2}
+	}
+	// XY is acyclic on any channel; adaptive routing is deadlock-free via
+	// the odd-even turn model, so all channels are freely usable.
+	return []int{0, 1, 2}
+}
+
+// candidateVCs returns the downstream VC indexes a head flit may be
+// allocated for a hop leaving through out, respecting the class
+// discipline: mode classes under XY-YX, dateline classes on a torus.
+func (r *Router) candidateVCs(f *flit.Flit, out topology.Direction) []int {
+	if r.torus != nil {
+		// Dateline discipline: VCs 0 and 2 carry packets that have not
+		// crossed their current dimension's dateline; VC 1 carries packets
+		// that have (including this very hop). The class switch breaks the
+		// ring's channel-dependency cycle.
+		crossed := f.CrossedY
+		if out.IsX() {
+			crossed = f.CrossedX
+		}
+		crossed = crossed || routing.TorusHopWraps(r.torus.Width(), r.torus.Height(), r.torus.Coord(r.id), out)
+		if crossed {
+			return []int{1}
+		}
+		return []int{0, 2}
+	}
+	if r.engine.Algorithm() == routing.XYYX {
+		if f.Mode == flit.YFirst {
+			return []int{yFirstVC}
+		}
+		return []int{xFirstVC, xFirstVC2}
+	}
+	return []int{0, 1, 2}
+}
+
+// Tick advances the router one cycle.
+func (r *Router) Tick(cycle int64) {
+	if r.dead {
+		// A blocked node consumes nothing and produces nothing. Drain the
+		// pipes defensively (nothing should be in flight: faults are
+		// installed before traffic starts).
+		for d := 0; d < numPorts; d++ {
+			if r.in[d] != nil {
+				r.in[d].Flit.Read()
+			}
+			if r.out[d] != nil {
+				r.out[d].Credit.Read()
+			}
+		}
+		return
+	}
+	r.act.Cycles++
+
+	// 1. Credits from downstream.
+	for d := 0; d < numPorts; d++ {
+		if r.out[d] == nil {
+			continue
+		}
+		for _, vc := range r.out[d].Credit.Read() {
+			r.books[d].ReturnCredit(vc)
+		}
+	}
+
+	// 2. Arriving flits into their upstream-allocated VCs.
+	for d := 0; d < numPorts; d++ {
+		if r.in[d] == nil {
+			continue
+		}
+		f := r.in[d].Flit.Read()
+		if f == nil {
+			continue
+		}
+		f.Hops++
+		f.ReadyAt = cycle + 1 + f.Penalty
+		if f.Penalty > 0 {
+			// Double routing: this node performs the current-node route
+			// computation the faulty upstream RC unit skipped.
+			r.act.RouteComputations++
+			f.Penalty = 0
+		}
+		if f.Rec != nil {
+			f.Rec.Visit(r.id, cycle, trace.Arrived)
+		}
+		r.ports[d][f.VC].PushFrom(f, topology.Direction(d))
+		r.act.BufferWrites++
+	}
+
+	r.drainDoomed()
+
+	// 3. VA: separable, one iteration per cycle, speculative with SA.
+	r.allocateVCs(cycle)
+
+	// 4+5. SA and switch traversal.
+	r.allocateSwitch(cycle)
+}
+
+// drainDoomed discards flits of packets whose route is permanently
+// fault-blocked, returning their credits upstream.
+func (r *Router) drainDoomed() {
+	for p := 0; p < numPorts; p++ {
+		for v, vc := range r.ports[p] {
+			for vc.Doomed() && vc.Len() > 0 {
+				f := vc.Pop()
+				r.act.DroppedFlits++
+				if f.Rec != nil && f.Type.IsHead() {
+					f.Rec.Visit(r.id, 0, trace.Dropped)
+				}
+				if topology.Direction(p) != topology.Local && r.in[p] != nil {
+					r.in[p].Credit.Write(v)
+				}
+				if f.Type.IsTail() {
+					break
+				}
+			}
+		}
+	}
+}
+
+// allocateVCs runs the input-then-output separable VC allocation pass.
+func (r *Router) allocateVCs(cycle int64) {
+	type claim struct {
+		port, vcIdx int
+		choice      int
+		nextOut     topology.Direction
+	}
+	// Group requesters by (output port, downstream VC).
+	var byTarget [numPorts][VCsPerPort][]claim
+
+	for p := 0; p < numPorts; p++ {
+		for v, vc := range r.ports[p] {
+			r.vaFailed[p][v] = false
+			head := vc.Front()
+			if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
+				continue
+			}
+			if vc.OutPort() == topology.Local {
+				// Ejection at this router: the PE interface always has
+				// room, so allocation succeeds immediately.
+				vc.GrantEject()
+				continue
+			}
+			r.act.VAOps++
+			if vc.NextOut() == topology.Invalid {
+				r.act.RouteComputations++
+			}
+			out := vc.OutPort()
+			book := r.books[out]
+			nbr := r.neighbors[out]
+			if book == nil {
+				continue // routed off the mesh edge: simulator bug upstream
+			}
+			downstream, ok := r.engine.Topology().Neighbor(r.id, out)
+			if !ok {
+				continue
+			}
+			nextOut := r.engine.RouteAt(downstream, out.Opposite(), head)
+			vc.SetNextOut(nextOut)
+			if nbr != nil && !nbr.CanServe(out.Opposite(), nextOut) {
+				// Static fault handling: the packet's only route is dead;
+				// discard it instead of letting it clog the network.
+				vc.Doom()
+				continue
+			}
+			// Input stage: nominate one claimable channel with a rotating
+			// start. The generic VA's wide (5v:1) arbiters make smarter
+			// selection impractical at speed (the paper charges the
+			// design with iterative re-arbitration); rotating first-fit
+			// avoids pathological pile-up while keeping the collision
+			// behavior of a plain separable allocator.
+			cands := r.candidateVCs(head, out)
+			start := r.vaRotate[p][v] % len(cands)
+			r.vaRotate[p][v]++
+			best := -1
+			for i := range cands {
+				c := cands[(start+i)%len(cands)]
+				if book.Alive(c) && nbr != nil && nbr.InputVCClaimable(out.Opposite(), c) {
+					best = c
+					break
+				}
+			}
+			if best >= 0 {
+				byTarget[out][best] = append(byTarget[out][best], claim{p, v, best, nextOut})
+			} else {
+				r.vaFailed[p][v] = true
+			}
+		}
+	}
+
+	for out := 0; out < numPorts; out++ {
+		for c := 0; c < VCsPerPort; c++ {
+			claims := byTarget[out][c]
+			if len(claims) == 0 {
+				continue
+			}
+			for i := range r.reqVec {
+				r.reqVec[i] = false
+			}
+			for _, cl := range claims {
+				r.reqVec[cl.port*VCsPerPort+cl.vcIdx] = true
+			}
+			w := r.vaArb[out][c].Grant(r.reqVec[:])
+			for _, cl := range claims {
+				vc := r.ports[cl.port][cl.vcIdx]
+				if cl.port*VCsPerPort+cl.vcIdx == w {
+					nbr := r.neighbors[out]
+					if nbr == nil || !nbr.ClaimInputVC(topology.Direction(out).Opposite(), cl.choice) {
+						// Another upstream router claimed the channel
+						// earlier this cycle; retry next cycle.
+						r.vaFailed[cl.port][cl.vcIdx] = true
+						continue
+					}
+					r.books[out].EnqueueGrant(cl.choice, cl.port*VCsPerPort+cl.vcIdx)
+					vc.GrantRoute(cl.choice, cl.nextOut)
+					r.act.VAGrants++
+				} else {
+					r.vaFailed[cl.port][cl.vcIdx] = true
+				}
+			}
+		}
+	}
+}
+
+// allocateSwitch runs the separable, speculative switch allocation and
+// forwards the winners.
+func (r *Router) allocateSwitch(cycle int64) {
+	// Figure 3's contention probability: per cycle, an input port
+	// "requests" output o when it holds a switch-ready flit for o; the
+	// request is contended when another input port wants the same output
+	// in the same cycle.
+	var desire [numPorts][numPorts]bool
+	for p := 0; p < numPorts; p++ {
+		for v, vc := range r.ports[p] {
+			if vc.SwitchReady(cycle) && r.creditOK(vc, p*VCsPerPort+v) {
+				desire[p][vc.OutPort()] = true
+			}
+		}
+	}
+	for o := 0; o < numPorts; o++ {
+		n := 0
+		for p := 0; p < numPorts; p++ {
+			if desire[p][o] {
+				n++
+			}
+		}
+		if n > 0 {
+			r.countContention(topology.Direction(o), n, n > 1)
+		}
+	}
+
+	// Input stage: each port nominates one switch-ready VC. Heads whose VA
+	// failed this cycle issued speculative SA requests in parallel; they
+	// are charged as arbitration work but hold lower priority than any
+	// real request and never displace one (Peh-Dally speculation).
+	for p := 0; p < numPorts; p++ {
+		r.saReqOut[p] = topology.Invalid
+		r.saReqVC[p] = -1
+		for v := range r.vcVec {
+			r.vcVec[v] = false
+		}
+		any := false
+		for v, vc := range r.ports[p] {
+			if vc.SwitchReady(cycle) && r.creditOK(vc, p*VCsPerPort+v) {
+				r.vcVec[v] = true
+				any = true
+				r.act.SAOps++
+			} else if r.vaFailed[p][v] {
+				r.act.SAOps++
+			}
+		}
+		if !any {
+			continue
+		}
+		w := r.inArb[p].Grant(r.vcVec[:])
+		r.saReqOut[p] = r.ports[p][w].OutPort()
+		r.saReqVC[p] = w
+	}
+
+	// Output stage: each output picks among the nominating ports.
+	for out := 0; out < numPorts; out++ {
+		for p := range r.portVec {
+			r.portVec[p] = r.saReqOut[p] == topology.Direction(out)
+		}
+		w := r.outArb[out].Grant(r.portVec[:])
+		if w < 0 {
+			continue
+		}
+		r.act.SAGrants++
+		r.traverse(topology.Direction(out), w, r.saReqVC[w], cycle)
+	}
+}
+
+// creditOK reports whether the front flit of vc may stream downstream:
+// buffer space exists and the channel's oldest grant belongs to this VC
+// (ejections and downstream-early-ejections need neither).
+func (r *Router) creditOK(vc *router.VC, grantee int) bool {
+	if vc.EjectNext() {
+		return true
+	}
+	book := r.books[vc.OutPort()]
+	return book.Credits(vc.OutVC()) > 0 && book.MayStream(vc.OutVC(), grantee)
+}
+
+// countContention tallies n requests for output out, all of them contended
+// when contended is true (Figure 3).
+func (r *Router) countContention(out topology.Direction, n int, contended bool) {
+	c := 0
+	if contended {
+		c = n
+	}
+	switch {
+	case out.IsX():
+		r.cont.RowRequests += int64(n)
+		r.cont.RowFailures += int64(c)
+	case out.IsY():
+		r.cont.ColRequests += int64(n)
+		r.cont.ColFailures += int64(c)
+	}
+}
+
+// traverse moves the winning flit through the crossbar onto its output.
+func (r *Router) traverse(out topology.Direction, port, vcIdx int, cycle int64) {
+	vc := r.ports[port][vcIdx]
+	// Capture the packet's routing state before Pop: popping a tail flit
+	// retires the packet and shifts the channel to the next one.
+	outVC, nextOut, ejectNext := vc.OutVC(), vc.NextOut(), vc.EjectNext()
+	f := vc.Pop()
+	r.act.BufferReads++
+	r.act.CrossbarTraversals++
+	if topology.Direction(port) != topology.Local && r.in[port] != nil {
+		r.in[port].Credit.Write(vcIdx)
+	}
+	if out == topology.Local {
+		// One extra cycle models the crossbar-to-PE interface latch; early
+		// ejection in the RoCo router is what removes this (and the SA
+		// cycle) at the destination.
+		r.act.Ejections++
+		r.sink(f, cycle+1)
+		return
+	}
+	f.OutPort = nextOut
+	if r.torus != nil && routing.TorusHopWraps(r.torus.Width(), r.torus.Height(), r.torus.Coord(r.id), out) {
+		if out.IsX() {
+			f.CrossedX = true
+		} else {
+			f.CrossedY = true
+		}
+	}
+	if ejectNext {
+		f.VC = -1
+	} else {
+		f.VC = outVC
+		r.books[out].Send(outVC, f.Type.IsTail())
+	}
+	f.ReadyAt = 0
+	r.act.LinkFlits++
+	r.act.LinkFlitsByDir[out]++
+	r.out[out].Flit.Write(f)
+}

@@ -1,0 +1,133 @@
+package generic
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+)
+
+func newTestRouter(alg routing.Algorithm) *Router {
+	engine := router.NewRouteEngine(topology.NewMesh(4, 4), alg, nil)
+	return New(5, engine)
+}
+
+func TestAnyFaultBlocksWholeNode(t *testing.T) {
+	for _, comp := range fault.AllComponents() {
+		r := newTestRouter(routing.XY)
+		if !r.CanServe(topology.East, topology.West) {
+			t.Fatal("healthy router should serve")
+		}
+		r.ApplyFault(fault.Fault{Node: 5, Component: comp})
+		if r.CanServe(topology.East, topology.West) || r.CanServe(topology.East, topology.Local) {
+			t.Errorf("%s fault should block the entire generic router", comp)
+		}
+		head := flit.Packet{ID: 1, Src: 5, Dst: 6, Flits: 1}.Segment()[0]
+		head.OutPort = topology.East
+		if r.TryInject(head, 0) {
+			t.Errorf("%s: dead router accepted injection", comp)
+		}
+	}
+}
+
+func TestInjectionVCClasses(t *testing.T) {
+	r := newTestRouter(routing.XYYX)
+	x := &flit.Flit{Mode: flit.XFirst}
+	y := &flit.Flit{Mode: flit.YFirst}
+	if got := r.injectionVCs(x); len(got) != 2 || got[0] != xFirstVC || got[1] != xFirstVC2 {
+		t.Errorf("XFirst injection VCs = %v", got)
+	}
+	if got := r.injectionVCs(y); len(got) != 1 || got[0] != yFirstVC {
+		t.Errorf("YFirst injection VCs = %v", got)
+	}
+	rXY := newTestRouter(routing.XY)
+	if got := rXY.injectionVCs(x); len(got) != 3 {
+		t.Errorf("XY should use all injection VCs, got %v", got)
+	}
+}
+
+func TestCandidateVCClassDiscipline(t *testing.T) {
+	r := newTestRouter(routing.XYYX)
+	x := &flit.Flit{Mode: flit.XFirst}
+	y := &flit.Flit{Mode: flit.YFirst}
+	for _, c := range r.candidateVCs(x, topology.East) {
+		if c == yFirstVC {
+			t.Error("X-first packet offered the Y-first channel")
+		}
+	}
+	if got := r.candidateVCs(y, topology.North); len(got) != 1 || got[0] != yFirstVC {
+		t.Errorf("YFirst candidates = %v", got)
+	}
+}
+
+func TestTorusDatelineClasses(t *testing.T) {
+	engine := router.NewRouteEngine(topology.NewTorus(4, 4), routing.XY, nil)
+	// Router at (3,1): an East hop crosses the X dateline.
+	r := New(7, engine)
+	fresh := &flit.Flit{}
+	if got := r.candidateVCs(fresh, topology.East); len(got) != 1 || got[0] != 1 {
+		t.Errorf("dateline-crossing hop candidates = %v, want [1]", got)
+	}
+	if got := r.candidateVCs(fresh, topology.West); len(got) != 2 {
+		t.Errorf("non-crossing hop candidates = %v, want the class-0 pair", got)
+	}
+	crossed := &flit.Flit{CrossedX: true}
+	if got := r.candidateVCs(crossed, topology.West); len(got) != 1 || got[0] != 1 {
+		t.Errorf("post-dateline packet candidates = %v, want [1]", got)
+	}
+	// A crossed-X packet's Y hops start fresh in class 0.
+	if got := r.candidateVCs(crossed, topology.North); len(got) != 2 {
+		t.Errorf("Y-dimension candidates after X crossing = %v, want the class-0 pair", got)
+	}
+}
+
+func TestInjectionSerializesPackets(t *testing.T) {
+	r := newTestRouter(routing.XY)
+	r.SetSink(func(*flit.Flit, int64) {})
+	p1 := flit.Packet{ID: 1, Src: 5, Dst: 6, Flits: 2}.Segment()
+	p2 := flit.Packet{ID: 2, Src: 5, Dst: 6, Flits: 2}.Segment()
+	for _, f := range append(p1, p2...) {
+		f.OutPort = topology.East
+	}
+	if !r.TryInject(p1[0], 0) {
+		t.Fatal("head rejected")
+	}
+	if r.TryInject(p2[0], 0) {
+		t.Fatal("second head accepted before first tail")
+	}
+	if !r.TryInject(p1[1], 1) {
+		t.Fatal("tail rejected")
+	}
+	if !r.TryInject(p2[0], 2) {
+		t.Fatal("second head rejected after first tail")
+	}
+}
+
+func TestQuiescentTracksBufferedFlits(t *testing.T) {
+	r := newTestRouter(routing.XY)
+	if !r.Quiescent() {
+		t.Fatal("fresh router should be quiescent")
+	}
+	head := flit.Packet{ID: 1, Src: 5, Dst: 6, Flits: 1}.Segment()[0]
+	head.OutPort = topology.East
+	if !r.TryInject(head, 0) {
+		t.Fatal("injection failed")
+	}
+	if r.Quiescent() {
+		t.Fatal("router with a buffered flit is not quiescent")
+	}
+}
+
+func TestCongestionCostRange(t *testing.T) {
+	r := newTestRouter(routing.XY)
+	r.AttachOutput(topology.East, &router.Conn{}, []int{4, 4, 4})
+	if c := r.CongestionCost(topology.East); c != 0 {
+		t.Errorf("idle congestion = %v, want 0", c)
+	}
+	if c := r.CongestionCost(topology.West); c != 0 {
+		t.Errorf("unattached output congestion = %v, want 0", c)
+	}
+}

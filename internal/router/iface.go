@@ -1,0 +1,94 @@
+package router
+
+import (
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/topology"
+)
+
+// Sink receives flits delivered to a node's processing element. Delivery of
+// a tail flit completes a packet.
+type Sink func(f *flit.Flit, cycle int64)
+
+// Router is the contract every router microarchitecture implements. The
+// network fabric wires routers together with Conn pipes, drives one Tick
+// per cycle, and injects/ejects traffic through the PE-facing methods.
+//
+// Within Tick a router (1) drains its input and credit pipes, buffering or
+// early-ejecting arrivals, (2) runs its allocation stages (VA and SA, with
+// head flits speculating on SA in parallel with VA), and (3) forwards
+// switch winners onto its output pipes and returns credits upstream. Pipes
+// advance at cycle boundaries, so routers may be ticked in any order.
+type Router interface {
+	// ID returns the node this router serves.
+	ID() int
+
+	// AttachInput wires the link arriving on side d (flits in, credits
+	// out). The network attaches only the links that exist; mesh edge
+	// routers keep nil on the missing sides.
+	AttachInput(d topology.Direction, c *Conn)
+	// AttachOutput wires the link departing on side d (flits out, credits
+	// in). depths lists the usable buffer depth of each downstream input
+	// VC reachable through this link (indexed by the VC namespace the
+	// downstream router interprets flit.VC in); the router sizes its
+	// credit book from it. The network computes depths from the
+	// downstream router's NumInputVCs/InputVCDepth after faults are
+	// installed, so buffer-fault capacity reductions are reflected.
+	AttachOutput(d topology.Direction, c *Conn, depths []int)
+	// SetNeighbor records the router reached through output d. Routers use
+	// it for the neighbor handshake: fault capability (CanServe) and
+	// congestion (CongestionCost) checks during look-ahead routing and VA.
+	SetNeighbor(d topology.Direction, n Router)
+	// SetSink installs the PE-delivery callback.
+	SetSink(s Sink)
+
+	// Tick advances the router one cycle.
+	Tick(cycle int64)
+
+	// TryInject offers the next flit of the PE's current packet. The head
+	// flit carries OutPort (this router's output for it, or Local for a
+	// self-addressed packet) already computed by the PE. The router accepts
+	// it only if injection buffering and VC allocation permit; acceptance
+	// of a head implies the router owns the packet's injection VC until its
+	// tail is accepted. Returns false when the flit must be retried next
+	// cycle.
+	TryInject(f *flit.Flit, cycle int64) bool
+
+	// ApplyFault installs a permanent fault before the simulation starts.
+	// Baseline routers respond to any fault by blocking the whole node; the
+	// RoCo router applies its hardware-recycling reaction per component.
+	ApplyFault(flt fault.Fault)
+	// CanServe reports whether a flit entering on side from and leaving
+	// through out can currently be served, given installed faults. Local
+	// out means ejection. Upstream routers consult it (the paper's
+	// handshaking signals) during look-ahead routing and VC allocation.
+	CanServe(from, out topology.Direction) bool
+	// CongestionCost estimates queueing pressure for traffic leaving this
+	// router through out; look-ahead adaptive routing at the upstream node
+	// uses it to rank productive directions. Higher is worse.
+	CongestionCost(out topology.Direction) float64
+	// NumInputVCs returns the size of the VC namespace a link arriving on
+	// side from addresses, and InputVCDepth the usable depth of each such
+	// VC (0 for a dead channel), letting the network propagate
+	// buffer-fault capacity reductions into the upstream credit book.
+	NumInputVCs(from topology.Direction) int
+	InputVCDepth(from topology.Direction, vc int) int
+
+	// InputVCClaimable reports whether input VC vc (in the namespace of
+	// side from) is free for a new packet, and ClaimInputVC reserves it.
+	// Upstream VA uses the pair during allocation: guided flit queuing
+	// lets several upstream links feed one channel, so the reservation
+	// must live here at the owning router. ClaimInputVC returns false if
+	// another upstream claimed the channel earlier in the same cycle.
+	InputVCClaimable(from topology.Direction, vc int) bool
+	ClaimInputVC(from topology.Direction, vc int) bool
+
+	// Activity exposes the per-component event counters for the energy
+	// model.
+	Activity() *Activity
+	// Contention exposes the switch-conflict tallies for Figure 3.
+	Contention() *Contention
+	// Quiescent reports whether the router holds no flits (used for drain
+	// and deadlock/inactivity detection).
+	Quiescent() bool
+}

@@ -1,0 +1,151 @@
+package router
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+)
+
+func TestRouteAtXY(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	e := NewRouteEngine(topo, routing.XY, nil)
+	f := &flit.Flit{Src: 0, Dst: topo.ID(topology.Coord{X: 3, Y: 5}), Mode: flit.XFirst}
+	// At (1,0), XY goes East; at (3,2), it goes North; at dst, Local.
+	if got := e.RouteAt(topo.ID(topology.Coord{X: 1, Y: 0}), topology.West, f); got != topology.East {
+		t.Errorf("got %s, want E", got)
+	}
+	if got := e.RouteAt(topo.ID(topology.Coord{X: 3, Y: 2}), topology.West, f); got != topology.North {
+		t.Errorf("got %s, want N", got)
+	}
+	if got := e.RouteAt(f.Dst, topology.South, f); got != topology.Local {
+		t.Errorf("got %s, want Local", got)
+	}
+}
+
+func TestRouteAtXYYXFollowsMode(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	e := NewRouteEngine(topo, routing.XYYX, nil)
+	f := &flit.Flit{Src: 0, Dst: topo.ID(topology.Coord{X: 3, Y: 5}), Mode: flit.YFirst}
+	if got := e.RouteAt(0, topology.Local, f); got != topology.North {
+		t.Errorf("YFirst at origin should go N, got %s", got)
+	}
+	f.Mode = flit.XFirst
+	if got := e.RouteAt(0, topology.Local, f); got != topology.East {
+		t.Errorf("XFirst at origin should go E, got %s", got)
+	}
+}
+
+func TestRouteAtAdaptiveIsMinimal(t *testing.T) {
+	topo := topology.NewMesh(8, 8)
+	e := NewRouteEngine(topo, routing.Adaptive, nil)
+	for src := 0; src < topo.Nodes(); src += 7 {
+		for dst := 0; dst < topo.Nodes(); dst += 5 {
+			if src == dst {
+				continue
+			}
+			f := &flit.Flit{Src: src, Dst: dst, Mode: flit.ModeAdaptive}
+			cur := src
+			for hops := 0; cur != dst; hops++ {
+				if hops > 20 {
+					t.Fatalf("adaptive route %d->%d did not converge", src, dst)
+				}
+				d := e.RouteAt(cur, topology.Local, f)
+				if d == topology.Local {
+					break
+				}
+				next, ok := topo.Neighbor(cur, d)
+				if !ok {
+					t.Fatalf("adaptive route left the mesh at %d going %s", cur, d)
+				}
+				if topology.ManhattanDistance(topo.Coord(next), topo.Coord(dst)) >=
+					topology.ManhattanDistance(topo.Coord(cur), topo.Coord(dst)) {
+					t.Fatalf("non-minimal adaptive hop %d->%d", cur, next)
+				}
+				cur = next
+			}
+		}
+	}
+}
+
+func TestPipesOneCycleLatency(t *testing.T) {
+	var c Conn
+	f := &flit.Flit{PacketID: 1}
+	c.Flit.Write(f)
+	if c.Flit.Read() != nil {
+		t.Fatal("flit visible before Advance")
+	}
+	c.Advance()
+	if c.Flit.Read() != f {
+		t.Fatal("flit not visible after Advance")
+	}
+	c.Advance()
+	if c.Flit.Read() != nil {
+		t.Fatal("flit delivered twice")
+	}
+}
+
+func TestFlitPipeDoubleWritePanics(t *testing.T) {
+	var p FlitPipe
+	p.Write(&flit.Flit{})
+	defer func() {
+		if recover() == nil {
+			t.Error("double write should panic")
+		}
+	}()
+	p.Write(&flit.Flit{})
+}
+
+func TestFlitPipeUnconsumedPanics(t *testing.T) {
+	var p FlitPipe
+	p.Write(&flit.Flit{})
+	p.Advance()
+	defer func() {
+		if recover() == nil {
+			t.Error("advancing over an unconsumed flit should panic")
+		}
+	}()
+	p.Advance()
+}
+
+func TestCreditPipeBatching(t *testing.T) {
+	var p CreditPipe
+	p.Write(1)
+	p.Write(5)
+	if p.Read() != nil {
+		t.Fatal("credits visible before Advance")
+	}
+	p.Advance()
+	got := p.Read()
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Fatalf("credits = %v", got)
+	}
+	p.Advance()
+	if p.Read() != nil {
+		t.Fatal("credits delivered twice")
+	}
+}
+
+func TestActivityAdd(t *testing.T) {
+	a := Activity{BufferWrites: 1, Cycles: 2, SAOps: 3}
+	b := Activity{BufferWrites: 10, Cycles: 20, SAOps: 30, EarlyEjections: 5}
+	a.Add(&b)
+	if a.BufferWrites != 11 || a.Cycles != 22 || a.SAOps != 33 || a.EarlyEjections != 5 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestContentionProbabilities(t *testing.T) {
+	c := Contention{RowRequests: 100, RowFailures: 25, ColRequests: 50, ColFailures: 10}
+	if c.RowProbability() != 0.25 || c.ColProbability() != 0.2 {
+		t.Error("per-dimension probabilities wrong")
+	}
+	if got := c.Probability(); got != 35.0/150.0 {
+		t.Errorf("combined probability = %v", got)
+	}
+	var empty Contention
+	if empty.Probability() != 0 || empty.RowProbability() != 0 {
+		t.Error("empty contention should be 0")
+	}
+}

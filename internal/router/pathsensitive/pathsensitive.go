@@ -1,0 +1,544 @@
+// Package pathsensitive implements the paper's second baseline: the
+// Path-Sensitive router of Kim et al. (DAC 2005). Arriving flits are
+// grouped into four quadrant path sets (NE, NW, SE, SW) by the position of
+// their destination relative to the router; each set holds three VCs of
+// 5-flit buffers (60 flits total) and is wired to only its two productive
+// outputs through a decomposed 4x4 crossbar with half the connections of a
+// full crossbar. The router uses look-ahead routing and early ejection
+// like RoCo, but its switch allocation has chained dependencies between
+// the quadrant sets (each set nominates a single candidate that may target
+// either of its outputs), which is why its non-blocking probability is
+// 0.125 against RoCo's 0.25 (paper Table 2).
+//
+// Deadlock freedom is structural: all minimal moves of a packet stay
+// within one quadrant, and quadrant moves are monotone in x+y (or x-y), so
+// every channel dependency chain strictly advances across the mesh — no
+// cycles, under all three routing algorithms.
+package pathsensitive
+
+import (
+	"github.com/rocosim/roco/internal/arbiter"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
+)
+
+const (
+	// VCsPerSet is the number of VCs per quadrant path set.
+	VCsPerSet = 3
+	// BufferDepth is the per-VC depth: 4 sets x 3 VCs x 5 flits = 60.
+	BufferDepth = 5
+	// NumVCs is the router-wide VC namespace.
+	NumVCs = 4 * VCsPerSet
+
+	numSets = 4
+)
+
+// setOfVC returns the quadrant path set owning VC id.
+func setOfVC(id int) routing.Quadrant { return routing.Quadrant(id / VCsPerSet) }
+
+// groupFor returns the VC group within a quadrant set for an arrival side:
+// each set's three VCs hold "flits from possible directions from the
+// previous router" (DAC'05) — one group per incoming link of the quadrant
+// plus one for local injection. The injection group being dedicated keeps
+// transit traffic from starving the PE.
+func groupFor(q routing.Quadrant, from topology.Direction) int {
+	outs := q.Outputs()
+	switch from {
+	case outs[0].Opposite():
+		return 0
+	case outs[1].Opposite():
+		return 1
+	default:
+		return 2 // local injection
+	}
+}
+
+// Router is the Path-Sensitive baseline.
+type Router struct {
+	id     int
+	engine *router.RouteEngine
+	sink   router.Sink
+
+	in        [5]*router.Conn
+	out       [5]*router.Conn
+	books     [5]*router.OutVCBook
+	neighbors [5]router.Router
+
+	vcs [NumVCs]*router.VC
+
+	setArb [numSets]*arbiter.RoundRobin // SA stage 1: one 3:1 arbiter per set
+	outArb [5]*arbiter.RoundRobin       // SA stage 2: 2:1 per output
+	vaArb  [5][]*arbiter.RoundRobin     // per (output, downstream vc)
+
+	injVC int
+
+	dead bool
+	act  router.Activity
+	cont router.Contention
+
+	vaFailed [NumVCs]bool
+	reqVec   [NumVCs]bool
+	setVec   [VCsPerSet]bool
+
+	setReqOut [numSets]topology.Direction
+	setReqVC  [numSets]int
+}
+
+// New returns a Path-Sensitive router for the given node.
+func New(id int, engine *router.RouteEngine) *Router {
+	r := &Router{id: id, engine: engine, injVC: -1}
+	for v := 0; v < NumVCs; v++ {
+		r.vcs[v] = router.NewVC(v, BufferDepth)
+	}
+	for s := 0; s < numSets; s++ {
+		r.setArb[s] = arbiter.NewRoundRobin(VCsPerSet)
+	}
+	for _, d := range topology.CardinalDirections {
+		r.outArb[d] = arbiter.NewRoundRobin(numSets)
+		arbs := make([]*arbiter.RoundRobin, NumVCs)
+		for i := range arbs {
+			arbs[i] = arbiter.NewRoundRobin(NumVCs)
+		}
+		r.vaArb[d] = arbs
+	}
+	return r
+}
+
+// ID returns the node this router serves.
+func (r *Router) ID() int { return r.id }
+
+// AttachInput wires an arriving link.
+func (r *Router) AttachInput(d topology.Direction, c *router.Conn) { r.in[d] = c }
+
+// AttachOutput wires a departing link and sizes its credit book.
+func (r *Router) AttachOutput(d topology.Direction, c *router.Conn, depths []int) {
+	r.out[d] = c
+	r.books[d] = router.NewOutVCBook(len(depths), BufferDepth)
+	for vc, depth := range depths {
+		if depth != BufferDepth {
+			r.books[d].SetDepth(vc, depth)
+		}
+	}
+}
+
+// SetNeighbor records the router reached through output d.
+func (r *Router) SetNeighbor(d topology.Direction, n router.Router) { r.neighbors[d] = n }
+
+// SetSink installs the PE delivery callback.
+func (r *Router) SetSink(s router.Sink) { r.sink = s }
+
+// Activity returns the per-component event counters.
+func (r *Router) Activity() *router.Activity { return &r.act }
+
+// Contention returns the switch-conflict tallies.
+func (r *Router) Contention() *router.Contention { return &r.cont }
+
+// ApplyFault blocks the entire node: like the generic router, the
+// path-sensitive design has no independent modules to degrade into (paper
+// Section 5.4 treats both baselines this way).
+func (r *Router) ApplyFault(fault.Fault) { r.dead = true }
+
+// CanServe reports whether traffic entering on from and leaving through
+// out can be served; the router is all-or-nothing.
+func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
+
+// CongestionCost estimates pressure on output out.
+func (r *Router) CongestionCost(out topology.Direction) float64 {
+	b := r.books[out]
+	if b == nil {
+		return 0
+	}
+	capacity := b.Size() * BufferDepth
+	return float64(capacity-b.FreeSlots()) / float64(capacity)
+}
+
+// NumInputVCs returns the router-wide VC namespace size.
+func (r *Router) NumInputVCs(topology.Direction) int { return NumVCs }
+
+// InputVCDepth returns the usable depth of VC vc.
+func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
+	if r.dead {
+		return 0
+	}
+	return r.vcs[vc].Capacity()
+}
+
+// InputVCClaimable reports whether VC vc can take a new packet arriving
+// over link from.
+func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
+	return !r.dead && r.vcs[vc].Claimable(from)
+}
+
+// ClaimInputVC reserves VC vc for an inbound packet.
+func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
+	if !r.InputVCClaimable(from, vc) {
+		return false
+	}
+	r.vcs[vc].Claim(from)
+	return true
+}
+
+// Quiescent reports whether no flit is buffered anywhere in the router.
+func (r *Router) Quiescent() bool {
+	for _, vc := range r.vcs {
+		if vc.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// packetQuadrant returns the path set a packet travels in: the quadrant of
+// its destination relative to its source, fixed for the whole journey.
+func (r *Router) packetQuadrant(f *flit.Flit) routing.Quadrant {
+	topo := r.engine.Topology()
+	return routing.PacketQuadrant(topo.Coord(f.Src), topo.Coord(f.Dst))
+}
+
+// TryInject offers the next flit of the PE's current packet.
+func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
+	if r.dead {
+		return false
+	}
+	if f.Type.IsHead() && f.OutPort == topology.Local {
+		r.sink(f, cycle)
+		if !f.Type.IsTail() {
+			r.injVC = -2
+		}
+		return true
+	}
+	if r.injVC == -2 {
+		r.sink(f, cycle)
+		if f.Type.IsTail() {
+			r.injVC = -1
+		}
+		return true
+	}
+	if f.Type.IsHead() {
+		if r.injVC >= 0 {
+			return false
+		}
+		q := r.packetQuadrant(f)
+		{
+			id := int(q)*VCsPerSet + groupFor(q, topology.Local)
+			vc := r.vcs[id]
+			if vc.Claimable(topology.Local) && vc.HasRoom() {
+				f.ReadyAt = cycle + 1
+				vc.Claim(topology.Local)
+				vc.PushFrom(f, topology.Local)
+				r.act.BufferWrites++
+				if !f.Type.IsTail() {
+					r.injVC = id
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if r.injVC < 0 {
+		return false
+	}
+	vc := r.vcs[r.injVC]
+	if !vc.HasRoom() {
+		return false
+	}
+	f.ReadyAt = cycle + 1
+	vc.PushFrom(f, topology.Local)
+	r.act.BufferWrites++
+	if f.Type.IsTail() {
+		r.injVC = -1
+	}
+	return true
+}
+
+// Tick advances the router one cycle.
+func (r *Router) Tick(cycle int64) {
+	if r.dead {
+		for d := 0; d < 5; d++ {
+			if r.in[d] != nil {
+				r.in[d].Flit.Read()
+			}
+			if r.out[d] != nil {
+				r.out[d].Credit.Read()
+			}
+		}
+		return
+	}
+	r.act.Cycles++
+
+	for _, d := range topology.CardinalDirections {
+		if r.out[d] == nil {
+			continue
+		}
+		for _, vc := range r.out[d].Credit.Read() {
+			r.books[d].ReturnCredit(vc)
+		}
+	}
+
+	for _, d := range topology.CardinalDirections {
+		if r.in[d] == nil {
+			continue
+		}
+		f := r.in[d].Flit.Read()
+		if f == nil {
+			continue
+		}
+		f.Hops++
+		if f.OutPort == topology.Local {
+			r.act.EarlyEjections++
+			r.sink(f, cycle)
+			continue
+		}
+		f.ReadyAt = cycle + 1 + f.Penalty
+		if f.Penalty > 0 {
+			r.act.RouteComputations++
+			f.Penalty = 0
+		}
+		if f.Rec != nil {
+			f.Rec.Visit(r.id, cycle, trace.Arrived)
+		}
+		r.vcs[f.VC].PushFrom(f, d)
+		r.act.BufferWrites++
+	}
+
+	r.drainDoomed()
+	r.allocateVCs(cycle)
+	r.allocateSwitch(cycle)
+}
+
+// drainDoomed discards flits of packets whose route is permanently
+// fault-blocked, returning their credits upstream.
+func (r *Router) drainDoomed() {
+	for _, vc := range r.vcs {
+		for vc.Doomed() && vc.Len() > 0 {
+			feeder := vc.Feeder()
+			f := vc.Pop()
+			r.act.DroppedFlits++
+			if f.Rec != nil && f.Type.IsHead() {
+				f.Rec.Visit(r.id, 0, trace.Dropped)
+			}
+			if feeder.IsCardinal() && r.in[feeder] != nil {
+				r.in[feeder].Credit.Write(vc.Index)
+			}
+			if f.Type.IsTail() {
+				break
+			}
+		}
+	}
+}
+
+type vaRequest struct {
+	vcID    int
+	choice  int
+	nextOut topology.Direction
+}
+
+// allocateVCs runs the separable VC allocation pass: each head flit
+// requests a channel in the downstream router's quadrant set for its
+// destination.
+func (r *Router) allocateVCs(cycle int64) {
+	var byTarget [5][NumVCs][]vaRequest
+
+	for id, vc := range r.vcs {
+		r.vaFailed[id] = false
+		head := vc.Front()
+		if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
+			continue
+		}
+		r.act.VAOps++
+		if vc.NextOut() == topology.Invalid {
+			r.act.RouteComputations++
+		}
+		out := vc.OutPort()
+		nbr := r.neighbors[out]
+		book := r.books[out]
+		if nbr == nil || book == nil {
+			continue
+		}
+		downstream, ok := r.engine.Topology().Neighbor(r.id, out)
+		if !ok {
+			continue
+		}
+		from := out.Opposite()
+		nextOut := r.engine.RouteAt(downstream, from, head)
+		vc.SetNextOut(nextOut)
+		if nextOut == topology.Local {
+			if nbr.CanServe(from, topology.Local) {
+				vc.GrantEject()
+			} else {
+				vc.Doom()
+			}
+			continue
+		}
+		if !nbr.CanServe(from, nextOut) {
+			// Static fault handling: discard rather than clog.
+			vc.Doom()
+			continue
+		}
+		q := r.packetQuadrant(head)
+		c := int(q)*VCsPerSet + groupFor(q, from)
+		if book.Alive(c) && nbr.InputVCClaimable(from, c) {
+			byTarget[out][c] = append(byTarget[out][c], vaRequest{id, c, nextOut})
+		} else {
+			r.vaFailed[id] = true
+		}
+	}
+
+	for _, out := range topology.CardinalDirections {
+		for c := 0; c < NumVCs; c++ {
+			claims := byTarget[out][c]
+			if len(claims) == 0 {
+				continue
+			}
+			for i := range r.reqVec {
+				r.reqVec[i] = false
+			}
+			for _, cl := range claims {
+				r.reqVec[cl.vcID] = true
+			}
+			w := r.vaArb[out][c].Grant(r.reqVec[:])
+			for _, cl := range claims {
+				if cl.vcID != w {
+					r.vaFailed[cl.vcID] = true
+					continue
+				}
+				vc := r.vcs[cl.vcID]
+				nbr := r.neighbors[out]
+				if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), cl.choice) {
+					r.vaFailed[cl.vcID] = true
+					continue
+				}
+				r.books[out].EnqueueGrant(cl.choice, cl.vcID)
+				vc.GrantRoute(cl.choice, cl.nextOut)
+				r.act.VAGrants++
+			}
+		}
+	}
+}
+
+// allocateSwitch runs the chained two-stage allocation over the decomposed
+// crossbar: stage 1 nominates one VC per quadrant set, stage 2 arbitrates
+// each output between its two adjacent sets.
+func (r *Router) allocateSwitch(cycle int64) {
+	// Figure 3 contention: a path set requests an output when it holds a
+	// switch-ready flit for it; the request is contended when the other
+	// adjacent set wants the same output this cycle.
+	var desire [numSets][5]bool
+	for s := 0; s < numSets; s++ {
+		for g := 0; g < VCsPerSet; g++ {
+			vc := r.vcs[s*VCsPerSet+g]
+			if vc.SwitchReady(cycle) && r.creditOK(vc) {
+				desire[s][vc.OutPort()] = true
+			}
+		}
+	}
+	for _, out := range topology.CardinalDirections {
+		n := 0
+		for s := 0; s < numSets; s++ {
+			if desire[s][out] {
+				n++
+			}
+		}
+		if n > 0 {
+			r.countContention(out, n, n > 1)
+		}
+	}
+
+	for s := 0; s < numSets; s++ {
+		r.setReqOut[s] = topology.Invalid
+		r.setReqVC[s] = -1
+		any := false
+		for g := 0; g < VCsPerSet; g++ {
+			id := s*VCsPerSet + g
+			vc := r.vcs[id]
+			if vc.SwitchReady(cycle) && r.creditOK(vc) {
+				r.setVec[g] = true
+				any = true
+				r.act.SAOps++
+			} else {
+				r.setVec[g] = false
+				if r.vaFailed[id] {
+					r.act.SAOps++ // low-priority speculative request
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		w := r.setArb[s].Grant(r.setVec[:])
+		r.setReqOut[s] = r.vcs[s*VCsPerSet+w].OutPort()
+		r.setReqVC[s] = s*VCsPerSet + w
+	}
+
+	for _, out := range topology.CardinalDirections {
+		var reqs [numSets]bool
+		anyReq := false
+		for s := 0; s < numSets; s++ {
+			reqs[s] = r.setReqOut[s] == out
+			anyReq = anyReq || reqs[s]
+		}
+		if !anyReq {
+			continue
+		}
+		w := r.outArb[out].Grant(reqs[:])
+		if w < 0 {
+			continue
+		}
+		r.act.SAGrants++
+		r.traverse(out, r.setReqVC[w], cycle)
+	}
+}
+
+// creditOK reports whether the front flit may stream downstream: buffer
+// space exists and the channel's oldest grant belongs to this VC.
+func (r *Router) creditOK(vc *router.VC) bool {
+	if vc.EjectNext() {
+		return true
+	}
+	book := r.books[vc.OutPort()]
+	return book.Credits(vc.OutVC()) > 0 && book.MayStream(vc.OutVC(), vc.Index)
+}
+
+// countContention tallies n requests for output out, all of them contended
+// when contended is true (Figure 3).
+func (r *Router) countContention(out topology.Direction, n int, contended bool) {
+	c := 0
+	if contended {
+		c = n
+	}
+	switch {
+	case out.IsX():
+		r.cont.RowRequests += int64(n)
+		r.cont.RowFailures += int64(c)
+	case out.IsY():
+		r.cont.ColRequests += int64(n)
+		r.cont.ColFailures += int64(c)
+	}
+}
+
+// traverse moves a winning flit through the decomposed crossbar.
+func (r *Router) traverse(out topology.Direction, vcID int, cycle int64) {
+	vc := r.vcs[vcID]
+	outVC, nextOut, ejectNext, feeder := vc.OutVC(), vc.NextOut(), vc.EjectNext(), vc.Feeder()
+	f := vc.Pop()
+	r.act.BufferReads++
+	r.act.CrossbarTraversals++
+	if feeder.IsCardinal() && r.in[feeder] != nil {
+		r.in[feeder].Credit.Write(vcID)
+	}
+	f.OutPort = nextOut
+	if ejectNext {
+		f.VC = -1
+	} else {
+		f.VC = outVC
+		r.books[out].Send(outVC, f.Type.IsTail())
+	}
+	f.ReadyAt = 0
+	r.act.LinkFlits++
+	r.act.LinkFlitsByDir[out]++
+	r.out[out].Flit.Write(f)
+}

@@ -1,0 +1,658 @@
+// Package pdr implements the Partitioned Dimension-Order Router of the
+// paper's related work (Chalasani & Boppana, HPCA'96; May et al., HiPER):
+// the router is split into an X-module and a Y-module, each with a 3x3
+// crossbar, but — unlike RoCo — the two modules are intertwined: a packet
+// that changes dimension (or ejects) must take concatenated switch
+// traversals, crossing the X-module's crossbar into an internal transfer
+// buffer and then the Y-module's crossbar. The paper contrasts this with
+// RoCo's fully decoupled modules; this implementation lets the comparison
+// be measured. PDR is a dimension-order design and therefore supports XY
+// routing only.
+//
+// Structure (60 flits of buffering, matching the other routers):
+//
+//	X-module 3x3: inputs {fromE, fromW, fromPE} -> outputs {E, W, toY}
+//	Y-module 3x3: inputs {fromN, fromS, fromX}  -> outputs {N, S, eject}
+//
+// with 2 VCs of 5-flit buffers per input port.
+package pdr
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/arbiter"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
+)
+
+const (
+	// VCsPerPort is the number of VCs per input port.
+	VCsPerPort = 2
+	// BufferDepth is the per-VC depth: 6 ports x 2 VCs x 5 flits = 60.
+	BufferDepth = 5
+	// NumVCs is the router-wide VC namespace.
+	NumVCs = 6 * VCsPerPort
+
+	// Input port indexes.
+	portFromE  = 0 // X-module: flits traveling West
+	portFromW  = 1 // X-module: flits traveling East
+	portFromPE = 2 // X-module: injection
+	portFromN  = 3 // Y-module: flits traveling South
+	portFromS  = 4 // Y-module: flits traveling North
+	portFromX  = 5 // Y-module: internal transfer from the X-module
+	numPorts   = 6
+
+	// Module-local output slots.
+	outE, outW, outToY   = 0, 1, 2
+	outN, outS, outEject = 0, 1, 2
+	numOutsPerMod        = 3
+)
+
+// portOfVC returns the input port owning VC id.
+func portOfVC(id int) int { return id / VCsPerPort }
+
+// arrivalPort maps an arrival side to the input port.
+func arrivalPort(from topology.Direction) int {
+	switch from {
+	case topology.East:
+		return portFromE
+	case topology.West:
+		return portFromW
+	case topology.North:
+		return portFromN
+	case topology.South:
+		return portFromS
+	default:
+		panic(fmt.Sprintf("pdr: no arrival port for side %s", from))
+	}
+}
+
+// Router is the PDR baseline-extension router.
+type Router struct {
+	id     int
+	engine *router.RouteEngine
+	sink   router.Sink
+
+	in        [5]*router.Conn
+	out       [5]*router.Conn
+	books     [5]*router.OutVCBook
+	neighbors [5]router.Router
+
+	vcs [NumVCs]*router.VC
+	// transferBook tracks the internal toY channel's credits/order like an
+	// external link book, pointed at the router's own fromX VCs.
+	transferBook *router.OutVCBook
+
+	inArb  [numPorts]*arbiter.RoundRobin         // per input port (2:1)
+	outArb [2][numOutsPerMod]*arbiter.RoundRobin // per module output (3:1)
+	vaArb  [6][]*arbiter.RoundRobin              // per (external dir or internal) x downstream vc
+
+	injVC int
+
+	dead bool
+	act  router.Activity
+	cont router.Contention
+
+	vaFailed [NumVCs]bool
+	reqVec   [NumVCs]bool
+
+	nomOut [numPorts]int // nominated module output slot per port, -1 = none
+	nomVC  [numPorts]int
+}
+
+// New returns a PDR router for the given node. The engine must use XY
+// routing: PDR is a dimension-order design.
+func New(id int, engine *router.RouteEngine) *Router {
+	if engine.Algorithm() != routing.XY {
+		panic("pdr: the partitioned dimension-order router supports XY routing only")
+	}
+	r := &Router{id: id, engine: engine, injVC: -1}
+	for v := 0; v < NumVCs; v++ {
+		r.vcs[v] = router.NewVC(v, BufferDepth)
+	}
+	r.transferBook = router.NewOutVCBook(NumVCs, BufferDepth)
+	for v := 0; v < NumVCs; v++ {
+		if portOfVC(v) != portFromX {
+			r.transferBook.SetDepth(v, 0) // only fromX channels are internal targets
+		}
+	}
+	for p := 0; p < numPorts; p++ {
+		r.inArb[p] = arbiter.NewRoundRobin(VCsPerPort)
+	}
+	for m := 0; m < 2; m++ {
+		for o := 0; o < numOutsPerMod; o++ {
+			r.outArb[m][o] = arbiter.NewRoundRobin(3)
+		}
+	}
+	for i := range r.vaArb {
+		arbs := make([]*arbiter.RoundRobin, NumVCs)
+		for j := range arbs {
+			arbs[j] = arbiter.NewRoundRobin(NumVCs)
+		}
+		r.vaArb[i] = arbs
+	}
+	return r
+}
+
+// ID returns the node this router serves.
+func (r *Router) ID() int { return r.id }
+
+// AttachInput wires an arriving link.
+func (r *Router) AttachInput(d topology.Direction, c *router.Conn) { r.in[d] = c }
+
+// AttachOutput wires a departing link and sizes its credit book.
+func (r *Router) AttachOutput(d topology.Direction, c *router.Conn, depths []int) {
+	r.out[d] = c
+	r.books[d] = router.NewOutVCBook(len(depths), BufferDepth)
+	for vc, depth := range depths {
+		if depth != BufferDepth {
+			r.books[d].SetDepth(vc, depth)
+		}
+	}
+}
+
+// SetNeighbor records the router reached through output d.
+func (r *Router) SetNeighbor(d topology.Direction, n router.Router) { r.neighbors[d] = n }
+
+// SetSink installs the PE delivery callback.
+func (r *Router) SetSink(s router.Sink) { r.sink = s }
+
+// Activity returns the per-component event counters.
+func (r *Router) Activity() *router.Activity { return &r.act }
+
+// Contention returns the switch-conflict tallies.
+func (r *Router) Contention() *router.Contention { return &r.cont }
+
+// ApplyFault blocks the entire node: the PDR modules are intertwined (the
+// Y-module depends on the X-module for injection, transfer and ejection),
+// so there is no graceful degradation to fall back to.
+func (r *Router) ApplyFault(fault.Fault) { r.dead = true }
+
+// CanServe reports whether traffic can be served; all-or-nothing.
+func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
+
+// CongestionCost estimates pressure on output out.
+func (r *Router) CongestionCost(out topology.Direction) float64 {
+	b := r.books[out]
+	if b == nil {
+		return 0
+	}
+	capacity := b.Size() * BufferDepth
+	return float64(capacity-b.FreeSlots()) / float64(capacity)
+}
+
+// NumInputVCs returns the router-wide VC namespace size.
+func (r *Router) NumInputVCs(topology.Direction) int { return NumVCs }
+
+// InputVCDepth returns the usable depth of VC vc for arrivals on side
+// from; channels of other ports are unreachable from that link.
+func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
+	if r.dead || portOfVC(vc) != arrivalPort(from) {
+		return 0
+	}
+	return r.vcs[vc].Capacity()
+}
+
+// InputVCClaimable reports whether VC vc can take a new packet.
+func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
+	return !r.dead && portOfVC(vc) == arrivalPort(from) && r.vcs[vc].Claimable(from)
+}
+
+// ClaimInputVC reserves VC vc for an inbound packet.
+func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
+	if !r.InputVCClaimable(from, vc) {
+		return false
+	}
+	r.vcs[vc].Claim(from)
+	return true
+}
+
+// Quiescent reports whether no flit is buffered anywhere in the router.
+func (r *Router) Quiescent() bool {
+	for _, vc := range r.vcs {
+		if vc.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TryInject offers the next flit of the PE's current packet. All injection
+// enters through the X-module's PE port (dimension order starts in X).
+func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
+	if r.dead {
+		return false
+	}
+	if f.Type.IsHead() && f.OutPort == topology.Local {
+		r.sink(f, cycle)
+		if !f.Type.IsTail() {
+			r.injVC = -2
+		}
+		return true
+	}
+	if r.injVC == -2 {
+		r.sink(f, cycle)
+		if f.Type.IsTail() {
+			r.injVC = -1
+		}
+		return true
+	}
+	if f.Type.IsHead() {
+		if r.injVC >= 0 {
+			return false
+		}
+		for v := portFromPE * VCsPerPort; v < (portFromPE+1)*VCsPerPort; v++ {
+			vc := r.vcs[v]
+			if vc.Claimable(topology.Local) && vc.HasRoom() {
+				f.ReadyAt = cycle + 1
+				vc.Claim(topology.Local)
+				vc.PushFrom(f, topology.Local)
+				r.act.BufferWrites++
+				if !f.Type.IsTail() {
+					r.injVC = v
+				}
+				return true
+			}
+		}
+		return false
+	}
+	if r.injVC < 0 {
+		return false
+	}
+	vc := r.vcs[r.injVC]
+	if !vc.HasRoom() {
+		return false
+	}
+	f.ReadyAt = cycle + 1
+	vc.PushFrom(f, topology.Local)
+	r.act.BufferWrites++
+	if f.Type.IsTail() {
+		r.injVC = -1
+	}
+	return true
+}
+
+// moduleOutOf returns (module, output slot) for a packet in port with the
+// given route at this router.
+func moduleOutOf(port int, outPort topology.Direction) (int, int) {
+	if port <= portFromPE { // X-module
+		switch outPort {
+		case topology.East:
+			return 0, outE
+		case topology.West:
+			return 0, outW
+		default:
+			// N, S or Local: transfer into the Y-module first.
+			return 0, outToY
+		}
+	}
+	switch outPort { // Y-module
+	case topology.North:
+		return 1, outN
+	case topology.South:
+		return 1, outS
+	case topology.Local:
+		return 1, outEject
+	default:
+		panic(fmt.Sprintf("pdr: Y-module packet routed %s", outPort))
+	}
+}
+
+// Tick advances the router one cycle.
+func (r *Router) Tick(cycle int64) {
+	if r.dead {
+		for d := 0; d < 5; d++ {
+			if r.in[d] != nil {
+				r.in[d].Flit.Read()
+			}
+			if r.out[d] != nil {
+				r.out[d].Credit.Read()
+			}
+		}
+		return
+	}
+	r.act.Cycles++
+
+	for _, d := range topology.CardinalDirections {
+		if r.out[d] == nil {
+			continue
+		}
+		for _, vc := range r.out[d].Credit.Read() {
+			r.books[d].ReturnCredit(vc)
+		}
+	}
+
+	for _, d := range topology.CardinalDirections {
+		if r.in[d] == nil {
+			continue
+		}
+		f := r.in[d].Flit.Read()
+		if f == nil {
+			continue
+		}
+		f.Hops++
+		f.ReadyAt = cycle + 1 + f.Penalty
+		if f.Penalty > 0 {
+			r.act.RouteComputations++
+			f.Penalty = 0
+		}
+		if f.Rec != nil {
+			f.Rec.Visit(r.id, cycle, trace.Arrived)
+		}
+		r.vcs[f.VC].PushFrom(f, d)
+		r.act.BufferWrites++
+	}
+
+	r.drainDoomed()
+	r.allocateVCs(cycle)
+	r.allocateSwitch(cycle)
+}
+
+// drainDoomed discards flits of fault-blocked packets.
+func (r *Router) drainDoomed() {
+	for _, vc := range r.vcs {
+		for vc.Doomed() && vc.Len() > 0 {
+			feeder := vc.Feeder()
+			f := vc.Pop()
+			r.act.DroppedFlits++
+			if f.Rec != nil && f.Type.IsHead() {
+				f.Rec.Visit(r.id, 0, trace.Dropped)
+			}
+			if feeder.IsCardinal() && r.in[feeder] != nil {
+				r.in[feeder].Credit.Write(vc.Index)
+			}
+			if portOfVC(vc.Index) == portFromX {
+				r.transferBook.ReturnCredit(vc.Index)
+			}
+			if f.Type.IsTail() {
+				break
+			}
+		}
+	}
+}
+
+type vaRequest struct {
+	vcID    int
+	choice  int
+	nextOut topology.Direction
+	book    int // index into vaArb: topology.Direction or 5 = internal
+}
+
+// allocateVCs handles both allocation legs: external links (downstream
+// router channels) and the internal X-to-Y transfer (local fromX
+// channels).
+func (r *Router) allocateVCs(cycle int64) {
+	var byTarget [6][NumVCs][]vaRequest
+
+	for id, vc := range r.vcs {
+		r.vaFailed[id] = false
+		head := vc.Front()
+		if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
+			continue
+		}
+		r.act.VAOps++
+		port := portOfVC(id)
+		_, slot := moduleOutOf(port, vc.OutPort())
+
+		if port <= portFromPE && slot == outToY {
+			// Internal leg: claim a local fromX channel. The feeder for
+			// internal transfers is recorded as Local (no link credits).
+			for c := portFromX * VCsPerPort; c < (portFromX+1)*VCsPerPort; c++ {
+				if r.vcs[c].Claimable(topology.Local) {
+					byTarget[5][c] = append(byTarget[5][c], vaRequest{id, c, vc.OutPort(), 5})
+					break
+				}
+			}
+			continue
+		}
+		if vc.OutPort() == topology.Local {
+			// Y-module ejection: the PE interface always has room.
+			vc.GrantEject()
+			continue
+		}
+
+		out := vc.OutPort()
+		nbr := r.neighbors[out]
+		book := r.books[out]
+		if nbr == nil || book == nil {
+			continue
+		}
+		downstream, ok := r.engine.Topology().Neighbor(r.id, out)
+		if !ok {
+			continue
+		}
+		from := out.Opposite()
+		nextOut := r.engine.RouteAt(downstream, from, head)
+		vc.SetNextOut(nextOut)
+		if !nbr.CanServe(from, nextOut) {
+			vc.Doom()
+			continue
+		}
+		// Candidates: the downstream VCs of the arrival port for this link.
+		target := arrivalPort(from)
+		requested := false
+		for c := target * VCsPerPort; c < (target+1)*VCsPerPort; c++ {
+			if book.Alive(c) && nbr.InputVCClaimable(from, c) {
+				byTarget[out][c] = append(byTarget[out][c], vaRequest{id, c, nextOut, int(out)})
+				requested = true
+				break
+			}
+		}
+		if !requested {
+			r.vaFailed[id] = true
+		}
+	}
+
+	for bookIdx := 0; bookIdx < 6; bookIdx++ {
+		for c := 0; c < NumVCs; c++ {
+			claims := byTarget[bookIdx][c]
+			if len(claims) == 0 {
+				continue
+			}
+			for i := range r.reqVec {
+				r.reqVec[i] = false
+			}
+			for _, cl := range claims {
+				r.reqVec[cl.vcID] = true
+			}
+			w := r.vaArb[bookIdx][c].Grant(r.reqVec[:])
+			for _, cl := range claims {
+				if cl.vcID != w {
+					r.vaFailed[cl.vcID] = true
+					continue
+				}
+				vc := r.vcs[cl.vcID]
+				if bookIdx == 5 {
+					// Internal transfer grant.
+					if !r.vcs[cl.choice].Claimable(topology.Local) {
+						r.vaFailed[cl.vcID] = true
+						continue
+					}
+					r.vcs[cl.choice].Claim(topology.Local)
+					r.transferBook.EnqueueGrant(cl.choice, cl.vcID)
+					vc.GrantRoute(cl.choice, cl.nextOut)
+					r.act.VAGrants++
+					continue
+				}
+				out := topology.Direction(bookIdx)
+				nbr := r.neighbors[out]
+				if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), cl.choice) {
+					r.vaFailed[cl.vcID] = true
+					continue
+				}
+				r.books[out].EnqueueGrant(cl.choice, cl.vcID)
+				vc.GrantRoute(cl.choice, cl.nextOut)
+				r.act.VAGrants++
+			}
+		}
+	}
+}
+
+// creditOK reports whether the front flit may stream toward its target
+// (external link or internal transfer channel).
+func (r *Router) creditOK(id int, vc *router.VC) bool {
+	if vc.EjectNext() {
+		return true
+	}
+	port := portOfVC(id)
+	_, slot := moduleOutOf(port, vc.OutPort())
+	if port <= portFromPE && slot == outToY {
+		return r.transferBook.Credits(vc.OutVC()) > 0 && r.transferBook.MayStream(vc.OutVC(), id)
+	}
+	if vc.OutPort() == topology.Local {
+		return true
+	}
+	book := r.books[vc.OutPort()]
+	return book.Credits(vc.OutVC()) > 0 && book.MayStream(vc.OutVC(), id)
+}
+
+// switchReady reports whether the front flit of VC id can request its
+// module output this cycle.
+func (r *Router) switchReady(id int, vc *router.VC, cycle int64) bool {
+	if !vc.SwitchReady(cycle) || vc.Doomed() {
+		return false
+	}
+	return r.creditOK(id, vc)
+}
+
+// allocateSwitch runs the two 3x3 separable switch allocations and
+// forwards winners (externally, internally, or to the PE).
+func (r *Router) allocateSwitch(cycle int64) {
+	// Contention accounting (Figure 3 definition): desire overlap per
+	// module output.
+	var desire [numPorts][numOutsPerMod]bool
+	for id, vc := range r.vcs {
+		if r.switchReady(id, vc, cycle) {
+			port := portOfVC(id)
+			_, slot := moduleOutOf(port, vc.OutPort())
+			desire[port][slot] = true
+		}
+	}
+	for m := 0; m < 2; m++ {
+		for o := 0; o < numOutsPerMod; o++ {
+			n := 0
+			for p := m * 3; p < m*3+3; p++ {
+				if desire[p][o] {
+					n++
+				}
+			}
+			if n > 0 {
+				r.countContention(m, o, n)
+			}
+		}
+	}
+
+	// Stage 1: one nomination per input port.
+	var vcVec [VCsPerPort]bool
+	for p := 0; p < numPorts; p++ {
+		r.nomOut[p] = -1
+		r.nomVC[p] = -1
+		any := false
+		for v := 0; v < VCsPerPort; v++ {
+			id := p*VCsPerPort + v
+			vc := r.vcs[id]
+			ok := r.switchReady(id, vc, cycle)
+			vcVec[v] = ok
+			if ok {
+				any = true
+				r.act.SAOps++
+			} else if r.vaFailed[id] {
+				r.act.SAOps++
+			}
+		}
+		if !any {
+			continue
+		}
+		w := r.inArb[p].Grant(vcVec[:])
+		id := p*VCsPerPort + w
+		_, slot := moduleOutOf(p, r.vcs[id].OutPort())
+		r.nomOut[p] = slot
+		r.nomVC[p] = id
+	}
+
+	// Stage 2: per module output, arbitrate among its three ports.
+	for m := 0; m < 2; m++ {
+		for o := 0; o < numOutsPerMod; o++ {
+			var reqs [3]bool
+			for i := 0; i < 3; i++ {
+				reqs[i] = r.nomOut[m*3+i] == o
+			}
+			w := r.outArb[m][o].Grant(reqs[:])
+			if w < 0 {
+				continue
+			}
+			r.act.SAGrants++
+			r.traverse(m, o, r.nomVC[m*3+w], cycle)
+		}
+	}
+}
+
+// countContention maps module outputs to Figure 3's row/column split.
+func (r *Router) countContention(module, slot, n int) {
+	contended := n > 1
+	c := 0
+	if contended {
+		c = n
+	}
+	if module == 0 && slot != outToY {
+		r.cont.RowRequests += int64(n)
+		r.cont.RowFailures += int64(c)
+	} else if module == 1 && slot != outEject {
+		r.cont.ColRequests += int64(n)
+		r.cont.ColFailures += int64(c)
+	}
+}
+
+// traverse moves a winning flit through its module's crossbar: onto the
+// external link, into the internal transfer channel (the concatenated
+// traversal), or to the PE.
+func (r *Router) traverse(module, slot, vcID int, cycle int64) {
+	vc := r.vcs[vcID]
+	outVC, nextOut, ejectNext, feeder := vc.OutVC(), vc.NextOut(), vc.EjectNext(), vc.Feeder()
+	outPort := vc.OutPort()
+	f := vc.Pop()
+	r.act.BufferReads++
+	r.act.CrossbarTraversals++
+	if feeder.IsCardinal() && r.in[feeder] != nil {
+		r.in[feeder].Credit.Write(vcID)
+	}
+	if portOfVC(vcID) == portFromX {
+		// The flit leaves an internal transfer channel: return its credit
+		// to the X-module side.
+		r.transferBook.ReturnCredit(vcID)
+	}
+
+	if module == 0 && slot == outToY {
+		// Concatenated traversal: the flit lands in a Y-module channel of
+		// this same router, route state intact, and re-arbitrates there.
+		r.transferBook.Send(outVC, f.Type.IsTail())
+		f.ReadyAt = cycle + 1
+		target := r.vcs[outVC]
+		target.PushFrom(f, topology.Local)
+		r.act.BufferWrites++
+		return
+	}
+	if module == 1 && slot == outEject {
+		// One extra cycle models the crossbar-to-PE interface latch, as in
+		// the generic router.
+		r.act.Ejections++
+		r.sink(f, cycle+1)
+		return
+	}
+
+	f.OutPort = nextOut
+	if ejectNext {
+		f.VC = -1
+	} else {
+		f.VC = outVC
+		r.books[outPort].Send(outVC, f.Type.IsTail())
+	}
+	f.ReadyAt = 0
+	r.act.LinkFlits++
+	r.act.LinkFlitsByDir[outPort]++
+	r.out[outPort].Flit.Write(f)
+}

@@ -1,0 +1,90 @@
+// Package router provides the shared microarchitectural building blocks
+// the three router implementations (generic, path-sensitive, RoCo) are
+// assembled from: 1-cycle link and credit pipes, virtual-channel buffers,
+// output-side credit/allocation bookkeeping, activity counters for the
+// energy model, and the Router interface the network fabric drives.
+package router
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/flit"
+)
+
+// FlitPipe is a one-cycle link latch: a flit written during cycle t becomes
+// readable during cycle t+1, after the network advances all pipes at the
+// cycle boundary. At most one flit per cycle models the single-flit-wide
+// physical channel.
+type FlitPipe struct {
+	cur, next *flit.Flit
+}
+
+// Write stages f for delivery next cycle. Writing twice in one cycle
+// panics: it means an allocator granted the same link to two flits, which
+// is a simulator bug, never a legal outcome.
+func (p *FlitPipe) Write(f *flit.Flit) {
+	if p.next != nil {
+		panic(fmt.Sprintf("router: link written twice in one cycle (%v then %v)", p.next, f))
+	}
+	p.next = f
+}
+
+// Read consumes the flit delivered this cycle, or nil.
+func (p *FlitPipe) Read() *flit.Flit {
+	f := p.cur
+	p.cur = nil
+	return f
+}
+
+// Busy reports whether the pipe already carries a flit for next cycle.
+func (p *FlitPipe) Busy() bool { return p.next != nil }
+
+// Advance moves staged values into view. The network calls it once per
+// cycle boundary. An unconsumed flit is a protocol violation: credit-based
+// flow control guarantees the receiver always has room.
+func (p *FlitPipe) Advance() {
+	if p.cur != nil {
+		panic(fmt.Sprintf("router: flit %v was never consumed", p.cur))
+	}
+	p.cur, p.next = p.next, nil
+}
+
+// CreditPipe carries credits upstream with a one-cycle delay. Several
+// credits may be emitted in one cycle (e.g. an early ejection draining
+// multiple VCs is impossible on one link, but tail-release and regular
+// forwarding can coincide across VC indexes).
+type CreditPipe struct {
+	cur, next []int
+}
+
+// Write stages a credit for VC index vc.
+func (p *CreditPipe) Write(vc int) { p.next = append(p.next, vc) }
+
+// Read consumes the credits delivered this cycle. The returned slice is
+// only valid until the next Advance.
+func (p *CreditPipe) Read() []int {
+	c := p.cur
+	p.cur = nil
+	return c
+}
+
+// Advance moves staged credits into view.
+func (p *CreditPipe) Advance() {
+	p.cur, p.next = p.next, p.cur[:0]
+	if p.cur != nil && len(p.cur) == 0 {
+		p.cur = nil
+	}
+}
+
+// Conn bundles the two half-channels of one directed router-to-router
+// link: flits flowing downstream and credits flowing back upstream.
+type Conn struct {
+	Flit   FlitPipe
+	Credit CreditPipe
+}
+
+// Advance advances both pipes.
+func (c *Conn) Advance() {
+	c.Flit.Advance()
+	c.Credit.Advance()
+}

@@ -1,0 +1,369 @@
+package router
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+)
+
+// MaxPacketsPerChannel bounds how many packets may be admitted to one
+// virtual channel at once. VC reallocation is non-atomic: the next packet
+// is admitted as soon as the previous packet's tail has been sent by the
+// upstream router, so a channel streams back-to-back packets without
+// waiting for the full drain — but only packets arriving over the same
+// upstream link, which preserves FIFO flit order inside the buffer. The
+// window is deliberately deep: a channel behaves as a per-(link, class)
+// FIFO whose throughput is bounded by credits and switch bandwidth, not by
+// packet-granularity reservation (Table 1 provisions as little as one dy
+// channel per direction, which must still sustain near-full link rate).
+const MaxPacketsPerChannel = 8
+
+// pktState is the routing state of one packet resident in (or admitted to)
+// a channel: its output port at this router, the downstream channel its VA
+// granted, and the link its credits return over.
+type pktState struct {
+	outPort   topology.Direction
+	nextOut   topology.Direction
+	outVC     int
+	ejectNext bool
+	doomed    bool
+	feeder    topology.Direction
+}
+
+// VC is one virtual-channel buffer. Its flit queue is strictly FIFO and
+// may hold the tail of one packet and the head of the next; the states
+// list tracks per-packet routing state in the same order. Only the front
+// packet participates in allocation.
+type VC struct {
+	// Index is the VC's identity inside its router's VC namespace; it is
+	// what upstream routers place into flit.VC.
+	Index int
+	// Class is the semantic path-set class of the channel (dx, dy, txy,
+	// tyx, Injxy, Injyx) for the RoCo router; baseline routers leave the
+	// zero value.
+	Class routing.Turn
+	// Depth is the buffer capacity in flits.
+	Depth int
+
+	// Faulty marks a failed buffer operating under virtual queuing: the
+	// channel degrades to a single bypass latch (capacity 1) and every
+	// flit passing through pays the handshake penalty.
+	Faulty bool
+	// FaultPenalty is the extra cycles a flit spends before becoming
+	// SA-ready in a faulty channel.
+	FaultPenalty int64
+
+	claims      int // packets admitted whose tails have not yet popped
+	claimFeeder topology.Direction
+	states      []pktState
+	queue       []*flit.Flit
+}
+
+// NewVC returns an idle channel of the given index and depth.
+func NewVC(index, depth int) *VC {
+	if depth < 1 {
+		panic("router: VC depth must be >= 1")
+	}
+	return &VC{
+		Index:       index,
+		Depth:       depth,
+		claimFeeder: topology.Invalid,
+		states:      make([]pktState, 0, MaxPacketsPerChannel),
+		queue:       make([]*flit.Flit, 0, depth),
+	}
+}
+
+// Capacity returns the usable buffer depth, accounting for a buffer fault
+// (virtual queuing degrades the channel to its single bypass latch).
+func (v *VC) Capacity() int {
+	if v.Faulty {
+		return 1
+	}
+	return v.Depth
+}
+
+// Len returns the number of buffered flits.
+func (v *VC) Len() int { return len(v.queue) }
+
+// HasRoom reports whether one more flit fits.
+func (v *VC) HasRoom() bool { return len(v.queue) < v.Capacity() }
+
+// Active reports whether any packet occupies the channel.
+func (v *VC) Active() bool { return len(v.states) > 0 }
+
+// Idle reports whether the channel holds neither packets nor claims.
+func (v *VC) Idle() bool { return v.claims == 0 && len(v.queue) == 0 }
+
+// Front returns the oldest buffered flit without removing it, or nil.
+func (v *VC) Front() *flit.Flit {
+	if len(v.queue) == 0 {
+		return nil
+	}
+	return v.queue[0]
+}
+
+// OutPort returns the front packet's output port at this router, or
+// Invalid when the channel is empty.
+func (v *VC) OutPort() topology.Direction {
+	if len(v.states) == 0 {
+		return topology.Invalid
+	}
+	return v.states[0].outPort
+}
+
+// NextOut returns the front packet's look-ahead route (its output at the
+// downstream router), or Invalid.
+func (v *VC) NextOut() topology.Direction {
+	if len(v.states) == 0 {
+		return topology.Invalid
+	}
+	return v.states[0].nextOut
+}
+
+// OutVC returns the downstream channel granted to the front packet, or -1.
+func (v *VC) OutVC() int {
+	if len(v.states) == 0 {
+		return -1
+	}
+	return v.states[0].outVC
+}
+
+// EjectNext reports whether the front packet will be early-ejected at the
+// downstream router (no downstream channel needed).
+func (v *VC) EjectNext() bool {
+	return len(v.states) > 0 && v.states[0].ejectNext
+}
+
+// Feeder returns the link the front packet arrived over (Local for
+// PE-injected packets), or Invalid.
+func (v *VC) Feeder() topology.Direction {
+	if len(v.states) == 0 {
+		return topology.Invalid
+	}
+	return v.states[0].feeder
+}
+
+// SetNextOut updates the front packet's look-ahead route (adaptive VA
+// retries recompute it).
+func (v *VC) SetNextOut(d topology.Direction) { v.states[0].nextOut = d }
+
+// GrantRoute records a VA grant for the front packet.
+func (v *VC) GrantRoute(outVC int, nextOut topology.Direction) {
+	v.states[0].outVC = outVC
+	v.states[0].nextOut = nextOut
+}
+
+// GrantEject marks the front packet for downstream early ejection.
+func (v *VC) GrantEject() {
+	v.states[0].ejectNext = true
+	v.states[0].nextOut = topology.Local
+}
+
+// Doom marks the front packet undeliverable: a permanent fault blocks its
+// only route, so the router discards its flits as they drain (the paper's
+// static fault handling: "fragmented packets are simply discarded").
+// Without discard, the stranded wormhole would assert backpressure forever
+// and tree saturation would wedge the whole network.
+func (v *VC) Doom() { v.states[0].doomed = true }
+
+// Doomed reports whether the front packet is marked for discard.
+func (v *VC) Doomed() bool { return len(v.states) > 0 && v.states[0].doomed }
+
+// Claimable reports whether the channel can admit a new packet arriving
+// over link from. Admission requires a free packet slot and, when the
+// channel is already occupied or claimed, the same feeder link — flits
+// from one link arrive in order, so back-to-back packets stay FIFO.
+func (v *VC) Claimable(from topology.Direction) bool {
+	if v.claims == 0 {
+		return true
+	}
+	return v.claims < MaxPacketsPerChannel && from == v.claimFeeder
+}
+
+// Claim reserves a packet slot for an inbound packet on link from. It
+// panics when not claimable: the claim protocol must check first.
+func (v *VC) Claim(from topology.Direction) {
+	if !v.Claimable(from) {
+		panic(fmt.Sprintf("router: claim of unavailable vc %d", v.Index))
+	}
+	v.claims++
+	v.claimFeeder = from
+}
+
+// PushFrom buffers a flit that arrived over link from. A head flit opens
+// the next admitted packet's state. Pushing into a full channel, or a head
+// without a claim, panics: flow control must prevent both.
+func (v *VC) PushFrom(f *flit.Flit, from topology.Direction) {
+	if !v.HasRoom() {
+		panic(fmt.Sprintf("router: overflow on vc %d: %v", v.Index, f))
+	}
+	if f.Type.IsHead() {
+		if len(v.states) >= v.claims {
+			panic(fmt.Sprintf("router: head %v pushed into vc %d without a claim", f, v.Index))
+		}
+		v.states = append(v.states, pktState{
+			outPort: f.OutPort,
+			nextOut: topology.Invalid,
+			outVC:   -1,
+			feeder:  from,
+		})
+	} else if len(v.states) == 0 {
+		panic(fmt.Sprintf("router: body/tail %v pushed into idle vc %d", f, v.Index))
+	}
+	if v.Faulty {
+		f.ReadyAt += v.FaultPenalty
+	}
+	v.queue = append(v.queue, f)
+}
+
+// Pop removes and returns the front flit. Popping a tail retires the front
+// packet and releases its claim slot.
+func (v *VC) Pop() *flit.Flit {
+	if len(v.queue) == 0 {
+		panic(fmt.Sprintf("router: pop from empty vc %d", v.Index))
+	}
+	f := v.queue[0]
+	copy(v.queue, v.queue[1:])
+	v.queue = v.queue[:len(v.queue)-1]
+	if f.Type.IsTail() {
+		copy(v.states, v.states[1:])
+		v.states = v.states[:len(v.states)-1]
+		v.claims--
+		if v.claims == 0 {
+			v.claimFeeder = topology.Invalid
+		}
+	}
+	return f
+}
+
+// NeedsVA reports whether the channel's front flit is a head still
+// awaiting a downstream channel grant. FIFO order guarantees that a head
+// at the front belongs to the front packet state.
+func (v *VC) NeedsVA() bool {
+	f := v.Front()
+	if f == nil || !f.Type.IsHead() || len(v.states) == 0 {
+		return false
+	}
+	return v.states[0].outVC < 0 && !v.states[0].ejectNext
+}
+
+// SwitchReady reports whether the front flit may request the switch in the
+// given cycle: the front packet is routed (VA done or ejecting next hop)
+// and the flit's ReadyAt has passed. Credit availability is the caller's
+// concern.
+func (v *VC) SwitchReady(cycle int64) bool {
+	f := v.Front()
+	if f == nil || len(v.states) == 0 || f.ReadyAt > cycle {
+		return false
+	}
+	if f.Type.IsHead() {
+		return v.states[0].outVC >= 0 || v.states[0].ejectNext
+	}
+	// Body/tail flits follow the wormhole their head opened.
+	return true
+}
+
+// OutVCBook tracks the upstream-side credit state of the downstream
+// channels reachable through one output port, and orders non-atomic
+// channel handover: several local packets may hold grants to the same
+// downstream channel, but only the oldest grant may stream flits until its
+// tail has been sent — younger grants wait, so flits of back-to-back
+// packets never interleave on the link and the shared downstream FIFO
+// stays in order.
+type OutVCBook struct {
+	depths  []int
+	credits []int
+	order   [][]int // per channel: FIFO of local grantee VC indexes
+	dead    []bool  // downstream channel unusable (fault without recovery)
+}
+
+// NewOutVCBook returns a book for n downstream VCs of the given depth.
+func NewOutVCBook(n, depth int) *OutVCBook {
+	b := &OutVCBook{
+		depths:  make([]int, n),
+		credits: make([]int, n),
+		order:   make([][]int, n),
+		dead:    make([]bool, n),
+	}
+	for i := range b.credits {
+		b.depths[i] = depth
+		b.credits[i] = depth
+	}
+	return b
+}
+
+// SetDepth adjusts the capacity of one downstream channel; the network
+// uses it when a downstream buffer fault degrades a VC to its bypass
+// latch. It must be called before traffic flows.
+func (b *OutVCBook) SetDepth(vc, depth int) {
+	if depth < 0 {
+		panic("router: negative VC depth")
+	}
+	b.depths[vc] = depth
+	b.credits[vc] = depth
+	b.dead[vc] = depth == 0
+}
+
+// Size returns the number of downstream VCs tracked.
+func (b *OutVCBook) Size() int { return len(b.credits) }
+
+// Alive reports whether downstream VC vc is usable at all.
+func (b *OutVCBook) Alive(vc int) bool { return !b.dead[vc] }
+
+// EnqueueGrant records a local VA grant of downstream channel vc to the
+// local channel grantee; grants stream in FIFO order.
+func (b *OutVCBook) EnqueueGrant(vc, grantee int) {
+	b.order[vc] = append(b.order[vc], grantee)
+}
+
+// MayStream reports whether grantee holds the oldest outstanding grant of
+// vc and may therefore send flits into it.
+func (b *OutVCBook) MayStream(vc, grantee int) bool {
+	q := b.order[vc]
+	return len(q) > 0 && q[0] == grantee
+}
+
+// QueuedGrants returns the number of outstanding local grants of vc; VA
+// uses it to spread load across equivalent channels instead of piling
+// packets onto the first claimable one.
+func (b *OutVCBook) QueuedGrants(vc int) int { return len(b.order[vc]) }
+
+// Credits returns the remaining buffer slots of vc.
+func (b *OutVCBook) Credits(vc int) int { return b.credits[vc] }
+
+// Send consumes one credit for a flit entering vc; the tail retires the
+// oldest grant, letting the next packet stream.
+func (b *OutVCBook) Send(vc int, tail bool) {
+	if b.credits[vc] <= 0 {
+		panic(fmt.Sprintf("router: credit underflow on downstream vc %d", vc))
+	}
+	b.credits[vc]--
+	if tail {
+		q := b.order[vc]
+		if len(q) == 0 {
+			panic(fmt.Sprintf("router: tail sent into unallocated downstream vc %d", vc))
+		}
+		copy(q, q[1:])
+		b.order[vc] = q[:len(q)-1]
+	}
+}
+
+// ReturnCredit processes one credit arriving from downstream.
+func (b *OutVCBook) ReturnCredit(vc int) {
+	if b.credits[vc] >= b.depths[vc] {
+		panic(fmt.Sprintf("router: credit overflow on downstream vc %d", vc))
+	}
+	b.credits[vc]++
+}
+
+// FreeSlots sums the outstanding credits across all downstream VCs; the
+// adaptive cost function uses it as its congestion signal.
+func (b *OutVCBook) FreeSlots() int {
+	total := 0
+	for _, c := range b.credits {
+		total += c
+	}
+	return total
+}

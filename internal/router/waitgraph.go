@@ -1,0 +1,22 @@
+package router
+
+// WaitEdge is one observed wait-for dependency: a channel holding a
+// blocked packet waiting on a resource at a (usually downstream) router.
+type WaitEdge struct {
+	// FromNode/FromVC hold the blocked packet's front flit.
+	FromNode, FromVC int
+	// ToNode/ToVC is a channel the packet is waiting to acquire or to
+	// drain (one of possibly several alternatives).
+	ToNode, ToVC int
+}
+
+// WaitGraphSource lets a router expose its blocked-channel dependencies
+// for deadlock analysis. Routers implement it optionally; the network's
+// detector skips routers that do not.
+type WaitGraphSource interface {
+	// WaitEdges returns, for every channel whose front packet is blocked,
+	// the set of channels it is waiting on. An entry with ToNode == -1
+	// means the packet waits on a non-channel resource (e.g. a link or
+	// ejection port) and cannot be part of a channel cycle.
+	WaitEdges() []WaitEdge
+}

@@ -1,0 +1,120 @@
+// Package stats supplies the deterministic random-number machinery and the
+// statistics accumulators used throughout the simulator. All randomness in a
+// simulation flows from explicitly seeded RNG instances so that every
+// experiment is exactly reproducible.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via splitmix64). It is not safe for concurrent use;
+// the simulator gives each node its own stream.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, which
+// guarantees a well-mixed nonzero state for any seed value.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent stream from r, keyed by id. Each node of the
+// network uses a split stream so that changing one node's behavior does not
+// perturb another's randomness.
+func (r *RNG) Split(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id+1)*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value of the stream.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is negligible for the small n the simulator uses, but the
+	// rejection loop keeps it exact regardless.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Pareto draws from a bounded Pareto distribution with shape alpha on
+// [xmin, xmax]. Bounded Pareto ON/OFF periods are the standard construction
+// for self-similar traffic (Barford & Crovella), which the paper uses for
+// its web-traffic workload.
+func (r *RNG) Pareto(alpha, xmin, xmax float64) float64 {
+	if alpha <= 0 || xmin <= 0 || xmax <= xmin {
+		panic("stats: invalid bounded-Pareto parameters")
+	}
+	u := r.Float64()
+	ha := math.Pow(xmax, alpha)
+	la := math.Pow(xmin, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("stats: non-positive exponential mean")
+	}
+	return -mean * math.Log(1-r.Float64())
+}

@@ -1,0 +1,10 @@
+package roco
+
+import "github.com/rocosim/roco/internal/stats"
+
+// newFaultRNG seeds the RNG used for random fault-set generation; split
+// off the user seed so fault placement and traffic randomness are
+// independent streams.
+func newFaultRNG(seed uint64) *stats.RNG {
+	return stats.NewRNG(seed ^ 0xfa171f5e7)
+}

@@ -1,0 +1,371 @@
+// Package roco is a cycle-accurate reproduction of the RoCo (Row-Column)
+// Decoupled Router from Kim et al., "A Gracefully Degrading and
+// Energy-Efficient Modular Router Architecture for On-Chip Networks"
+// (ISCA 2006), together with the paper's two baselines — a generic
+// two-stage virtual-channel router and the Path-Sensitive router — and the
+// full evaluation harness: flit-level mesh simulation, traffic generators,
+// a structural energy model, permanent-fault injection with the paper's
+// hardware-recycling recovery schemes, and drivers that regenerate every
+// table and figure of the paper's evaluation section.
+//
+// The quickest way in:
+//
+//	res := roco.Run(roco.Config{
+//		Router:        roco.RoCo,
+//		Algorithm:     roco.XY,
+//		Traffic:       roco.Uniform,
+//		InjectionRate: 0.25,
+//	})
+//	fmt.Printf("avg latency %.1f cycles, %.2f nJ/packet\n",
+//		res.AvgLatency, res.EnergyPerPacketNJ)
+package roco
+
+import (
+	"fmt"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/power"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/router/generic"
+	"github.com/rocosim/roco/internal/router/pathsensitive"
+	"github.com/rocosim/roco/internal/router/pdr"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// RouterKind selects a router microarchitecture.
+type RouterKind int
+
+const (
+	// Generic is the conventional 5-port two-stage VC router (baseline 1).
+	Generic RouterKind = iota
+	// PathSensitive is the DAC'05 quadrant-path-set router (baseline 2).
+	PathSensitive
+	// RoCo is the paper's Row-Column decoupled router.
+	RoCo
+	// PDR is the Partitioned Dimension-Order Router of the paper's related
+	// work: two intertwined 3x3 crossbars with concatenated switch
+	// traversals on dimension changes. Extension comparator; XY routing
+	// only.
+	PDR
+)
+
+// RouterKinds lists the architectures in the paper's comparison order.
+var RouterKinds = [3]RouterKind{Generic, PathSensitive, RoCo}
+
+// AllRouterKinds additionally includes the PDR extension comparator.
+var AllRouterKinds = [4]RouterKind{Generic, PathSensitive, RoCo, PDR}
+
+// String names the router as the paper's figures do.
+func (k RouterKind) String() string {
+	switch k {
+	case Generic:
+		return "Generic VC Router"
+	case PathSensitive:
+		return "Path-Sensitive"
+	case RoCo:
+		return "RoCo"
+	case PDR:
+		return "PDR"
+	default:
+		return "?"
+	}
+}
+
+// Algorithm selects the routing discipline.
+type Algorithm int
+
+const (
+	// XY is deterministic dimension-order routing.
+	XY Algorithm = iota
+	// XYYX is oblivious XY-YX routing (per-packet coin flip).
+	XYYX
+	// Adaptive is minimal adaptive routing (odd-even turn model).
+	Adaptive
+)
+
+// Algorithms lists the three disciplines in evaluation order.
+var Algorithms = [3]Algorithm{XY, XYYX, Adaptive}
+
+// String names the algorithm.
+func (a Algorithm) String() string { return a.internal().String() }
+
+func (a Algorithm) internal() routing.Algorithm {
+	switch a {
+	case XY:
+		return routing.XY
+	case XYYX:
+		return routing.XYYX
+	case Adaptive:
+		return routing.Adaptive
+	default:
+		panic(fmt.Sprintf("roco: unknown algorithm %d", int(a)))
+	}
+}
+
+// TrafficPattern selects the workload.
+type TrafficPattern int
+
+const (
+	// Uniform random destinations.
+	Uniform TrafficPattern = iota
+	// Transpose sends (x,y) to (y,x).
+	Transpose
+	// SelfSimilar models web traffic with Pareto ON/OFF sources.
+	SelfSimilar
+	// MPEG2 models GoP-structured video streams.
+	MPEG2
+	// BitComplement sends node b to node ^b (extension).
+	BitComplement
+	// Hotspot skews uniform traffic toward one node (extension).
+	Hotspot
+)
+
+// TrafficPatterns lists the paper's three reported workloads.
+var TrafficPatterns = [3]TrafficPattern{Uniform, SelfSimilar, Transpose}
+
+// String names the pattern.
+func (p TrafficPattern) String() string { return p.internal().String() }
+
+func (p TrafficPattern) internal() traffic.Pattern {
+	switch p {
+	case Uniform:
+		return traffic.Uniform
+	case Transpose:
+		return traffic.Transpose
+	case SelfSimilar:
+		return traffic.SelfSimilar
+	case MPEG2:
+		return traffic.MPEG2
+	case BitComplement:
+		return traffic.BitComplement
+	case Hotspot:
+		return traffic.Hotspot
+	default:
+		panic(fmt.Sprintf("roco: unknown traffic pattern %d", int(p)))
+	}
+}
+
+// Component names a router component for fault injection (paper Table 3).
+type Component int
+
+const (
+	// RC is the routing-computation unit.
+	RC Component = iota
+	// Buffer is one VC buffer.
+	Buffer
+	// VA is the virtual-channel allocator.
+	VA
+	// SA is the switch allocator.
+	SA
+	// Crossbar is the switch fabric.
+	Crossbar
+	// MuxDemux covers the input decoders and output multiplexers.
+	MuxDemux
+)
+
+// String names the component.
+func (c Component) String() string { return fault.Component(c).String() }
+
+// Fault is one permanent intra-router failure.
+type Fault struct {
+	// Node is the afflicted router.
+	Node int
+	// Component is the failed unit.
+	Component Component
+	// Module localizes the fault inside a RoCo router: 0 = row module,
+	// 1 = column module. Baseline routers ignore it.
+	Module int
+	// VC localizes a Buffer fault to one channel.
+	VC int
+}
+
+func (f Fault) internal() fault.Fault {
+	return fault.Fault{
+		Node:      f.Node,
+		Component: fault.Component(f.Component),
+		Module:    fault.Module(f.Module % 2),
+		VC:        f.VC,
+	}
+}
+
+// FaultClass selects a fault population for random injection.
+type FaultClass int
+
+const (
+	// CriticalFaults draws router-centric / critical-pathway faults
+	// (VA, SA, crossbar, MUX/DEMUX) — the population of Figure 11.
+	CriticalFaults FaultClass = iota
+	// NonCriticalFaults draws message-centric, recoverable faults
+	// (RC, buffer) — the population of Figure 12.
+	NonCriticalFaults
+)
+
+// String names the class.
+func (c FaultClass) String() string { return fault.Class(c).String() }
+
+// RandomFaults draws count random faults of the given class over a
+// width x height mesh, reproducibly from seed.
+func RandomFaults(class FaultClass, count, width, height int, seed uint64) []Fault {
+	rng := newFaultRNG(seed)
+	set := fault.RandomSet(fault.Class(class), count, width*height, core.NumVCs, rng)
+	out := make([]Fault, len(set))
+	for i, f := range set {
+		out[i] = Fault{Node: f.Node, Component: Component(f.Component), Module: int(f.Module), VC: f.VC}
+	}
+	return out
+}
+
+// Config parameterizes one simulation run. The zero value plus a router,
+// algorithm, traffic pattern and injection rate reproduces the paper's
+// setup: an 8x8 mesh with 4-flit packets of 128-bit flits.
+type Config struct {
+	// Width and Height set the grid size (default 8x8).
+	Width, Height int
+	// Torus closes the grid into a 2D torus with wrap-around links
+	// (extension; generic router with XY routing only — the RoCo channel
+	// classes of Table 1 have no dateline classes).
+	Torus bool
+	// Router selects the microarchitecture under test.
+	Router RouterKind
+	// Algorithm selects the routing discipline.
+	Algorithm Algorithm
+	// Traffic selects the workload.
+	Traffic TrafficPattern
+	// InjectionRate is the offered load in flits per node per cycle.
+	InjectionRate float64
+	// FlitsPerPacket defaults to the paper's 4 (128-bit flits).
+	FlitsPerPacket int
+	// WarmupPackets and MeasurePackets size the run. The paper uses 20k +
+	// 1M; the defaults (2k + 30k) run the whole suite in minutes while
+	// preserving steady-state shape. Raise them for paper-scale runs.
+	WarmupPackets, MeasurePackets int64
+	// Seed drives all randomness.
+	Seed uint64
+	// Faults are installed before the first cycle.
+	Faults []Fault
+	// MaxCycles hard-caps the run (0 = default).
+	MaxCycles int64
+	// InactivityLimit terminates a faulty run after this many delivery-free
+	// cycles once generation has finished (0 = default).
+	InactivityLimit int64
+	// HotspotNode and HotspotFraction configure the Hotspot pattern.
+	HotspotNode     int
+	HotspotFraction float64
+	// DisableMirrorSA (RoCo only) replaces the Mirroring-Effect switch
+	// allocator with a plain separable output stage — the ablation that
+	// quantifies what the mirror buys. Ignored by the baselines.
+	DisableMirrorSA bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Height == 0 {
+		c.Height = 8
+	}
+	if c.FlitsPerPacket == 0 {
+		c.FlitsPerPacket = 4
+	}
+	if c.WarmupPackets == 0 {
+		c.WarmupPackets = 2000
+	}
+	if c.MeasurePackets == 0 {
+		c.MeasurePackets = 30000
+	}
+	return c
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// AvgLatency is the mean end-to-end packet latency in cycles
+	// (creation at the source PE to tail delivery).
+	AvgLatency float64
+	// P95Latency, P99Latency and MaxLatency describe the latency tail.
+	P95Latency, P99Latency, MaxLatency float64
+	// Completion is the packet completion probability
+	// (delivered / generated during the measurement window).
+	Completion float64
+	// DeliveredPackets and GeneratedPackets are the raw counts behind it.
+	DeliveredPackets, GeneratedPackets int64
+	// Throughput is the accepted traffic in flits/node/cycle.
+	Throughput float64
+	// EnergyPerPacketNJ is total network energy over the measurement
+	// window divided by delivered packets; DynamicNJ and LeakageNJ are the
+	// window totals.
+	EnergyPerPacketNJ    float64
+	DynamicNJ, LeakageNJ float64
+	// PEF is the paper's composite Performance-Energy-Fault-tolerance
+	// metric: (AvgLatency x EnergyPerPacketNJ) / Completion.
+	PEF float64
+	// SourceQueueDelay is the mean time a packet's tail spent waiting at
+	// the source PE before entering the network (source queuing is part of
+	// AvgLatency).
+	SourceQueueDelay float64
+	// ContentionRow, ContentionCol and Contention are the switch-conflict
+	// probabilities of Figure 3 (failed SA requests / SA requests).
+	ContentionRow, ContentionCol, Contention float64
+	// Cycles is the total simulated time; Saturated reports that the run
+	// hit MaxCycles before draining.
+	Cycles    int64
+	Saturated bool
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("lat=%.2f cyc compl=%.3f thr=%.3f f/n/c E/pkt=%.3f nJ PEF=%.2f",
+		r.AvgLatency, r.Completion, r.Throughput, r.EnergyPerPacketNJ, r.PEF)
+}
+
+// builderFor maps a router kind to its constructor and energy structure.
+func builderFor(k RouterKind) (func(int, *router.RouteEngine) router.Router, power.Structure) {
+	switch k {
+	case Generic:
+		return func(id int, e *router.RouteEngine) router.Router { return generic.New(id, e) },
+			power.GenericStructure()
+	case PathSensitive:
+		return func(id int, e *router.RouteEngine) router.Router { return pathsensitive.New(id, e) },
+			power.PathSensitiveStructure()
+	case RoCo:
+		return func(id int, e *router.RouteEngine) router.Router { return core.New(id, e) },
+			power.RoCoStructure()
+	case PDR:
+		return func(id int, e *router.RouteEngine) router.Router { return pdr.New(id, e) },
+			power.PDRStructure()
+	default:
+		panic(fmt.Sprintf("roco: unknown router kind %d", int(k)))
+	}
+}
+
+// Run executes one simulation and returns its measurements. It panics on
+// an invalid configuration; use Config.Validate to check dynamically built
+// configurations first.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("roco: invalid config: %v", err))
+	}
+	res, profile := runNetwork(cfg)
+	return summarize(cfg, res, profile)
+}
+
+// PaperConfig returns the paper's exact evaluation setup for one
+// experiment point: an 8x8 mesh, 4-flit packets of 128-bit flits, and the
+// paper's full run length of 20,000 warm-up plus 1,000,000 measured
+// packets. One such run takes minutes; the scaled defaults of Config are
+// what the shipped EXPERIMENTS.md numbers use (validated against longer
+// runs by TestSoakPaperScale).
+func PaperConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate float64) Config {
+	return Config{
+		Width: 8, Height: 8,
+		Router: k, Algorithm: alg, Traffic: tp,
+		InjectionRate:  rate,
+		FlitsPerPacket: 4,
+		WarmupPackets:  20000,
+		MeasurePackets: 1000000,
+		Seed:           1,
+	}
+}

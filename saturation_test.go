@@ -1,0 +1,33 @@
+package roco
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFindSaturation(t *testing.T) {
+	opts := QuickOptions()
+	opts.Measure = 2500
+	res := FindSaturation(opts, RoCo, XY)
+	if res.Rate < 0.05 || res.Rate > 0.6 {
+		t.Fatalf("implausible saturation rate %.3f", res.Rate)
+	}
+	if res.LatencyAtRate <= 0 {
+		t.Fatalf("no latency recorded at the saturation point")
+	}
+	t.Logf("RoCo XY saturation ~ %.3f flits/node/cycle (lat %.1f)", res.Rate, res.LatencyAtRate)
+}
+
+func TestSaturationStudyRender(t *testing.T) {
+	opts := QuickOptions()
+	opts.Measure = 1500
+	study := RunSaturationStudy(opts, XY)
+	if len(study.Results) != 3 {
+		t.Fatalf("got %d results", len(study.Results))
+	}
+	var sb strings.Builder
+	study.Render(&sb)
+	if !strings.Contains(sb.String(), "Saturation throughput") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,35 @@
+package roco
+
+import "testing"
+
+// TestSoakPaperScale pushes one configuration toward the paper's run
+// length (200k measured packets here versus the paper's 1M) as a
+// statistical-stability and endurance check. Skipped under -short.
+func TestSoakPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	long := Run(Config{
+		Router: RoCo, Algorithm: XY, Traffic: Uniform,
+		InjectionRate: 0.25,
+		WarmupPackets: 10000, MeasurePackets: 200000,
+		Seed: 1,
+	})
+	if long.Completion != 1 {
+		t.Fatalf("soak run lost traffic: %.4f", long.Completion)
+	}
+	short := Run(Config{
+		Router: RoCo, Algorithm: XY, Traffic: Uniform,
+		InjectionRate: 0.25,
+		WarmupPackets: 2000, MeasurePackets: 30000,
+		Seed: 1,
+	})
+	// The default harness scale must agree with the long run within a few
+	// percent — the basis for shipping scaled-down EXPERIMENTS numbers.
+	ratio := short.AvgLatency / long.AvgLatency
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("default-scale latency %.2f deviates from soak-scale %.2f by more than 10%%",
+			short.AvgLatency, long.AvgLatency)
+	}
+	t.Logf("soak: long=%.3f cyc short=%.3f cyc (ratio %.3f)", long.AvgLatency, short.AvgLatency, ratio)
+}

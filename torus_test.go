@@ -1,0 +1,75 @@
+package roco
+
+import (
+	"testing"
+)
+
+func torusConfig(rate float64) Config {
+	cfg := quickConfig(Generic, XY, Uniform, rate)
+	cfg.Torus = true
+	return cfg
+}
+
+func TestTorusDrains(t *testing.T) {
+	res := Run(torusConfig(0.15))
+	if res.Completion != 1 {
+		t.Fatalf("completion %.3f", res.Completion)
+	}
+	if res.AvgLatency <= 0 || res.AvgLatency > 40 {
+		t.Fatalf("implausible torus latency %.2f", res.AvgLatency)
+	}
+}
+
+func TestTorusHighLoadNoDeadlock(t *testing.T) {
+	// The dateline discipline is what makes the torus rings acyclic; a
+	// heavy sustained load is where a missing class switch would wedge.
+	cfg := torusConfig(0.40)
+	cfg.MeasurePackets = 8000
+	res := Run(cfg)
+	if res.Completion < 0.999 {
+		t.Fatalf("completion %.4f at 40%% load; dateline deadlock suspected", res.Completion)
+	}
+}
+
+func TestTorusShorterPathsThanMesh(t *testing.T) {
+	// Wrap-around links halve the average distance; the torus must beat
+	// the mesh on latency at identical load.
+	mesh := Run(quickConfig(Generic, XY, Uniform, 0.15))
+	tor := Run(torusConfig(0.15))
+	if tor.AvgLatency >= mesh.AvgLatency {
+		t.Errorf("torus latency %.2f should beat mesh %.2f", tor.AvgLatency, mesh.AvgLatency)
+	}
+}
+
+func TestTorusTransposeAndLongPackets(t *testing.T) {
+	cfg := torusConfig(0.10)
+	cfg.Traffic = Transpose
+	if res := Run(cfg); res.Completion != 1 {
+		t.Errorf("transpose on torus lost traffic: %.3f", res.Completion)
+	}
+	cfg = torusConfig(0.10)
+	cfg.FlitsPerPacket = 8
+	if res := Run(cfg); res.Completion != 1 {
+		t.Errorf("8-flit packets on torus lost traffic: %.3f", res.Completion)
+	}
+}
+
+func TestTorusRejectsUnsupportedCombos(t *testing.T) {
+	bad := []Config{
+		{Torus: true, Router: RoCo, Algorithm: XY, InjectionRate: 0.1},
+		{Torus: true, Router: Generic, Algorithm: Adaptive, InjectionRate: 0.1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestTorusOddDimensions(t *testing.T) {
+	cfg := torusConfig(0.12)
+	cfg.Width, cfg.Height = 5, 7
+	if res := Run(cfg); res.Completion != 1 {
+		t.Errorf("5x7 torus lost traffic: %.3f", res.Completion)
+	}
+}

@@ -1,0 +1,60 @@
+package roco
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate checks a configuration for mistakes Run would otherwise turn
+// into panics or silently-absurd results. Run calls it internally (after
+// applying defaults) and panics on error — simulation configs are almost
+// always static — while library users who build configurations dynamically
+// can call it directly and handle the error.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	var errs []error
+	if c.Width < 2 || c.Height < 2 {
+		errs = append(errs, fmt.Errorf("mesh %dx%d too small (need at least 2x2)", c.Width, c.Height))
+	}
+	if c.Router < Generic || c.Router > PDR {
+		errs = append(errs, fmt.Errorf("unknown router kind %d", int(c.Router)))
+	}
+	if c.Algorithm < XY || c.Algorithm > Adaptive {
+		errs = append(errs, fmt.Errorf("unknown algorithm %d", int(c.Algorithm)))
+	}
+	if c.Router == PDR && c.Algorithm != XY {
+		errs = append(errs, errors.New("the PDR router supports XY routing only"))
+	}
+	if c.Torus && (c.Router != Generic || c.Algorithm != XY) {
+		errs = append(errs, errors.New("the torus extension supports the generic router with XY routing only"))
+	}
+	if c.Traffic < Uniform || c.Traffic > Hotspot {
+		errs = append(errs, fmt.Errorf("unknown traffic pattern %d", int(c.Traffic)))
+	}
+	if c.InjectionRate < 0 || c.InjectionRate > 1 {
+		errs = append(errs, fmt.Errorf("injection rate %v outside [0,1] flits/node/cycle", c.InjectionRate))
+	}
+	if c.FlitsPerPacket < 1 || c.FlitsPerPacket > 64 {
+		errs = append(errs, fmt.Errorf("flits per packet %d outside [1,64]", c.FlitsPerPacket))
+	}
+	if c.WarmupPackets < 0 || c.MeasurePackets < 1 {
+		errs = append(errs, fmt.Errorf("run length invalid (warmup %d, measure %d)", c.WarmupPackets, c.MeasurePackets))
+	}
+	if c.Traffic == Hotspot {
+		if c.HotspotNode < 0 || c.HotspotNode >= c.Width*c.Height {
+			errs = append(errs, fmt.Errorf("hotspot node %d outside the %dx%d mesh", c.HotspotNode, c.Width, c.Height))
+		}
+		if c.HotspotFraction < 0 || c.HotspotFraction > 1 {
+			errs = append(errs, fmt.Errorf("hotspot fraction %v outside [0,1]", c.HotspotFraction))
+		}
+	}
+	for i, f := range c.Faults {
+		if f.Node < 0 || f.Node >= c.Width*c.Height {
+			errs = append(errs, fmt.Errorf("fault %d at nonexistent node %d", i, f.Node))
+		}
+		if f.Component < RC || f.Component > MuxDemux {
+			errs = append(errs, fmt.Errorf("fault %d has unknown component %d", i, int(f.Component)))
+		}
+	}
+	return errors.Join(errs...)
+}
