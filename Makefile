@@ -1,0 +1,15 @@
+.PHONY: check test bench fuzz
+
+# The pre-merge gate: vet + build + tests + race detector.
+check:
+	sh scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem
+
+# Extended fuzzing of the runtime fault-injection path.
+fuzz:
+	go test ./internal/network -run '^$$' -fuzz FuzzDynamicFaults -fuzztime 60s

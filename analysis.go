@@ -31,6 +31,10 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 	for i, f := range cfg.Faults {
 		faults[i] = f.internal()
 	}
+	events := make([]fault.Event, len(cfg.FaultSchedule))
+	for i, tf := range cfg.FaultSchedule {
+		events[i] = fault.Event{Cycle: tf.Cycle, Fault: tf.Fault.internal()}
+	}
 	var topo topology.Topology = topology.NewMesh(cfg.Width, cfg.Height)
 	if cfg.Torus {
 		topo = topology.NewTorus(cfg.Width, cfg.Height)
@@ -49,6 +53,8 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 		WarmupPackets:   cfg.WarmupPackets,
 		MeasurePackets:  cfg.MeasurePackets,
 		Faults:          faults,
+		Schedule:        fault.NewSchedule(events),
+		AuditEvery:      cfg.AuditEvery,
 		MaxCycles:       cfg.MaxCycles,
 		InactivityLimit: cfg.InactivityLimit,
 		Seed:            cfg.Seed,
@@ -230,7 +236,7 @@ func (d Detailed) RenderHeatmap(w io.Writer) {
 func summarize(cfg Config, res network.Result, profile power.Profile) Result {
 	energy := power.Account(profile, &res.Activity)
 	perPkt := energy.PerPacketNJ(res.Completion.Delivered)
-	return Result{
+	out := Result{
 		AvgLatency:        res.Summary.AvgLatency,
 		P95Latency:        res.Summary.P95Latency,
 		P99Latency:        res.Summary.P99Latency,
@@ -249,7 +255,24 @@ func summarize(cfg Config, res network.Result, profile power.Profile) Result {
 		Contention:        res.Summary.ContentionAll,
 		Cycles:            res.Summary.Cycles,
 		Saturated:         res.Saturated,
+		DroppedFlits:      res.DroppedFlits,
+		BrokenPackets:     res.BrokenPackets,
 	}
+	for _, fr := range res.FaultLog {
+		out.FaultEvents = append(out.FaultEvents, FaultEvent{
+			Cycle:          fr.Event.Cycle,
+			Fault:          publicFault(fr.Event.Fault),
+			PreRate:        fr.Degradation.PreRate,
+			FloorRate:      fr.Degradation.FloorRate,
+			PostRate:       fr.Degradation.PostRate,
+			RecoveryCycles: fr.Degradation.RecoveryCycles,
+			Recovered:      fr.Degradation.Recovered,
+		})
+	}
+	if res.Watchdog != nil {
+		out.Watchdog = res.Watchdog.String()
+	}
+	return out
 }
 
 // Interval is a mean with a 95% confidence half-width.
@@ -326,6 +349,8 @@ type WindowPoint struct {
 	StartCycle int64
 	Delivered  int64
 	AvgLatency float64
+	// Dropped counts flits discarded in the window (fault recovery).
+	Dropped int64
 }
 
 // RunWindowed executes one simulation while recording a time series of
@@ -340,7 +365,7 @@ func RunWindowed(cfg Config, windowCycles int64) (Result, []WindowPoint) {
 	res, pts := net.RunWindows(windowCycles)
 	out := make([]WindowPoint, len(pts))
 	for i, p := range pts {
-		out[i] = WindowPoint{StartCycle: p.StartCycle, Delivered: p.Delivered, AvgLatency: p.AvgLatency}
+		out[i] = WindowPoint{StartCycle: p.StartCycle, Delivered: p.Delivered, AvgLatency: p.AvgLatency, Dropped: p.Dropped}
 	}
 	return summarize(cfg, res, profile), out
 }

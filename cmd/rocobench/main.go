@@ -34,7 +34,7 @@ var experiments = []string{
 
 // extensions are studies beyond the paper's figures; they run only when
 // requested by name.
-var extensions = []string{"scaling", "pktsize", "saturation", "mpeg"}
+var extensions = []string{"scaling", "pktsize", "saturation", "mpeg", "degradation"}
 
 func main() {
 	var (
@@ -142,6 +142,11 @@ func main() {
 			for _, sweep := range roco.FigureMPEG(opts) {
 				sweep.Render(os.Stdout)
 			}
+		case "degradation":
+			fmt.Println("Extension — graceful degradation under a runtime fault")
+			exp := roco.RunDegradationExperiment(opts, roco.XY)
+			exp.Render(os.Stdout)
+			jsonResults[name] = exp
 		case "saturation":
 			fmt.Println("Extension — saturation throughput")
 			for _, alg := range roco.Algorithms {

@@ -8,12 +8,15 @@
 //	rocosim -router roco -routing xy -traffic uniform -rate 0.25
 //	rocosim -router generic -routing adaptive -traffic transpose -rate 0.3
 //	rocosim -router roco -faults 2 -faultclass critical -rate 0.3 -seed 7
+//	rocosim -router roco -faults-at 3000,7000 -audit 64 -v
+//	rocosim -router roco -fault-rate 20000 -fault-horizon 60000 -v
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/rocosim/roco"
@@ -32,6 +35,10 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		faults      = flag.Int("faults", 0, "number of random permanent faults to inject")
 		faultClass  = flag.String("faultclass", "critical", "random fault population: critical, noncritical")
+		faultsAt    = flag.String("faults-at", "", "comma-separated cycles; inject one random -faultclass fault at each, mid-run")
+		faultRate   = flag.Float64("fault-rate", 0, "mean cycles between runtime faults (Poisson schedule; 0 disables)")
+		faultHor    = flag.Int64("fault-horizon", 50000, "last cycle at which -fault-rate may strike")
+		audit       = flag.Int64("audit", 0, "cycles between flit-conservation audits (0 audits at termination only)")
 		flits       = flag.Int("flits", 4, "flits per packet")
 		hotspot     = flag.Int("hotspot", 27, "hotspot node (hotspot traffic)")
 		hotFrac     = flag.Float64("hotfrac", 0.2, "fraction of traffic sent to the hotspot")
@@ -62,19 +69,45 @@ func main() {
 	if cfg.Traffic, ok = parseTraffic(*trafficName); !ok {
 		fatalf("unknown traffic %q", *trafficName)
 	}
+	class := roco.CriticalFaults
+	switch strings.ToLower(*faultClass) {
+	case "critical":
+	case "noncritical", "non-critical":
+		class = roco.NonCriticalFaults
+	default:
+		fatalf("unknown fault class %q (want critical, noncritical)", *faultClass)
+	}
 	if *faults > 0 {
-		class := roco.CriticalFaults
-		switch strings.ToLower(*faultClass) {
-		case "critical":
-		case "noncritical", "non-critical":
-			class = roco.NonCriticalFaults
-		default:
-			fatalf("unknown fault class %q (want critical, noncritical)", *faultClass)
-		}
 		cfg.Faults = roco.RandomFaults(class, *faults, *width, *height, *seed)
 		for _, f := range cfg.Faults {
 			fmt.Printf("fault: node %d, %s (module %d, vc %d)\n", f.Node, f.Component, f.Module, f.VC)
 		}
+	}
+	cfg.AuditEvery = *audit
+	if *faultsAt != "" && *faultRate > 0 {
+		fatalf("-faults-at and -fault-rate are mutually exclusive")
+	}
+	switch {
+	case *faultsAt != "":
+		var cycles []int64
+		for _, s := range strings.Split(*faultsAt, ",") {
+			c, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil || c < 0 {
+				fatalf("bad -faults-at entry %q (want non-negative cycles)", s)
+			}
+			cycles = append(cycles, c)
+		}
+		// One random fault per listed cycle, at distinct nodes.
+		flts := roco.RandomFaults(class, len(cycles), *width, *height, *seed)
+		for i, c := range cycles {
+			cfg.FaultSchedule = append(cfg.FaultSchedule, roco.TimedFault{Cycle: c, Fault: flts[i]})
+		}
+	case *faultRate > 0:
+		cfg.FaultSchedule = roco.PoissonFaultSchedule(class, *faultRate, *faultHor, *width, *height, *seed)
+	}
+	for _, tf := range cfg.FaultSchedule {
+		fmt.Printf("scheduled fault: cycle %d, node %d, %s (module %d, vc %d)\n",
+			tf.Cycle, tf.Fault.Node, tf.Fault.Component, tf.Fault.Module, tf.Fault.VC)
 	}
 
 	var res roco.Result
@@ -113,6 +146,20 @@ func main() {
 			fmt.Printf("  energy split: buffers %.0f, crossbar %.0f, links %.0f, arbitration %.0f, routing %.0f, ejection %.0f, leakage %.0f nJ\n",
 				e.BuffersNJ, e.CrossbarNJ, e.LinksNJ, e.ArbitrationNJ, e.RoutingNJ, e.EjectionNJ, e.LeakageNJ)
 		}
+	}
+	for _, ev := range res.FaultEvents {
+		status := "never recovered"
+		if ev.Recovered {
+			status = fmt.Sprintf("recovered in %d cycles (%.3f -> floor %.3f -> %.3f flits/cycle)",
+				ev.RecoveryCycles, ev.PreRate, ev.FloorRate, ev.PostRate)
+		}
+		fmt.Printf("  fault @%-8d node %d %-10s %s\n", ev.Cycle, ev.Fault.Node, ev.Fault.Component, status)
+	}
+	if res.DroppedFlits > 0 || res.BrokenPackets > 0 {
+		fmt.Printf("  dropped          %10d flits (%d broken packets)\n", res.DroppedFlits, res.BrokenPackets)
+	}
+	if res.Watchdog != "" {
+		fmt.Println(res.Watchdog)
 	}
 	if *heatmap && *tracePkts == 0 && detail.Nodes != nil {
 		fmt.Println()

@@ -448,6 +448,109 @@ func (e EnergyResult) Render(w io.Writer) {
 	tbl.Render(w)
 }
 
+// DegradationExperiment is the dynamic companion of the static fault panels
+// (Figures 11-14): one critical fault strikes each router architecture
+// mid-measurement, and the windowed delivery rate around the event yields a
+// post-fault recovery time per router. Routers that wedge instead of
+// recovering report a watchdog diagnostic.
+type DegradationExperiment struct {
+	Algorithm  Algorithm
+	FaultCycle int64
+	Fault      Fault
+	// Per router kind: the measured fault events, run completion, dropped
+	// flits, and the watchdog diagnostic when the run wedged ("" otherwise).
+	Events     map[RouterKind][]FaultEvent
+	Completion map[RouterKind]float64
+	Dropped    map[RouterKind]int64
+	Watchdogs  map[RouterKind]string
+}
+
+// RunDegradationExperiment measures online recovery from one runtime fault.
+func RunDegradationExperiment(opts Options, alg Algorithm) DegradationExperiment {
+	// The same critical fault for every router, struck roughly halfway
+	// through the injection span (estimated from the offered load with the
+	// default 4-flit packets).
+	flt := RandomFaults(CriticalFaults, 1, opts.Width, opts.Height, opts.Seed)[0]
+	pktsPerCycle := FaultInjectionRate * float64(opts.Width*opts.Height) / 4
+	faultCycle := int64(float64(opts.Warmup+opts.Measure) / pktsPerCycle / 2)
+	if faultCycle < 1 {
+		faultCycle = 1
+	}
+	exp := DegradationExperiment{
+		Algorithm: alg, FaultCycle: faultCycle, Fault: flt,
+		Events:     map[RouterKind][]FaultEvent{},
+		Completion: map[RouterKind]float64{},
+		Dropped:    map[RouterKind]int64{},
+		Watchdogs:  map[RouterKind]string{},
+	}
+	var cfgs []Config
+	for _, k := range RouterKinds {
+		cfg := opts.baseConfig(k, alg, Uniform, FaultInjectionRate)
+		cfg.FaultSchedule = []TimedFault{{Cycle: faultCycle, Fault: flt}}
+		cfg.AuditEvery = 64
+		cfg.MaxCycles = 60 * (opts.Warmup + opts.Measure)
+		cfgs = append(cfgs, cfg)
+	}
+	results := runAll(opts, cfgs)
+	for i, k := range RouterKinds {
+		exp.Events[k] = results[i].FaultEvents
+		exp.Completion[k] = results[i].Completion
+		exp.Dropped[k] = results[i].DroppedFlits
+		exp.Watchdogs[k] = results[i].Watchdog
+	}
+	return exp
+}
+
+// Render writes the degradation panel and any watchdog diagnostics.
+func (e DegradationExperiment) Render(w io.Writer) {
+	tbl := report.NewTable(
+		fmt.Sprintf("Graceful degradation — %s at node %d, cycle %d, %s routing, %.0f%% injection",
+			e.Fault.Component, e.Fault.Node, e.FaultCycle, e.Algorithm, FaultInjectionRate*100),
+		append([]string{"metric"}, routerHeaders()...)...)
+	cell := func(f func(RouterKind) string) []string {
+		cells := make([]string, 0, len(RouterKinds))
+		for _, k := range RouterKinds {
+			cells = append(cells, f(k))
+		}
+		return cells
+	}
+	tbl.AddRow(append([]string{"completion"}, cell(func(k RouterKind) string {
+		return fmt.Sprintf("%.3f", e.Completion[k])
+	})...)...)
+	tbl.AddRow(append([]string{"dropped flits"}, cell(func(k RouterKind) string {
+		return fmt.Sprintf("%d", e.Dropped[k])
+	})...)...)
+	tbl.AddRow(append([]string{"recovery (cyc)"}, cell(func(k RouterKind) string {
+		if len(e.Events[k]) == 0 {
+			return "-"
+		}
+		ev := e.Events[k][0]
+		if !ev.Recovered {
+			return "never"
+		}
+		return fmt.Sprintf("%d", ev.RecoveryCycles)
+	})...)...)
+	tbl.AddRow(append([]string{"rate pre/floor"}, cell(func(k RouterKind) string {
+		if len(e.Events[k]) == 0 {
+			return "-"
+		}
+		ev := e.Events[k][0]
+		return fmt.Sprintf("%.2f/%.2f", ev.PreRate, ev.FloorRate)
+	})...)...)
+	tbl.AddRow(append([]string{"wedged"}, cell(func(k RouterKind) string {
+		if e.Watchdogs[k] == "" {
+			return "no"
+		}
+		return "yes"
+	})...)...)
+	tbl.Render(w)
+	for _, k := range RouterKinds {
+		if wd := e.Watchdogs[k]; wd != "" {
+			fmt.Fprintf(w, "\n%s %s\n", k, wd)
+		}
+	}
+}
+
 // Figure2 renders the VA-complexity comparison of the paper's Figure 2:
 // arbiter counts and sizes for the generic and RoCo allocators under both
 // routing-function regimes.

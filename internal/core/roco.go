@@ -14,6 +14,8 @@ import (
 
 // Router is the RoCo decoupled router.
 type Router struct {
+	router.Recovery
+
 	id     int
 	engine *router.RouteEngine
 	cfg    VCConfig
@@ -80,7 +82,25 @@ func New(id int, engine *router.RouteEngine) *Router {
 		}
 		r.mirror[m] = arbiter.NewMirror()
 	}
+	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
 	return r
+}
+
+// grantTarget resolves a VC index to its front packet's grant target.
+func (r *Router) grantTarget(i int) (router.GrantRef, bool) {
+	out := r.vcs[i].OutPort()
+	if !out.IsCardinal() {
+		return router.GrantRef{}, false
+	}
+	return router.GrantRef{Book: r.books[out], Claimant: r.neighbors[out], Side: out.Opposite()}, true
+}
+
+// abortCleanup releases the injection channel if the aborted packet was
+// the one being injected.
+func (r *Router) abortCleanup(i int) {
+	if r.injVC == i {
+		r.injVC = -1
+	}
 }
 
 // DisableMirror switches the router's switch allocation to a plain
@@ -136,10 +156,33 @@ func (r *Router) ApplyFault(flt fault.Fault) {
 		vc := r.vcs[id]
 		vc.Faulty = true
 		vc.FaultPenalty = 2 // round-trip of the virtual-queuing handshake
+		// Installed live, the failed buffer's contents are lost; virtual
+		// queuing protects only traffic arriving after the reconfiguration.
+		vc.DoomResidents()
 	case fault.SA:
 		r.saShared[m] = true
 	case fault.VA, fault.Crossbar, fault.MuxDemux:
 		r.blocked[m] = true
+		// Traffic resident in the isolated module can never traverse its
+		// crossbar again; condemn it so the wormholes drain as drops.
+		for id, vc := range r.vcs {
+			if ModuleOfVC(id) == m {
+				vc.Condemn()
+			}
+		}
+	}
+}
+
+// RefreshOutput re-propagates the downstream input-VC depths into output
+// d's credit book after a runtime fault changed them (the credit half of
+// the paper's fault-handshake signals).
+func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
+	b := r.books[d]
+	if b == nil {
+		return
+	}
+	for vc, depth := range depths {
+		b.SetDepth(vc, depth)
 	}
 }
 
@@ -212,6 +255,11 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 	}
 	r.vcs[vc].Claim(from)
 	return true
+}
+
+// ReleaseInputVC returns a claim whose packet will never arrive.
+func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	r.vcs[vc].ReleaseClaim()
 }
 
 // Quiescent reports whether no flit is buffered anywhere in the router.
@@ -331,7 +379,12 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.drainDoomed()
+	// Fault recovery: react to broken packets and dead grants (the RoCo
+	// fault-handshake hardware), drain condemned wormholes, retire orphaned
+	// fragments.
+	r.SweepBroken(cycle, true)
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
 	r.vaBusy[Row], r.vaBusy[Col] = false, false
 	r.allocateVCs(cycle)
 	for m := Module(0); m < numModules; m++ {
@@ -342,15 +395,16 @@ func (r *Router) Tick(cycle int64) {
 // drainDoomed discards flits of packets whose route is permanently
 // fault-blocked, returning their credits upstream so the rest of the
 // network keeps flowing.
-func (r *Router) drainDoomed() {
+func (r *Router) drainDoomed(cycle int64) {
 	for _, vc := range r.vcs {
-		for vc.Doomed() && vc.Len() > 0 {
+		for {
 			feeder := vc.Feeder()
-			f := vc.Pop()
-			r.act.DroppedFlits++
-			if f.Rec != nil && f.Type.IsHead() {
-				f.Rec.Visit(r.id, 0, trace.Dropped)
+			f := vc.DrainDoomed()
+			if f == nil {
+				break
 			}
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle)
 			if feeder.IsCardinal() && r.in[feeder] != nil {
 				r.in[feeder].Credit.Write(vc.Index)
 			}
@@ -639,6 +693,7 @@ func (r *Router) countContention(out topology.Direction, n int, contended bool) 
 func (r *Router) traverse(out topology.Direction, vcID int, cycle int64) {
 	vc := r.vcs[vcID]
 	outVC, nextOut, ejectNext, feeder := vc.OutVC(), vc.NextOut(), vc.EjectNext(), vc.Feeder()
+	vc.MarkStreamed()
 	f := vc.Pop()
 	r.act.BufferReads++
 	r.act.CrossbarTraversals++

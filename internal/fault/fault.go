@@ -179,8 +179,11 @@ func (m Module) String() string {
 	return "column"
 }
 
-// Fault is one permanent intra-router failure, injected statically before
-// the simulation starts.
+// Fault is one permanent intra-router failure. Faults install either
+// statically before the first cycle or live mid-run via a Schedule; the
+// router reaction (Hardware Recycling or whole-node blocking) is the
+// same, but a live installation additionally dooms the traffic resident
+// in the failed component.
 type Fault struct {
 	// Node is the afflicted router.
 	Node int
@@ -202,10 +205,12 @@ func (f Fault) String() string {
 	return s + ")"
 }
 
-// RandomSet draws count faults of the given class, each at a distinct
-// random non-edge... any random node, matching the paper's "randomly
-// injected into the network infrastructure". Nodes are distinct so k faults
-// degrade k routers. vcsPerModule bounds the VC index for Buffer faults.
+// RandomSet draws count faults of the given class, matching the paper's
+// "randomly injected into the network infrastructure": each fault strikes
+// a distinct node drawn uniformly from all nodes (distinct so k faults
+// degrade k routers), with the component drawn uniformly from the class
+// population, a uniform module, and a uniform VC index in
+// [0, vcsPerModule) for Buffer faults. Panics when count > nodes.
 func RandomSet(class Class, count, nodes, vcsPerModule int, rng *stats.RNG) []Fault {
 	if count > nodes {
 		panic("fault: more faults than nodes")

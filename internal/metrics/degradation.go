@@ -1,0 +1,88 @@
+package metrics
+
+// Degradation quantifies how delivery throughput behaved around one
+// runtime fault, in the style of the paper's Figure 13: the rate before
+// the fault, the worst windowed rate after it, and how long the network
+// took to recover to a fraction of its pre-fault rate.
+type Degradation struct {
+	// FaultCycle is when the fault was installed.
+	FaultCycle int64
+	// PreRate is the mean delivery rate (flits/cycle) over the window
+	// before the fault.
+	PreRate float64
+	// FloorRate is the worst single-bucket rate observed after the fault.
+	FloorRate float64
+	// PostRate is the windowed rate at the moment recovery was declared.
+	PostRate float64
+	// RecoveryCycles is the distance from the fault to the start of the
+	// first post-fault window whose rate reached the recovery threshold
+	// (meaningful only when Recovered).
+	RecoveryCycles int64
+	// Recovered reports whether the threshold was reached again at all.
+	Recovered bool
+}
+
+// MeasureDegradation computes the Degradation around faultCycle from a
+// delivery time series: buckets[i] counts flits delivered during cycles
+// [i*bucketCycles, (i+1)*bucketCycles). The pre-fault rate averages up to
+// windowBuckets buckets before the fault's bucket; recovery is declared at
+// the first post-fault position where the mean rate over the next (up to)
+// windowBuckets buckets reaches threshold*PreRate. A zero pre-fault rate
+// counts as immediately recovered: there was no throughput to lose.
+func MeasureDegradation(buckets []int64, bucketCycles, faultCycle int64, windowBuckets int, threshold float64) Degradation {
+	d := Degradation{FaultCycle: faultCycle}
+	if bucketCycles < 1 || windowBuckets < 1 {
+		panic("metrics: degradation window must be positive")
+	}
+	fb := faultCycle / bucketCycles
+	if fb > int64(len(buckets)) {
+		fb = int64(len(buckets))
+	}
+
+	lo := fb - int64(windowBuckets)
+	if lo < 0 {
+		lo = 0
+	}
+	if fb > lo {
+		var sum int64
+		for _, b := range buckets[lo:fb] {
+			sum += b
+		}
+		d.PreRate = float64(sum) / float64((fb-lo)*bucketCycles)
+	}
+	if d.PreRate == 0 {
+		d.Recovered = true
+		return d
+	}
+
+	// The fault's own bucket mixes pre- and post-fault cycles; scan from
+	// the next full bucket.
+	first := true
+	for b := fb + 1; b < int64(len(buckets)); b++ {
+		rate := float64(buckets[b]) / float64(bucketCycles)
+		if first || rate < d.FloorRate {
+			d.FloorRate = rate
+			first = false
+		}
+		if !d.Recovered {
+			hi := b + int64(windowBuckets)
+			if hi > int64(len(buckets)) {
+				hi = int64(len(buckets))
+			}
+			var sum int64
+			for _, v := range buckets[b:hi] {
+				sum += v
+			}
+			rate := float64(sum) / float64((hi-b)*bucketCycles)
+			if rate >= threshold*d.PreRate {
+				d.Recovered = true
+				d.PostRate = rate
+				d.RecoveryCycles = b*bucketCycles - faultCycle
+				if d.RecoveryCycles < 1 {
+					d.RecoveryCycles = 1
+				}
+			}
+		}
+	}
+	return d
+}

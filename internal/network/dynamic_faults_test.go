@@ -1,0 +1,175 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// dynamicFaultConfig is the acceptance scenario from the paper's
+// graceful-degradation experiments: an 8x8 mesh under uniform traffic with
+// one critical-class fault striking a central node mid-measurement. The
+// conservation auditor runs every 64 cycles throughout.
+func dynamicFaultConfig(build func(int, *router.RouteEngine) router.Router, seed uint64, events []fault.Event) Config {
+	return Config{
+		Topo:            topology.NewMesh(8, 8),
+		Algorithm:       routing.XY,
+		Build:           build,
+		Traffic:         traffic.Config{Pattern: traffic.Uniform, Rate: 0.25, FlitsPerPacket: 4},
+		WarmupPackets:   500,
+		MeasurePackets:  4000,
+		InactivityLimit: 1000,
+		MaxCycles:       400_000,
+		Seed:            seed,
+		AuditEvery:      64,
+		Schedule:        fault.NewSchedule(events),
+	}
+}
+
+func centralCrossbarFault(cycle int64) []fault.Event {
+	return []fault.Event{{
+		Cycle: cycle,
+		Fault: fault.Fault{Node: 27, Component: fault.Crossbar, Module: fault.RowModule},
+	}}
+}
+
+// TestRuntimeFaultRoCoRecovers: a crossbar fault killing one RoCo module
+// mid-run must degrade gracefully — resident fragments are dropped, upstream
+// grants into the dead module are hunted down, and delivery throughput
+// recovers within a bounded, measured number of cycles. The run drains
+// fully (no watchdog) and the periodic conservation audit holds throughout.
+func TestRuntimeFaultRoCoRecovers(t *testing.T) {
+	res := New(dynamicFaultConfig(rocoBuilder, 2, centralCrossbarFault(800))).Run()
+	if res.Watchdog != nil {
+		t.Fatalf("RoCo should drain after a module fault, but the watchdog fired:\n%s", res.Watchdog)
+	}
+	if len(res.FaultLog) != 1 {
+		t.Fatalf("FaultLog has %d records, want 1", len(res.FaultLog))
+	}
+	rec := res.FaultLog[0]
+	if rec.Event.Cycle != 800 || rec.Event.Fault.Node != 27 {
+		t.Fatalf("fault record %+v does not match the scheduled event", rec.Event)
+	}
+	d := rec.Degradation
+	if d.PreRate <= 0 {
+		t.Fatalf("pre-fault delivery rate %v must be positive mid-measurement", d.PreRate)
+	}
+	if !d.Recovered {
+		t.Fatalf("throughput never recovered: %+v", d)
+	}
+	if d.RecoveryCycles <= 0 || d.RecoveryCycles > 1000 {
+		t.Fatalf("recovery took %d cycles, want a small finite bound", d.RecoveryCycles)
+	}
+	if d.FloorRate >= d.PreRate {
+		t.Errorf("fault left no dent: floor %v >= pre-fault %v", d.FloorRate, d.PreRate)
+	}
+	if res.DroppedFlits == 0 || res.BrokenPackets == 0 {
+		t.Errorf("a mid-run module fault must break resident packets (dropped=%d broken=%d)",
+			res.DroppedFlits, res.BrokenPackets)
+	}
+	if c := res.Summary.Completion; c <= 0.9 || c >= 1 {
+		t.Errorf("completion %v, want high-but-lossy after losing one module", c)
+	}
+}
+
+// TestRuntimeFaultGenericBaselineWatchdog: the same scenario on the generic
+// baseline wedges — a packet VC-granted into the node that dies before any
+// of its flits stream holds its channel forever, because the baseline has no
+// hardware to revoke grants into dead neighbors. The run must still
+// terminate (inactivity rule) and produce a structured watchdog diagnostic
+// naming the stuck packets, and conservation must still hold: the wedged
+// flits are accounted for as buffered, not lost.
+func TestRuntimeFaultGenericBaselineWatchdog(t *testing.T) {
+	res := New(dynamicFaultConfig(genericBuilder, 2, centralCrossbarFault(800))).Run()
+	wd := res.Watchdog
+	if wd == nil {
+		t.Fatal("generic baseline should wedge on a granted-but-unstreamed packet, but the run drained")
+	}
+	if wd.TotalStuck == 0 || len(wd.Stuck) == 0 {
+		t.Fatalf("watchdog fired with no stuck flits: %+v", wd)
+	}
+	if wd.InactiveFor < 1000 {
+		t.Errorf("watchdog fired after only %d inactive cycles (limit 1000)", wd.InactiveFor)
+	}
+	if len(wd.Faults) != 1 || wd.Faults[0].Fault.Node != 27 {
+		t.Errorf("watchdog should cite the installed fault, got %+v", wd.Faults)
+	}
+	out := wd.String()
+	for _, want := range []string{"watchdog", "node 27", "stuck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, out)
+		}
+	}
+	for _, s := range wd.Stuck {
+		if s.StallAge < 1000 {
+			t.Errorf("reported stuck flit %+v younger than the inactivity window", s)
+		}
+	}
+}
+
+// TestRuntimeFaultMatrixConservation drives every router kind through a
+// mid-run fault of every component class on a small mesh with a tight audit
+// interval. The audit panics on any conservation violation, so completing
+// the matrix is the assertion; beyond that every run must either drain or
+// explain itself with a watchdog report.
+func TestRuntimeFaultMatrixConservation(t *testing.T) {
+	builders := map[string]struct {
+		build func(int, *router.RouteEngine) router.Router
+		alg   routing.Algorithm
+	}{
+		"generic":       {genericBuilder, routing.XY},
+		"pathsensitive": {psBuilder, routing.Adaptive},
+		"roco":          {rocoBuilder, routing.Adaptive},
+		"pdr":           {pdrBuilder, routing.XY},
+	}
+	for name, b := range builders {
+		for _, comp := range fault.AllComponents() {
+			cfg := smokeConfig(b.alg, traffic.Uniform, 0.20, 9)
+			cfg.Build = b.build
+			cfg.InactivityLimit = 800
+			cfg.AuditEvery = 16
+			cfg.Schedule = fault.NewSchedule([]fault.Event{{
+				Cycle: 400,
+				Fault: fault.Fault{Node: 5, Component: comp, Module: fault.ColumnModule, VC: 2},
+			}})
+			res := New(cfg).Run()
+			if len(res.FaultLog) != 1 {
+				t.Errorf("%s/%s: fault never installed", name, comp)
+			}
+			if res.Watchdog == nil && res.Summary.Completion <= 0 {
+				t.Errorf("%s/%s: drained yet delivered nothing", name, comp)
+			}
+		}
+	}
+}
+
+// TestRuntimeFaultEqualsStaticFault: a fault scheduled at cycle 0 must
+// behave like the same fault configured statically — the live-installation
+// path reduces to the pre-wired path when there is no resident traffic.
+func TestRuntimeFaultEqualsStaticFault(t *testing.T) {
+	flt := fault.Fault{Node: 6, Component: fault.Crossbar, Module: fault.RowModule}
+
+	static := smokeConfig(routing.Adaptive, traffic.Uniform, 0.15, 11)
+	static.Build = rocoBuilder
+	static.Faults = []fault.Fault{flt}
+	static.InactivityLimit = 800
+
+	dynamic := smokeConfig(routing.Adaptive, traffic.Uniform, 0.15, 11)
+	dynamic.Build = rocoBuilder
+	dynamic.Schedule = fault.NewSchedule([]fault.Event{{Cycle: 0, Fault: flt}})
+	dynamic.InactivityLimit = 800
+	dynamic.AuditEvery = 32
+
+	s := New(static).Run()
+	d := New(dynamic).Run()
+	if s.Summary.DeliveredPkts != d.Summary.DeliveredPkts ||
+		s.Summary.AvgLatency != d.Summary.AvgLatency {
+		t.Errorf("cycle-0 scheduled fault diverged from static fault: delivered %d vs %d, latency %v vs %v",
+			s.Summary.DeliveredPkts, d.Summary.DeliveredPkts, s.Summary.AvgLatency, d.Summary.AvgLatency)
+	}
+}

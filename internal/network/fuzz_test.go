@@ -92,3 +92,78 @@ func TestRandomizedConfigurations(t *testing.T) {
 		})
 	}
 }
+
+// FuzzDynamicFaults fuzzes the runtime fault-injection path: a random
+// fault schedule strikes a live network mid-run, with the conservation
+// auditor armed on a tight interval. Whatever the schedule, a run must
+// terminate — either drained or with a watchdog report — and every
+// generated flit must stay accounted for (the audit panics otherwise).
+func FuzzDynamicFaults(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3))
+	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0))
+	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5))
+	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2))
+
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+		alg   routing.Algorithm
+	}{
+		{"generic", genericBuilder, routing.XY},
+		{"pathsensitive", psBuilder, routing.Adaptive},
+		{"roco", rocoBuilder, routing.Adaptive},
+		{"pdr", pdrBuilder, routing.XY},
+	}
+
+	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8) {
+		b := builders[int(builder)%len(builders)]
+		const w, h = 4, 4
+		rng := stats.NewRNG(seed)
+		events := []fault.Event{{
+			Cycle: int64(faultCycle),
+			Fault: fault.Fault{
+				Node:      int(node) % (w * h),
+				Component: fault.AllComponents()[int(comp)%len(fault.AllComponents())],
+				Module:    fault.Module(rng.Uint64() % 2),
+				VC:        int(rng.Uint64() % 12),
+			},
+		}}
+		// Sometimes pile on a second fault at a distinct node later in the run.
+		if seed%3 == 0 {
+			second := events[0].Fault
+			second.Node = (second.Node + 1 + int(rng.Uint64()%uint64(w*h-1))) % (w * h)
+			events = append(events, fault.Event{Cycle: events[0].Cycle + 64, Fault: second})
+		}
+
+		cfg := Config{
+			Topo:      topology.NewMesh(w, h),
+			Algorithm: b.alg,
+			Build:     b.build,
+			Traffic: traffic.Config{
+				Pattern: traffic.Uniform, Rate: 0.05 + 0.2*rng.Float64(), FlitsPerPacket: 1 + int(rng.Uint64()%6),
+			},
+			WarmupPackets:   100,
+			MeasurePackets:  600,
+			InactivityLimit: 800,
+			MaxCycles:       300_000,
+			Seed:            rng.Uint64(),
+			AuditEvery:      16,
+			Schedule:        fault.NewSchedule(events),
+		}
+		res := New(cfg).Run()
+
+		if res.Saturated {
+			t.Fatalf("%s: run hit MaxCycles instead of draining or watchdogging", b.name)
+		}
+		if res.Summary.Completion > 1.0001 {
+			t.Fatalf("%s: completion %v exceeds 1", b.name, res.Summary.Completion)
+		}
+		if res.Watchdog != nil && res.Watchdog.String() == "" {
+			t.Fatalf("%s: watchdog fired with an empty diagnostic", b.name)
+		}
+		if res.Watchdog == nil && res.DroppedFlits == 0 && len(res.FaultLog) > 0 &&
+			res.Summary.Completion < 1 && !res.Saturated {
+			t.Fatalf("%s: lost traffic without dropping or wedging", b.name)
+		}
+	})
+}

@@ -38,6 +38,16 @@ type Config struct {
 	WarmupPackets, MeasurePackets int64
 	// Faults are installed before the first cycle.
 	Faults []fault.Fault
+	// Schedule holds runtime fault events, installed at the start of their
+	// cycle's Step. Unlike Faults, scheduled faults strike a live network:
+	// the afflicted router dooms resident traffic and the network
+	// re-propagates the neighbor handshake so upstream routers reroute.
+	Schedule fault.Schedule
+	// AuditEvery runs the flit-conservation auditor every AuditEvery cycles
+	// (0 audits only at termination). The auditor asserts that every
+	// generated flit is delivered, dropped, backlogged, buffered, or on a
+	// link — a violated invariant panics with the full breakdown.
+	AuditEvery int64
 	// MaxCycles hard-caps the run (saturation guard). Zero selects a
 	// generous default.
 	MaxCycles int64
@@ -73,6 +83,36 @@ type Result struct {
 	DeliveredFlits int64
 	// Saturated reports that the run hit MaxCycles before draining.
 	Saturated bool
+	// DroppedFlits counts every flit discarded anywhere (fault recovery,
+	// dead-node drains, source drops of unroutable packets).
+	DroppedFlits int64
+	// BrokenPackets counts packets that lost at least one flit.
+	BrokenPackets int64
+	// FaultLog lists the runtime faults installed, each with the
+	// degradation measured around it (paper Figure 13 style).
+	FaultLog []FaultRecord
+	// Watchdog is the livelock/starvation diagnostic, non-nil only when
+	// the run terminated through the inactivity rule.
+	Watchdog *WatchdogReport
+}
+
+// FaultRecord pairs one installed runtime fault with the throughput
+// degradation measured around it.
+type FaultRecord struct {
+	Event       fault.Event
+	Degradation metrics.Degradation
+}
+
+// bucketCycles is the width of the delivery-rate buckets behind the
+// degradation metrics.
+const bucketCycles = 32
+
+// link records one directed wiring edge so a runtime fault at the
+// downstream node can re-propagate its input-VC depths upstream.
+type link struct {
+	up   int
+	out  topology.Direction
+	down int
 }
 
 // pe is the processing element attached to one router: an infinite source
@@ -98,6 +138,20 @@ type Network struct {
 	generated    int64 // all packets created
 	deliveredAll int64 // all packets delivered (tails)
 	cycle        int64
+
+	// Flit-conservation ledger: every generated flit is in exactly one of
+	// backlog, a router buffer, a link pipe, delivered, or dropped.
+	genFlits     int64
+	delFlitsAll  int64
+	dropFlitsAll int64
+	backlogFlits int64
+
+	schedule fault.Schedule
+	faultLog []fault.Event
+	links    []link
+	broken   *router.BrokenSet
+	buckets  []int64 // delivered flits per bucketCycles-wide bucket
+	watchdog *WatchdogReport
 
 	tracer *trace.Collector
 
@@ -129,11 +183,13 @@ func New(cfg Config) *Network {
 	}
 
 	n := &Network{
-		cfg:     cfg,
-		topo:    cfg.Topo,
-		latency: metrics.NewLatency(),
-		rng:     stats.NewRNG(cfg.Seed),
-		tracer:  &trace.Collector{},
+		cfg:      cfg,
+		topo:     cfg.Topo,
+		latency:  metrics.NewLatency(),
+		rng:      stats.NewRNG(cfg.Seed),
+		tracer:   &trace.Collector{},
+		schedule: cfg.Schedule,
+		broken:   router.NewBrokenSet(),
 	}
 	nodes := cfg.Topo.Nodes()
 	n.routers = make([]router.Router, nodes)
@@ -148,6 +204,11 @@ func New(cfg Config) *Network {
 			panic(fmt.Sprintf("network: fault at nonexistent node %d", flt.Node))
 		}
 		n.routers[flt.Node].ApplyFault(flt)
+	}
+	for _, ev := range cfg.Schedule.Events() {
+		if ev.Fault.Node < 0 || ev.Fault.Node >= nodes {
+			panic(fmt.Sprintf("network: scheduled fault at nonexistent node %d", ev.Fault.Node))
+		}
 	}
 
 	// Wire every directed link with a Conn; size credit books from the
@@ -169,9 +230,12 @@ func New(cfg Config) *Network {
 			n.routers[id].AttachOutput(d, conn, depths)
 			n.routers[id].SetNeighbor(d, down)
 			down.AttachInput(from, conn)
+			n.links = append(n.links, link{up: id, out: d, down: nb})
 		}
 		id := id
 		n.routers[id].SetSink(func(f *flit.Flit, cycle int64) { n.deliver(id, f, cycle) })
+		n.routers[id].SetDropSink(func(f *flit.Flit, cycle int64) { n.noteDrop(f, cycle) })
+		n.routers[id].SetBroken(n.broken)
 	}
 
 	// Traffic generators, one independent stream per node.
@@ -198,6 +262,12 @@ func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 		panic(fmt.Sprintf("network: flit %v delivered to wrong node %d", f, node))
 	}
 	measured := f.PacketID >= uint64(n.cfg.WarmupPackets)
+	n.delFlitsAll++
+	b := cycle / bucketCycles
+	for int64(len(n.buckets)) <= b {
+		n.buckets = append(n.buckets, 0)
+	}
+	n.buckets[b]++
 	if measured {
 		n.deliveredFlits++
 	}
@@ -209,6 +279,9 @@ func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 	}
 	n.deliveredAll++
 	n.lastDelivery = cycle
+	if n.broken.Contains(f.PacketID) {
+		panic(fmt.Sprintf("network: broken packet %d delivered its tail", f.PacketID))
+	}
 	if measured {
 		n.completion.Delivered++
 		n.latency.Record(cycle - f.CreatedAt)
@@ -249,6 +322,8 @@ func (n *Network) generate() {
 			flits[0].Rec = n.tracer.NewRecord(pkt.ID, pkt.Src, pkt.Dst, pkt.CreatedAt)
 		}
 		p.backlog = append(p.backlog, flits...)
+		n.genFlits += int64(len(flits))
+		n.backlogFlits += int64(len(flits))
 
 		// The warm-up boundary: reset measurement state the moment the
 		// first measured packet is created. Measured-ness is a property of
@@ -274,16 +349,55 @@ func (n *Network) beginMeasurement() {
 	}
 }
 
+// noteDrop is the drop sink shared by all routers: it keeps the
+// conservation ledger and registers the packet as broken so its remaining
+// fragments everywhere are doomed.
+func (n *Network) noteDrop(f *flit.Flit, cycle int64) {
+	n.dropFlitsAll++
+	n.broken.Add(f.PacketID, cycle)
+}
+
+// dropAtSource discards the PE's front backlog flit (never injected).
+func (n *Network) dropAtSource(p *pe) {
+	f := p.backlog[0]
+	p.backlog = p.backlog[1:]
+	n.backlogFlits--
+	if f.Rec != nil && f.Type.IsHead() {
+		f.Rec.Visit(p.id, n.cycle, trace.Dropped)
+	}
+	n.noteDrop(f, n.cycle)
+}
+
 // inject advances every PE's source queue by at most one flit (the PE link
 // is one flit wide).
 func (n *Network) inject() {
 	for _, p := range n.pes {
+		// Flits of packets already broken (a fault dropped an injected
+		// fragment, or the head was source-dropped) will never be accepted;
+		// discard them so the source queue keeps draining.
+		for len(p.backlog) > 0 && n.broken.Contains(p.backlog[0].PacketID) {
+			n.dropAtSource(p)
+		}
 		if len(p.backlog) == 0 {
 			continue
 		}
 		f := p.backlog[0]
 		if f.Type.IsHead() {
 			f.OutPort = n.engine.FirstHop(p.id, f)
+			// Source drop: faults left the local router unable to serve the
+			// packet's first hop (e.g. its injection module is blocked, or
+			// the whole node is dead). Discard the packet whole — retrying
+			// a permanent fault forever would wedge the source queue.
+			if f.OutPort != topology.Local && !n.routers[p.id].CanServe(topology.Local, f.OutPort) {
+				for len(p.backlog) > 0 {
+					tail := p.backlog[0].Type.IsTail()
+					n.dropAtSource(p)
+					if tail {
+						break
+					}
+				}
+				continue
+			}
 		}
 		if n.routers[p.id].TryInject(f, n.cycle) {
 			f.InjectedAt = n.cycle
@@ -291,12 +405,14 @@ func (n *Network) inject() {
 				f.Rec.Visit(p.id, n.cycle, trace.Injected)
 			}
 			p.backlog = p.backlog[1:]
+			n.backlogFlits--
 		}
 	}
 }
 
 // Step advances the simulation one cycle.
 func (n *Network) Step() {
+	n.installDueFaults()
 	n.generate()
 	for _, r := range n.routers {
 		r.Tick(n.cycle)
@@ -306,20 +422,64 @@ func (n *Network) Step() {
 		c.Advance()
 	}
 	n.cycle++
+	if n.cfg.AuditEvery > 0 && n.cycle%n.cfg.AuditEvery == 0 {
+		n.audit()
+	}
 }
 
-// drained reports whether every generated packet has been delivered and
-// all source queues are empty.
-func (n *Network) drained() bool {
-	if n.deliveredAll < n.generated {
-		return false
+// installDueFaults applies the runtime fault events scheduled for this
+// cycle, then re-propagates the neighbor handshake: every upstream router
+// of an afflicted node re-reads its input-VC depths so credit books (and
+// through them VA and adaptive routing) see the degradation immediately.
+func (n *Network) installDueFaults() {
+	for _, ev := range n.schedule.Due(n.cycle) {
+		n.routers[ev.Fault.Node].ApplyFault(ev.Fault)
+		n.propagateHandshake(ev.Fault.Node)
+		n.faultLog = append(n.faultLog, ev)
 	}
-	for _, p := range n.pes {
-		if len(p.backlog) > 0 {
-			return false
+}
+
+// propagateHandshake pushes node's current input-VC depths into every
+// upstream credit book.
+func (n *Network) propagateHandshake(node int) {
+	down := n.routers[node]
+	for _, l := range n.links {
+		if l.down != node {
+			continue
 		}
+		from := l.out.Opposite()
+		depths := make([]int, down.NumInputVCs(from))
+		for vc := range depths {
+			depths[vc] = down.InputVCDepth(from, vc)
+		}
+		n.routers[l.up].RefreshOutput(l.out, depths)
 	}
-	return true
+}
+
+// audit asserts flit conservation: every generated flit is accounted for as
+// delivered, dropped, awaiting injection, buffered in a router, or in
+// flight on a link. A violation is a simulator bug (a flit was silently
+// lost or double-counted) and panics with the breakdown.
+func (n *Network) audit() {
+	var buffered, inPipes int64
+	for _, r := range n.routers {
+		buffered += int64(r.BufferedFlits())
+	}
+	for _, c := range n.conns {
+		inPipes += int64(c.Flit.Occupancy())
+	}
+	total := n.delFlitsAll + n.dropFlitsAll + n.backlogFlits + buffered + inPipes
+	if total != n.genFlits {
+		panic(fmt.Sprintf(
+			"network: flit conservation violated at cycle %d: generated %d != delivered %d + dropped %d + backlog %d + buffered %d + in-pipes %d (= %d)",
+			n.cycle, n.genFlits, n.delFlitsAll, n.dropFlitsAll, n.backlogFlits, buffered, inPipes, total))
+	}
+}
+
+// drained reports whether every generated flit has been delivered or
+// dropped and all source queues are empty.
+func (n *Network) drained() bool {
+	return n.backlogFlits == 0 && n.genFlits == n.delFlitsAll+n.dropFlitsAll
 }
 
 // Run executes the configured simulation to termination and returns the
@@ -342,6 +502,7 @@ func (n *Network) Run() Result {
 				last = n.measureStart
 			}
 			if n.cycle-last > n.cfg.InactivityLimit {
+				n.watchdog = n.buildWatchdog()
 				break
 			}
 		}
@@ -369,6 +530,7 @@ func (n *Network) RunCycles(c int64) Result {
 // Summary are zero here; the caller applies a power profile (the network
 // does not know the router technology parameters).
 func (n *Network) collect(saturated bool) Result {
+	n.audit() // conservation always holds at termination
 	res := Result{
 		Latency:        n.latency,
 		Completion:     n.completion,
@@ -376,6 +538,15 @@ func (n *Network) collect(saturated bool) Result {
 		TotalCycles:    n.cycle,
 		DeliveredFlits: n.deliveredFlits,
 		Saturated:      saturated,
+		DroppedFlits:   n.dropFlitsAll,
+		BrokenPackets:  int64(n.broken.Len()),
+		Watchdog:       n.watchdog,
+	}
+	for _, ev := range n.faultLog {
+		res.FaultLog = append(res.FaultLog, FaultRecord{
+			Event:       ev,
+			Degradation: metrics.MeasureDegradation(n.buckets, bucketCycles, ev.Cycle, 8, 0.7),
+		})
 	}
 	res.PerRouter = make([]router.Activity, len(n.routers))
 	for i, r := range n.routers {
@@ -409,6 +580,8 @@ type WindowPoint struct {
 	Delivered int64
 	// AvgLatency is the mean latency of those packets (0 when none).
 	AvgLatency float64
+	// Dropped counts flits discarded in the window (fault recovery).
+	Dropped int64
 }
 
 // RunWindows executes the configured simulation while splitting delivered-
@@ -436,14 +609,16 @@ func (n *Network) RunWindows(windowCycles int64) (Result, []WindowPoint) {
 	// (count and running sum) after each cycle.
 	lastCount := n.latency.Count()
 	lastSum := n.latency.Average() * float64(lastCount)
+	lastDropped := n.dropFlitsAll
 	saturated := false
 	for {
 		n.Step()
 		count := n.latency.Count()
 		sum := n.latency.Average() * float64(count)
 		cur.Delivered += count - lastCount
+		cur.Dropped += n.dropFlitsAll - lastDropped
 		latSum += sum - lastSum
-		lastCount, lastSum = count, sum
+		lastCount, lastSum, lastDropped = count, sum, n.dropFlitsAll
 
 		if n.cycle-cur.StartCycle >= windowCycles {
 			flush()
@@ -459,6 +634,7 @@ func (n *Network) RunWindows(windowCycles int64) (Result, []WindowPoint) {
 				last = n.measureStart
 			}
 			if n.cycle-last > n.cfg.InactivityLimit {
+				n.watchdog = n.buildWatchdog()
 				break
 			}
 		}

@@ -36,6 +36,8 @@ const (
 
 // Router is the generic 5-port baseline.
 type Router struct {
+	router.Recovery
+
 	id     int
 	engine *router.RouteEngine
 	torus  *topology.Torus // non-nil when running the torus extension
@@ -89,7 +91,31 @@ func New(id int, engine *router.RouteEngine) *Router {
 			r.vaArb[p][v] = arbiter.NewRoundRobin(numReqs)
 		}
 	}
+	// Recovery indexes channels in port-major order, matching the flat
+	// grantee IDs used in the output books.
+	flat := make([]*router.VC, 0, numReqs)
+	for p := 0; p < numPorts; p++ {
+		flat = append(flat, r.ports[p]...)
+	}
+	r.InitRecovery(id, flat, r.grantTarget, r.abortCleanup)
 	return r
+}
+
+// grantTarget resolves a flat VC index to its front packet's grant target.
+func (r *Router) grantTarget(i int) (router.GrantRef, bool) {
+	out := r.ports[i/VCsPerPort][i%VCsPerPort].OutPort()
+	if !out.IsCardinal() {
+		return router.GrantRef{}, false
+	}
+	return router.GrantRef{Book: r.books[out], Claimant: r.neighbors[out], Side: out.Opposite()}, true
+}
+
+// abortCleanup releases the injection channel if the aborted packet was
+// the one being injected.
+func (r *Router) abortCleanup(i int) {
+	if i/VCsPerPort == int(topology.Local) && r.injVC == i%VCsPerPort {
+		r.injVC = -1
+	}
 }
 
 // ID returns the node this router serves.
@@ -125,8 +151,30 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 
 // ApplyFault blocks the entire node: the generic router's operation is
 // unified across its components, so any permanent fault takes the whole
-// router off-line (paper Section 4).
-func (r *Router) ApplyFault(fault.Fault) { r.dead = true }
+// router off-line (paper Section 4). Applied live, the node condemns its
+// resident traffic: buffered wormholes drain as drops and later arrivals
+// are discarded with their credits returned, so the network around the
+// dead node keeps flowing.
+func (r *Router) ApplyFault(fault.Fault) {
+	r.dead = true
+	for p := range r.ports {
+		for _, vc := range r.ports[p] {
+			vc.Condemn()
+		}
+	}
+}
+
+// RefreshOutput re-propagates the downstream input-VC depths into output
+// d's credit book after a runtime fault changed them.
+func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
+	b := r.books[d]
+	if b == nil {
+		return
+	}
+	for vc, depth := range depths {
+		b.SetDepth(vc, depth)
+	}
+}
 
 // CanServe reports whether traffic entering on from and leaving through out
 // can be served. The generic router is all-or-nothing.
@@ -162,8 +210,17 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 	return true
 }
 
-// InputVCDepth returns the usable depth of input VC vc on side from.
+// ReleaseInputVC returns a claim whose packet will never arrive.
+func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	r.ports[from][vc].ReleaseClaim()
+}
+
+// InputVCDepth returns the usable depth of input VC vc on side from (0
+// when the node is dead).
 func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
+	if r.dead {
+		return 0
+	}
 	return r.ports[from][vc].Capacity()
 }
 
@@ -265,17 +322,7 @@ func (r *Router) candidateVCs(f *flit.Flit, out topology.Direction) []int {
 // Tick advances the router one cycle.
 func (r *Router) Tick(cycle int64) {
 	if r.dead {
-		// A blocked node consumes nothing and produces nothing. Drain the
-		// pipes defensively (nothing should be in flight: faults are
-		// installed before traffic starts).
-		for d := 0; d < numPorts; d++ {
-			if r.in[d] != nil {
-				r.in[d].Flit.Read()
-			}
-			if r.out[d] != nil {
-				r.out[d].Credit.Read()
-			}
-		}
+		r.tickDead(cycle)
 		return
 	}
 	r.act.Cycles++
@@ -314,7 +361,9 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.drainDoomed()
+	r.SweepBroken(cycle, false)
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
 
 	// 3. VA: separable, one iteration per cycle, speculative with SA.
 	r.allocateVCs(cycle)
@@ -323,17 +372,42 @@ func (r *Router) Tick(cycle int64) {
 	r.allocateSwitch(cycle)
 }
 
+// tickDead runs the blocked node's cycle: arrivals are discarded with
+// their credits returned (flow control upstream must not wedge on a node
+// that died with traffic in flight), condemned resident wormholes drain
+// as drops, and orphaned states retire. The node does no allocation and
+// burns no activity.
+func (r *Router) tickDead(cycle int64) {
+	for d := 0; d < numPorts; d++ {
+		if r.in[d] != nil {
+			if f := r.in[d].Flit.Read(); f != nil {
+				r.act.DroppedFlits++
+				r.DropFlit(f, cycle)
+				if f.VC >= 0 {
+					r.in[d].Credit.Write(f.VC)
+				}
+			}
+		}
+		if r.out[d] != nil {
+			r.out[d].Credit.Read()
+		}
+	}
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
+}
+
 // drainDoomed discards flits of packets whose route is permanently
 // fault-blocked, returning their credits upstream.
-func (r *Router) drainDoomed() {
+func (r *Router) drainDoomed(cycle int64) {
 	for p := 0; p < numPorts; p++ {
 		for v, vc := range r.ports[p] {
-			for vc.Doomed() && vc.Len() > 0 {
-				f := vc.Pop()
-				r.act.DroppedFlits++
-				if f.Rec != nil && f.Type.IsHead() {
-					f.Rec.Visit(r.id, 0, trace.Dropped)
+			for {
+				f := vc.DrainDoomed()
+				if f == nil {
+					break
 				}
+				r.act.DroppedFlits++
+				r.DropFlit(f, cycle)
 				if topology.Direction(p) != topology.Local && r.in[p] != nil {
 					r.in[p].Credit.Write(v)
 				}
@@ -552,6 +626,7 @@ func (r *Router) traverse(out topology.Direction, port, vcIdx int, cycle int64) 
 	// Capture the packet's routing state before Pop: popping a tail flit
 	// retires the packet and shifts the channel to the next one.
 	outVC, nextOut, ejectNext := vc.OutVC(), vc.NextOut(), vc.EjectNext()
+	vc.MarkStreamed()
 	f := vc.Pop()
 	r.act.BufferReads++
 	r.act.CrossbarTraversals++

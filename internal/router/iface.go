@@ -54,10 +54,20 @@ type Router interface {
 	// cycle.
 	TryInject(f *flit.Flit, cycle int64) bool
 
-	// ApplyFault installs a permanent fault before the simulation starts.
-	// Baseline routers respond to any fault by blocking the whole node; the
-	// RoCo router applies its hardware-recycling reaction per component.
+	// ApplyFault installs a permanent fault, either before the simulation
+	// starts or live mid-run (the network's fault schedule). Baseline
+	// routers respond to any fault by blocking the whole node; the RoCo
+	// router applies its hardware-recycling reaction per component. A live
+	// installation additionally condemns the traffic resident in the failed
+	// datapath so in-flight wormholes drain (as drops) instead of wedging;
+	// the network then re-propagates the neighbor handshake via
+	// RefreshOutput.
 	ApplyFault(flt fault.Fault)
+	// RefreshOutput re-propagates the downstream input-VC depths into the
+	// credit book of output d after a runtime fault changed them (the
+	// credit half of the neighbor handshake). depths is indexed like
+	// AttachOutput's.
+	RefreshOutput(d topology.Direction, depths []int)
 	// CanServe reports whether a flit entering on side from and leaving
 	// through out can currently be served, given installed faults. Local
 	// out means ejection. Upstream routers consult it (the paper's
@@ -82,6 +92,22 @@ type Router interface {
 	// another upstream claimed the channel earlier in the same cycle.
 	InputVCClaimable(from topology.Direction, vc int) bool
 	ClaimInputVC(from topology.Direction, vc int) bool
+	// ReleaseInputVC returns a claim previously taken with ClaimInputVC
+	// whose packet will never arrive: fault recovery withdraws the
+	// upstream grant before any flit streamed.
+	ReleaseInputVC(from topology.Direction, vc int)
+
+	// SetDropSink installs the network's drop-accounting callback; every
+	// flit a router discards (doomed wormholes, dead-node drains) is
+	// reported exactly once so flit conservation stays auditable.
+	SetDropSink(s Sink)
+	// SetBroken shares the network-wide broken-packet registry: packets
+	// that lost at least one flit anywhere. Routers sweep it each Tick and
+	// doom their resident fragments of broken packets.
+	SetBroken(b *BrokenSet)
+	// BufferedFlits counts the flits currently buffered in the router's
+	// channels (the conservation auditor's in-router term).
+	BufferedFlits() int
 
 	// Activity exposes the per-component event counters for the energy
 	// model.

@@ -59,6 +59,8 @@ func groupFor(q routing.Quadrant, from topology.Direction) int {
 
 // Router is the Path-Sensitive baseline.
 type Router struct {
+	router.Recovery
+
 	id     int
 	engine *router.RouteEngine
 	sink   router.Sink
@@ -105,7 +107,25 @@ func New(id int, engine *router.RouteEngine) *Router {
 		}
 		r.vaArb[d] = arbs
 	}
+	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
 	return r
+}
+
+// grantTarget resolves a VC index to its front packet's grant target.
+func (r *Router) grantTarget(i int) (router.GrantRef, bool) {
+	out := r.vcs[i].OutPort()
+	if !out.IsCardinal() {
+		return router.GrantRef{}, false
+	}
+	return router.GrantRef{Book: r.books[out], Claimant: r.neighbors[out], Side: out.Opposite()}, true
+}
+
+// abortCleanup releases the injection channel if the aborted packet was
+// the one being injected.
+func (r *Router) abortCleanup(i int) {
+	if r.injVC == i {
+		r.injVC = -1
+	}
 }
 
 // ID returns the node this router serves.
@@ -139,8 +159,26 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 
 // ApplyFault blocks the entire node: like the generic router, the
 // path-sensitive design has no independent modules to degrade into (paper
-// Section 5.4 treats both baselines this way).
-func (r *Router) ApplyFault(fault.Fault) { r.dead = true }
+// Section 5.4 treats both baselines this way). Applied live, resident
+// traffic is condemned and drains as drops.
+func (r *Router) ApplyFault(fault.Fault) {
+	r.dead = true
+	for _, vc := range r.vcs {
+		vc.Condemn()
+	}
+}
+
+// RefreshOutput re-propagates the downstream input-VC depths into output
+// d's credit book after a runtime fault changed them.
+func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
+	b := r.books[d]
+	if b == nil {
+		return
+	}
+	for vc, depth := range depths {
+		b.SetDepth(vc, depth)
+	}
+}
 
 // CanServe reports whether traffic entering on from and leaving through
 // out can be served; the router is all-or-nothing.
@@ -180,6 +218,11 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 	}
 	r.vcs[vc].Claim(from)
 	return true
+}
+
+// ReleaseInputVC returns a claim whose packet will never arrive.
+func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	r.vcs[vc].ReleaseClaim()
 }
 
 // Quiescent reports whether no flit is buffered anywhere in the router.
@@ -258,14 +301,7 @@ func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
 // Tick advances the router one cycle.
 func (r *Router) Tick(cycle int64) {
 	if r.dead {
-		for d := 0; d < 5; d++ {
-			if r.in[d] != nil {
-				r.in[d].Flit.Read()
-			}
-			if r.out[d] != nil {
-				r.out[d].Credit.Read()
-			}
-		}
+		r.tickDead(cycle)
 		return
 	}
 	r.act.Cycles++
@@ -305,22 +341,48 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.drainDoomed()
+	r.SweepBroken(cycle, false)
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
 	r.allocateVCs(cycle)
 	r.allocateSwitch(cycle)
 }
 
+// tickDead is the Tick of a faulted node: arrivals already in flight are
+// dropped (with their credits returned so upstream books stay balanced),
+// condemned resident traffic drains as drops, and returning credits are
+// discarded.
+func (r *Router) tickDead(cycle int64) {
+	for d := 0; d < 5; d++ {
+		if r.in[d] != nil {
+			if f := r.in[d].Flit.Read(); f != nil {
+				r.act.DroppedFlits++
+				r.DropFlit(f, cycle)
+				if f.VC >= 0 {
+					r.in[d].Credit.Write(f.VC)
+				}
+			}
+		}
+		if r.out[d] != nil {
+			r.out[d].Credit.Read()
+		}
+	}
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
+}
+
 // drainDoomed discards flits of packets whose route is permanently
 // fault-blocked, returning their credits upstream.
-func (r *Router) drainDoomed() {
+func (r *Router) drainDoomed(cycle int64) {
 	for _, vc := range r.vcs {
-		for vc.Doomed() && vc.Len() > 0 {
+		for {
 			feeder := vc.Feeder()
-			f := vc.Pop()
-			r.act.DroppedFlits++
-			if f.Rec != nil && f.Type.IsHead() {
-				f.Rec.Visit(r.id, 0, trace.Dropped)
+			f := vc.DrainDoomed()
+			if f == nil {
+				break
 			}
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle)
 			if feeder.IsCardinal() && r.in[feeder] != nil {
 				r.in[feeder].Credit.Write(vc.Index)
 			}
@@ -524,6 +586,7 @@ func (r *Router) countContention(out topology.Direction, n int, contended bool) 
 func (r *Router) traverse(out topology.Direction, vcID int, cycle int64) {
 	vc := r.vcs[vcID]
 	outVC, nextOut, ejectNext, feeder := vc.OutVC(), vc.NextOut(), vc.EjectNext(), vc.Feeder()
+	vc.MarkStreamed()
 	f := vc.Pop()
 	r.act.BufferReads++
 	r.act.CrossbarTraversals++

@@ -73,6 +73,8 @@ func arrivalPort(from topology.Direction) int {
 
 // Router is the PDR baseline-extension router.
 type Router struct {
+	router.Recovery
+
 	id     int
 	engine *router.RouteEngine
 	sink   router.Sink
@@ -135,7 +137,37 @@ func New(id int, engine *router.RouteEngine) *Router {
 		}
 		r.vaArb[i] = arbs
 	}
+	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
 	return r
+}
+
+// grantTarget resolves a VC index to its front packet's grant target. For
+// an X-module packet granted the internal transfer leg the target is the
+// router's own transfer book and fromX claim (side Local); otherwise it is
+// the external link's book and neighbor.
+func (r *Router) grantTarget(i int) (router.GrantRef, bool) {
+	out := r.vcs[i].OutPort()
+	if out == topology.Invalid {
+		return router.GrantRef{}, false
+	}
+	port := portOfVC(i)
+	if port <= portFromPE {
+		if _, slot := moduleOutOf(port, out); slot == outToY {
+			return router.GrantRef{Book: r.transferBook, Claimant: r, Side: topology.Local}, true
+		}
+	}
+	if !out.IsCardinal() {
+		return router.GrantRef{}, false
+	}
+	return router.GrantRef{Book: r.books[out], Claimant: r.neighbors[out], Side: out.Opposite()}, true
+}
+
+// abortCleanup releases the injection channel if the aborted packet was
+// the one being injected.
+func (r *Router) abortCleanup(i int) {
+	if r.injVC == i {
+		r.injVC = -1
+	}
 }
 
 // ID returns the node this router serves.
@@ -169,8 +201,26 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 
 // ApplyFault blocks the entire node: the PDR modules are intertwined (the
 // Y-module depends on the X-module for injection, transfer and ejection),
-// so there is no graceful degradation to fall back to.
-func (r *Router) ApplyFault(fault.Fault) { r.dead = true }
+// so there is no graceful degradation to fall back to. Applied live,
+// resident traffic is condemned and drains as drops.
+func (r *Router) ApplyFault(fault.Fault) {
+	r.dead = true
+	for _, vc := range r.vcs {
+		vc.Condemn()
+	}
+}
+
+// RefreshOutput re-propagates the downstream input-VC depths into output
+// d's credit book after a runtime fault changed them.
+func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
+	b := r.books[d]
+	if b == nil {
+		return
+	}
+	for vc, depth := range depths {
+		b.SetDepth(vc, depth)
+	}
+}
 
 // CanServe reports whether traffic can be served; all-or-nothing.
 func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
@@ -209,6 +259,12 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 	}
 	r.vcs[vc].Claim(from)
 	return true
+}
+
+// ReleaseInputVC returns a claim whose packet will never arrive. Side
+// Local means an internal transfer claim on a fromX channel.
+func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	r.vcs[vc].ReleaseClaim()
 }
 
 // Quiescent reports whether no flit is buffered anywhere in the router.
@@ -305,14 +361,7 @@ func moduleOutOf(port int, outPort topology.Direction) (int, int) {
 // Tick advances the router one cycle.
 func (r *Router) Tick(cycle int64) {
 	if r.dead {
-		for d := 0; d < 5; d++ {
-			if r.in[d] != nil {
-				r.in[d].Flit.Read()
-			}
-			if r.out[d] != nil {
-				r.out[d].Credit.Read()
-			}
-		}
+		r.tickDead(cycle)
 		return
 	}
 	r.act.Cycles++
@@ -347,21 +396,47 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.drainDoomed()
+	r.SweepBroken(cycle, false)
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
 	r.allocateVCs(cycle)
 	r.allocateSwitch(cycle)
 }
 
-// drainDoomed discards flits of fault-blocked packets.
-func (r *Router) drainDoomed() {
-	for _, vc := range r.vcs {
-		for vc.Doomed() && vc.Len() > 0 {
-			feeder := vc.Feeder()
-			f := vc.Pop()
-			r.act.DroppedFlits++
-			if f.Rec != nil && f.Type.IsHead() {
-				f.Rec.Visit(r.id, 0, trace.Dropped)
+// tickDead is the Tick of a faulted node: arrivals already in flight are
+// dropped (with their credits returned so upstream books stay balanced),
+// condemned resident traffic drains as drops, and returning credits are
+// discarded.
+func (r *Router) tickDead(cycle int64) {
+	for d := 0; d < 5; d++ {
+		if r.in[d] != nil {
+			if f := r.in[d].Flit.Read(); f != nil {
+				r.act.DroppedFlits++
+				r.DropFlit(f, cycle)
+				if f.VC >= 0 {
+					r.in[d].Credit.Write(f.VC)
+				}
 			}
+		}
+		if r.out[d] != nil {
+			r.out[d].Credit.Read()
+		}
+	}
+	r.drainDoomed(cycle)
+	r.ReapOrphans(cycle)
+}
+
+// drainDoomed discards flits of fault-blocked packets.
+func (r *Router) drainDoomed(cycle int64) {
+	for _, vc := range r.vcs {
+		for {
+			feeder := vc.Feeder()
+			f := vc.DrainDoomed()
+			if f == nil {
+				break
+			}
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle)
 			if feeder.IsCardinal() && r.in[feeder] != nil {
 				r.in[feeder].Credit.Write(vc.Index)
 			}
@@ -614,6 +689,7 @@ func (r *Router) traverse(module, slot, vcID int, cycle int64) {
 	vc := r.vcs[vcID]
 	outVC, nextOut, ejectNext, feeder := vc.OutVC(), vc.NextOut(), vc.EjectNext(), vc.Feeder()
 	outPort := vc.OutPort()
+	vc.MarkStreamed()
 	f := vc.Pop()
 	r.act.BufferReads++
 	r.act.CrossbarTraversals++

@@ -39,6 +39,19 @@ func (p *FlitPipe) Read() *flit.Flit {
 // Busy reports whether the pipe already carries a flit for next cycle.
 func (p *FlitPipe) Busy() bool { return p.next != nil }
 
+// Occupancy counts the flits held by the pipe (current and staged); the
+// network's flit-conservation auditor uses it to account for link flits.
+func (p *FlitPipe) Occupancy() int {
+	n := 0
+	if p.cur != nil {
+		n++
+	}
+	if p.next != nil {
+		n++
+	}
+	return n
+}
+
 // Advance moves staged values into view. The network calls it once per
 // cycle boundary. An unconsumed flit is a protocol violation: credit-based
 // flow control guarantees the receiver always has room.

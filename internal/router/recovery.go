@@ -1,0 +1,244 @@
+package router
+
+import (
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
+)
+
+// BrokenSet is the network-wide registry of packets that can no longer be
+// delivered whole: at least one of their flits was dropped somewhere (a
+// live fault condemned a buffer, a dead node drained an arrival, a doomed
+// wormhole fragment was discarded). Routers sweep the set every Tick and
+// doom their own resident fragments of broken packets, so a break anywhere
+// propagates along the whole wormhole within a cycle and the stranded
+// flits drain instead of wedging the network.
+type BrokenSet struct {
+	ids map[uint64]int64 // packet ID -> cycle first broken
+}
+
+// NewBrokenSet returns an empty registry.
+func NewBrokenSet() *BrokenSet {
+	return &BrokenSet{ids: make(map[uint64]int64)}
+}
+
+// Add registers a packet as broken (idempotent; the first cycle wins).
+func (b *BrokenSet) Add(id uint64, cycle int64) {
+	if _, ok := b.ids[id]; !ok {
+		b.ids[id] = cycle
+	}
+}
+
+// Contains reports whether the packet has lost a flit.
+func (b *BrokenSet) Contains(id uint64) bool {
+	_, ok := b.ids[id]
+	return ok
+}
+
+// Len returns the number of broken packets.
+func (b *BrokenSet) Len() int { return len(b.ids) }
+
+// StuckFlit describes one packet stalled in a router buffer; the livelock
+// watchdog collects them for its diagnostic report.
+type StuckFlit struct {
+	// Node and VC locate the buffer.
+	Node, VC int
+	// PacketID, Src, Dst and Hops identify the stalled packet's journey.
+	PacketID uint64
+	Src, Dst int
+	Hops     int
+	// StallAge is how many cycles the front flit has been eligible but
+	// unable to move.
+	StallAge int64
+	// Doomed reports that fault handling already marked the packet for
+	// discard (it is draining, not wedged).
+	Doomed bool
+}
+
+// StallSource is implemented by routers that can enumerate their stalled
+// buffered packets for the livelock/starvation watchdog.
+type StallSource interface {
+	StallScan(cycle int64) []StuckFlit
+}
+
+// GrantRef locates the bookkeeping behind one VC's front-packet VA grant:
+// the credit book holding the grant queue, and the router (plus arrival
+// side) holding the downstream channel claim. For PDR's internal X-to-Y
+// transfers the claimant is the router itself with side Local.
+type GrantRef struct {
+	Book     *OutVCBook
+	Claimant Router
+	Side     topology.Direction
+}
+
+// orphanAge is how many cycles a doomed, broken front packet must sit with
+// no buffered flits before recovery force-retires its state. Flits of a
+// packet stop being forwarded anywhere the cycle after it enters the
+// broken set, so the last straggler arrives within two cycles; four gives
+// margin while keeping recovery prompt.
+const orphanAge = 4
+
+// Recovery is the live-fault half of a router: shared bookkeeping for
+// dropping flits, sweeping broken packets, withdrawing dead grants, and
+// retiring orphaned packet states. Router implementations embed it and
+// call SweepBroken/ReapOrphans from Tick (between arrivals and
+// allocation). The vcs slice must list the router's channels in the index
+// order used as grantee IDs in its output books.
+type Recovery struct {
+	node       int
+	vcs        []*VC
+	grantRef   func(vcIndex int) (GrantRef, bool)
+	onAbort    func(vcIndex int)
+	dropSink   Sink
+	broken     *BrokenSet
+	emptySince []int64
+}
+
+// InitRecovery wires the embedded recovery state. grantRef resolves a VC
+// index to its front packet's grant target (ok=false when the front packet
+// holds no external grant); onAbort (optional) runs after a front state is
+// force-retired, letting the router clear references to the VC (e.g. its
+// injection channel).
+func (rc *Recovery) InitRecovery(node int, vcs []*VC, grantRef func(int) (GrantRef, bool), onAbort func(int)) {
+	rc.node = node
+	rc.vcs = vcs
+	rc.grantRef = grantRef
+	rc.onAbort = onAbort
+	rc.emptySince = make([]int64, len(vcs))
+	for i := range rc.emptySince {
+		rc.emptySince[i] = -1
+	}
+}
+
+// SetDropSink installs the network's drop-accounting callback.
+func (rc *Recovery) SetDropSink(s Sink) { rc.dropSink = s }
+
+// SetBroken shares the network-wide broken-packet registry.
+func (rc *Recovery) SetBroken(b *BrokenSet) { rc.broken = b }
+
+// Broken reports whether the packet is registered as broken.
+func (rc *Recovery) Broken(id uint64) bool {
+	return rc.broken != nil && rc.broken.Contains(id)
+}
+
+// DropFlit reports one discarded flit to the trace and the network's drop
+// sink (which registers the packet as broken and keeps the conservation
+// ledger).
+func (rc *Recovery) DropFlit(f *flit.Flit, cycle int64) {
+	if f.Rec != nil && f.Type.IsHead() {
+		f.Rec.Visit(rc.node, cycle, trace.Dropped)
+	}
+	if rc.dropSink != nil {
+		rc.dropSink(f, cycle)
+	}
+}
+
+// BufferedFlits counts the flits buffered across all channels.
+func (rc *Recovery) BufferedFlits() int {
+	n := 0
+	for _, vc := range rc.vcs {
+		n += vc.Len()
+	}
+	return n
+}
+
+// SweepBroken dooms resident front packets that can no longer complete and
+// withdraws their outstanding VA grants. Two triggers: the packet is in
+// the broken set (it lost a flit elsewhere), or — when huntDeadGrants is
+// set — its granted downstream channel died under it (a runtime fault
+// zeroed the channel's depth after the grant). Hunting dead grants is the
+// RoCo router's fault-handshake hardware reacting to the re-propagated
+// credit state; the baselines lack the mechanism, so a packet granted into
+// a node that dies before it streams wedges its channel (and every channel
+// queued behind it) until the watchdog reports it.
+func (rc *Recovery) SweepBroken(cycle int64, huntDeadGrants bool) {
+	for i, vc := range rc.vcs {
+		st, ok := vc.FrontState()
+		if !ok {
+			continue
+		}
+		if !st.Doomed {
+			broke := rc.Broken(st.PacketID)
+			deadGrant := false
+			if !broke && huntDeadGrants && st.OutVC >= 0 && !st.EjectNext {
+				if ref, refOK := rc.grantRef(i); refOK && ref.Book != nil && !ref.Book.Alive(st.OutVC) {
+					deadGrant = true
+				}
+			}
+			if !broke && !deadGrant {
+				continue
+			}
+			vc.Doom()
+			st.Doomed = true
+		}
+		// Withdraw the doomed front packet's grant exactly once so the next
+		// grantee of the downstream channel can stream; release the
+		// downstream claim only if nothing of the packet ever streamed
+		// (otherwise the downstream fragment retires the claim itself).
+		if st.OutVC >= 0 && !st.EjectNext && !st.Cancelled {
+			if ref, refOK := rc.grantRef(i); refOK {
+				if ref.Book != nil {
+					ref.Book.CancelGrant(st.OutVC, i)
+				}
+				if !st.Streamed && ref.Claimant != nil {
+					ref.Claimant.ReleaseInputVC(ref.Side, st.OutVC)
+				}
+			}
+			vc.CancelFrontGrant()
+		}
+	}
+}
+
+// ReapOrphans force-retires doomed front packet states whose remaining
+// flits were dropped elsewhere and can never arrive: the packet is broken,
+// none of its flits are buffered here, and the situation has persisted
+// past the in-flight horizon. Without the reap, the fragment state would
+// hold its channel (and the packets queued behind it) forever.
+func (rc *Recovery) ReapOrphans(cycle int64) {
+	for i, vc := range rc.vcs {
+		st, ok := vc.FrontState()
+		if !ok || !st.Doomed || !rc.Broken(st.PacketID) || vc.FrontPacketBuffered() {
+			rc.emptySince[i] = -1
+			continue
+		}
+		if rc.emptySince[i] < 0 {
+			rc.emptySince[i] = cycle
+			continue
+		}
+		if cycle-rc.emptySince[i] < orphanAge {
+			continue
+		}
+		vc.AbortFront()
+		rc.emptySince[i] = -1
+		if rc.onAbort != nil {
+			rc.onAbort(i)
+		}
+	}
+}
+
+// StallScan reports every buffered front packet and how long its front
+// flit has been eligible to move, for the watchdog's diagnostic.
+func (rc *Recovery) StallScan(cycle int64) []StuckFlit {
+	var out []StuckFlit
+	for i, vc := range rc.vcs {
+		f := vc.Front()
+		if f == nil {
+			continue
+		}
+		age := cycle - f.ReadyAt
+		if age < 0 {
+			age = 0
+		}
+		out = append(out, StuckFlit{
+			Node:     rc.node,
+			VC:       i,
+			PacketID: f.PacketID,
+			Src:      f.Src,
+			Dst:      f.Dst,
+			Hops:     f.Hops,
+			StallAge: age,
+			Doomed:   vc.Doomed(),
+		})
+	}
+	return out
+}

@@ -30,6 +30,14 @@ type pktState struct {
 	ejectNext bool
 	doomed    bool
 	feeder    topology.Direction
+	packetID  uint64
+	// streamed records that at least one flit of the packet has left this
+	// router toward its granted target; recovery uses it to decide whether
+	// a cancelled grant's downstream claim may be released.
+	streamed bool
+	// cancelled records that the packet's VA grant has been withdrawn from
+	// the output book (live fault recovery); prevents double cancellation.
+	cancelled bool
 }
 
 // VC is one virtual-channel buffer. Its flit queue is strictly FIFO and
@@ -54,6 +62,12 @@ type VC struct {
 	// FaultPenalty is the extra cycles a flit spends before becoming
 	// SA-ready in a faulty channel.
 	FaultPenalty int64
+
+	// condemned poisons the channel after a live fault kills its datapath:
+	// every resident packet is doomed and every future arrival's state
+	// opens already doomed, so in-flight wormholes drain instead of
+	// wedging.
+	condemned bool
 
 	claims      int // packets admitted whose tails have not yet popped
 	claimFeeder topology.Direction
@@ -171,6 +185,123 @@ func (v *VC) Doom() { v.states[0].doomed = true }
 // Doomed reports whether the front packet is marked for discard.
 func (v *VC) Doomed() bool { return len(v.states) > 0 && v.states[0].doomed }
 
+// DoomResidents dooms every packet currently admitted to the channel (a
+// live buffer fault: the flits latched in the failed buffer are lost).
+// Future arrivals are unaffected.
+func (v *VC) DoomResidents() {
+	for i := range v.states {
+		v.states[i].doomed = true
+	}
+}
+
+// Condemn permanently poisons the channel after a live fault disables its
+// datapath: all resident packets are doomed and every packet admitted
+// later arrives doomed, so in-flight wormholes targeting the dead channel
+// drain away instead of wedging the network.
+func (v *VC) Condemn() {
+	v.condemned = true
+	v.DoomResidents()
+}
+
+// Condemned reports whether the channel has been poisoned by Condemn.
+func (v *VC) Condemned() bool { return v.condemned }
+
+// MarkStreamed records that the front packet has begun streaming flits out
+// of this router (switch traversal); recovery consults it before releasing
+// a cancelled grant's downstream claim.
+func (v *VC) MarkStreamed() { v.states[0].streamed = true }
+
+// FrontState is a read-only snapshot of the front packet's routing state,
+// used by the shared fault-recovery sweep.
+type FrontState struct {
+	PacketID  uint64
+	OutPort   topology.Direction
+	OutVC     int
+	EjectNext bool
+	Doomed    bool
+	Streamed  bool
+	Cancelled bool
+}
+
+// FrontState snapshots the front packet's state; ok is false for an idle
+// channel.
+func (v *VC) FrontState() (FrontState, bool) {
+	if len(v.states) == 0 {
+		return FrontState{}, false
+	}
+	s := v.states[0]
+	return FrontState{
+		PacketID:  s.packetID,
+		OutPort:   s.outPort,
+		OutVC:     s.outVC,
+		EjectNext: s.ejectNext,
+		Doomed:    s.doomed,
+		Streamed:  s.streamed,
+		Cancelled: s.cancelled,
+	}, true
+}
+
+// CancelFrontGrant marks the front packet's VA grant withdrawn (the caller
+// removes it from the output book); further sweeps skip it.
+func (v *VC) CancelFrontGrant() { v.states[0].cancelled = true }
+
+// frontAligned reports whether the front buffered flit belongs to the
+// front packet state. The two can diverge after a live fault: a doomed
+// packet's resident flits may all have drained while its state waits for
+// flits still in flight, letting the next packet's head reach the queue
+// front early.
+func (v *VC) frontAligned() bool {
+	return len(v.queue) > 0 && len(v.states) > 0 && v.queue[0].PacketID == v.states[0].packetID
+}
+
+// FrontPacketBuffered reports whether any buffered flit belongs to the
+// front packet state (FIFO: only the queue front can).
+func (v *VC) FrontPacketBuffered() bool { return v.frontAligned() }
+
+// DrainDoomed pops and returns the next buffered flit of a doomed front
+// packet, or nil when the front packet is not doomed or none of its flits
+// are buffered. It never touches flits of the packets queued behind a
+// doomed fragment.
+func (v *VC) DrainDoomed() *flit.Flit {
+	if !v.Doomed() || !v.frontAligned() {
+		return nil
+	}
+	return v.Pop()
+}
+
+// AbortFront forcibly retires the front packet state as if its tail had
+// popped, releasing its claim slot. Recovery uses it for broken packets
+// whose remaining flits were dropped elsewhere and can never arrive; no
+// flit of the packet may still be buffered.
+func (v *VC) AbortFront() {
+	if len(v.states) == 0 {
+		panic(fmt.Sprintf("router: abort on idle vc %d", v.Index))
+	}
+	if v.frontAligned() {
+		panic(fmt.Sprintf("router: abort of vc %d front packet with buffered flits", v.Index))
+	}
+	copy(v.states, v.states[1:])
+	v.states = v.states[:len(v.states)-1]
+	v.claims--
+	if v.claims == 0 {
+		v.claimFeeder = topology.Invalid
+	}
+}
+
+// ReleaseClaim returns one claim slot taken with Claim before any flit of
+// the claiming packet arrived (recovery withdraws an upstream grant whose
+// packet never streamed). Claims backing admitted packets must be retired
+// through Pop or AbortFront instead.
+func (v *VC) ReleaseClaim() {
+	if v.claims <= len(v.states) {
+		panic(fmt.Sprintf("router: release of unheld claim on vc %d", v.Index))
+	}
+	v.claims--
+	if v.claims == 0 {
+		v.claimFeeder = topology.Invalid
+	}
+}
+
 // Claimable reports whether the channel can admit a new packet arriving
 // over link from. Admission requires a free packet slot and, when the
 // channel is already occupied or claimed, the same feeder link — flits
@@ -196,7 +327,11 @@ func (v *VC) Claim(from topology.Direction) {
 // the next admitted packet's state. Pushing into a full channel, or a head
 // without a claim, panics: flow control must prevent both.
 func (v *VC) PushFrom(f *flit.Flit, from topology.Direction) {
-	if !v.HasRoom() {
+	// Overflow is asserted against the physical depth, not Capacity(): a
+	// buffer fault installed at runtime shrinks the usable capacity while
+	// flits credited under the old regime are still in flight, and those
+	// must still land in the physical latches.
+	if len(v.queue) >= v.Depth {
 		panic(fmt.Sprintf("router: overflow on vc %d: %v", v.Index, f))
 	}
 	if f.Type.IsHead() {
@@ -204,10 +339,12 @@ func (v *VC) PushFrom(f *flit.Flit, from topology.Direction) {
 			panic(fmt.Sprintf("router: head %v pushed into vc %d without a claim", f, v.Index))
 		}
 		v.states = append(v.states, pktState{
-			outPort: f.OutPort,
-			nextOut: topology.Invalid,
-			outVC:   -1,
-			feeder:  from,
+			outPort:  f.OutPort,
+			nextOut:  topology.Invalid,
+			outVC:    -1,
+			feeder:   from,
+			packetID: f.PacketID,
+			doomed:   v.condemned,
 		})
 	} else if len(v.states) == 0 {
 		panic(fmt.Sprintf("router: body/tail %v pushed into idle vc %d", f, v.Index))
@@ -243,7 +380,7 @@ func (v *VC) Pop() *flit.Flit {
 // at the front belongs to the front packet state.
 func (v *VC) NeedsVA() bool {
 	f := v.Front()
-	if f == nil || !f.Type.IsHead() || len(v.states) == 0 {
+	if f == nil || !f.Type.IsHead() || !v.frontAligned() {
 		return false
 	}
 	return v.states[0].outVC < 0 && !v.states[0].ejectNext
@@ -255,7 +392,7 @@ func (v *VC) NeedsVA() bool {
 // concern.
 func (v *VC) SwitchReady(cycle int64) bool {
 	f := v.Front()
-	if f == nil || len(v.states) == 0 || f.ReadyAt > cycle {
+	if f == nil || !v.frontAligned() || f.ReadyAt > cycle {
 		return false
 	}
 	if f.Type.IsHead() {
@@ -273,44 +410,42 @@ func (v *VC) SwitchReady(cycle int64) bool {
 // packets never interleave on the link and the shared downstream FIFO
 // stays in order.
 type OutVCBook struct {
-	depths  []int
-	credits []int
-	order   [][]int // per channel: FIFO of local grantee VC indexes
-	dead    []bool  // downstream channel unusable (fault without recovery)
+	depths   []int
+	inflight []int // flits sent into the channel, credits not yet returned
+	order    [][]int // per channel: FIFO of local grantee VC indexes
 }
 
 // NewOutVCBook returns a book for n downstream VCs of the given depth.
 func NewOutVCBook(n, depth int) *OutVCBook {
 	b := &OutVCBook{
-		depths:  make([]int, n),
-		credits: make([]int, n),
-		order:   make([][]int, n),
-		dead:    make([]bool, n),
+		depths:   make([]int, n),
+		inflight: make([]int, n),
+		order:    make([][]int, n),
 	}
-	for i := range b.credits {
+	for i := range b.depths {
 		b.depths[i] = depth
-		b.credits[i] = depth
 	}
 	return b
 }
 
-// SetDepth adjusts the capacity of one downstream channel; the network
-// uses it when a downstream buffer fault degrades a VC to its bypass
-// latch. It must be called before traffic flows.
+// SetDepth adjusts the capacity of one downstream channel: at wiring time
+// when a pre-installed buffer fault degrades a VC to its bypass latch, and
+// live when a runtime fault re-propagates the neighbor handshake. The book
+// tracks occupancy (flits in flight), not free credits, so a live change
+// stays consistent: outstanding flits keep returning their credits and
+// available credit is simply recomputed against the new depth.
 func (b *OutVCBook) SetDepth(vc, depth int) {
 	if depth < 0 {
 		panic("router: negative VC depth")
 	}
 	b.depths[vc] = depth
-	b.credits[vc] = depth
-	b.dead[vc] = depth == 0
 }
 
 // Size returns the number of downstream VCs tracked.
-func (b *OutVCBook) Size() int { return len(b.credits) }
+func (b *OutVCBook) Size() int { return len(b.depths) }
 
 // Alive reports whether downstream VC vc is usable at all.
-func (b *OutVCBook) Alive(vc int) bool { return !b.dead[vc] }
+func (b *OutVCBook) Alive(vc int) bool { return b.depths[vc] > 0 }
 
 // EnqueueGrant records a local VA grant of downstream channel vc to the
 // local channel grantee; grants stream in FIFO order.
@@ -330,16 +465,39 @@ func (b *OutVCBook) MayStream(vc, grantee int) bool {
 // packets onto the first claimable one.
 func (b *OutVCBook) QueuedGrants(vc int) int { return len(b.order[vc]) }
 
-// Credits returns the remaining buffer slots of vc.
-func (b *OutVCBook) Credits(vc int) int { return b.credits[vc] }
+// Credits returns the remaining buffer slots of vc: its (possibly
+// fault-reduced) depth minus the flits in flight. A live depth reduction
+// below the current occupancy reads as zero until enough credits return.
+func (b *OutVCBook) Credits(vc int) int {
+	c := b.depths[vc] - b.inflight[vc]
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// CancelGrant withdraws grantee's oldest outstanding grant of vc, letting
+// the next grant stream; fault recovery calls it when the granted packet
+// is doomed. Reports whether a grant was found.
+func (b *OutVCBook) CancelGrant(vc, grantee int) bool {
+	q := b.order[vc]
+	for i, g := range q {
+		if g == grantee {
+			copy(q[i:], q[i+1:])
+			b.order[vc] = q[:len(q)-1]
+			return true
+		}
+	}
+	return false
+}
 
 // Send consumes one credit for a flit entering vc; the tail retires the
 // oldest grant, letting the next packet stream.
 func (b *OutVCBook) Send(vc int, tail bool) {
-	if b.credits[vc] <= 0 {
+	if b.Credits(vc) <= 0 {
 		panic(fmt.Sprintf("router: credit underflow on downstream vc %d", vc))
 	}
-	b.credits[vc]--
+	b.inflight[vc]++
 	if tail {
 		q := b.order[vc]
 		if len(q) == 0 {
@@ -352,18 +510,18 @@ func (b *OutVCBook) Send(vc int, tail bool) {
 
 // ReturnCredit processes one credit arriving from downstream.
 func (b *OutVCBook) ReturnCredit(vc int) {
-	if b.credits[vc] >= b.depths[vc] {
+	if b.inflight[vc] <= 0 {
 		panic(fmt.Sprintf("router: credit overflow on downstream vc %d", vc))
 	}
-	b.credits[vc]++
+	b.inflight[vc]--
 }
 
 // FreeSlots sums the outstanding credits across all downstream VCs; the
 // adaptive cost function uses it as its congestion signal.
 func (b *OutVCBook) FreeSlots() int {
 	total := 0
-	for _, c := range b.credits {
-		total += c
+	for vc := range b.depths {
+		total += b.Credits(vc)
 	}
 	return total
 }

@@ -31,7 +31,9 @@ const (
 	Arrived
 	// Delivered: the head flit reached its destination PE.
 	Delivered
-	// Dropped: static fault handling discarded the packet.
+	// Dropped: fault handling discarded the packet — either unroutable at
+	// its source under the (static or runtime) fault map, or broken by a
+	// fault that struck while it was in flight.
 	Dropped
 )
 

@@ -212,7 +212,34 @@ func RandomFaults(class FaultClass, count, width, height int, seed uint64) []Fau
 	set := fault.RandomSet(fault.Class(class), count, width*height, core.NumVCs, rng)
 	out := make([]Fault, len(set))
 	for i, f := range set {
-		out[i] = Fault{Node: f.Node, Component: Component(f.Component), Module: int(f.Module), VC: f.VC}
+		out[i] = publicFault(f)
+	}
+	return out
+}
+
+// publicFault converts an internal fault to the public representation.
+func publicFault(f fault.Fault) Fault {
+	return Fault{Node: f.Node, Component: Component(f.Component), Module: int(f.Module), VC: f.VC}
+}
+
+// TimedFault is one runtime fault event: the fault strikes at the start of
+// Cycle, against a live network.
+type TimedFault struct {
+	Cycle int64
+	Fault Fault
+}
+
+// PoissonFaultSchedule draws a reproducible runtime fault schedule over a
+// width x height mesh: fault arrivals form a Poisson process with the
+// given mean cycles between faults (an MTTF), truncated at horizon, each
+// striking a distinct node with a component drawn from the class
+// population. Use it as Config.FaultSchedule.
+func PoissonFaultSchedule(class FaultClass, meanCyclesBetween float64, horizon int64, width, height int, seed uint64) []TimedFault {
+	rng := newFaultRNG(seed)
+	sched := fault.PoissonSchedule(fault.Class(class), meanCyclesBetween, horizon, width*height, core.NumVCs, rng)
+	out := make([]TimedFault, 0, sched.Len())
+	for _, ev := range sched.Events() {
+		out = append(out, TimedFault{Cycle: ev.Cycle, Fault: publicFault(ev.Fault)})
 	}
 	return out
 }
@@ -245,6 +272,16 @@ type Config struct {
 	Seed uint64
 	// Faults are installed before the first cycle.
 	Faults []Fault
+	// FaultSchedule lists runtime fault events, installed mid-run against
+	// the live network: the afflicted router dooms resident traffic, the
+	// neighbor handshake is re-propagated, and upstream routers reroute or
+	// drop. Build one by hand or with PoissonFaultSchedule.
+	FaultSchedule []TimedFault
+	// AuditEvery runs the flit-conservation auditor every AuditEvery
+	// cycles during the run (0 audits only at termination, which always
+	// happens). A violation panics: it is a simulator bug, never a legal
+	// outcome.
+	AuditEvery int64
 	// MaxCycles hard-caps the run (0 = default).
 	MaxCycles int64
 	// InactivityLimit terminates a faulty run after this many delivery-free
@@ -312,6 +349,30 @@ type Result struct {
 	// hit MaxCycles before draining.
 	Cycles    int64
 	Saturated bool
+	// DroppedFlits counts flits discarded by fault handling (static and
+	// runtime); BrokenPackets the packets that lost at least one flit.
+	DroppedFlits, BrokenPackets int64
+	// FaultEvents describes each runtime fault installed and the
+	// degradation measured around it.
+	FaultEvents []FaultEvent
+	// Watchdog is the livelock/starvation diagnostic, non-empty only when
+	// the run terminated through the inactivity rule with traffic wedged
+	// in the network.
+	Watchdog string
+}
+
+// FaultEvent is one runtime fault with its measured impact: the delivery
+// rate before the fault, the post-fault floor, and how long the network
+// took to recover to the recovery threshold (70% of the pre-fault rate).
+type FaultEvent struct {
+	Cycle int64
+	Fault Fault
+	// PreRate, FloorRate and PostRate are delivery rates in flits/cycle.
+	PreRate, FloorRate, PostRate float64
+	// RecoveryCycles is the fault-to-recovery distance; Recovered is false
+	// when the network never returned to the threshold.
+	RecoveryCycles int64
+	Recovered      bool
 }
 
 // String renders a one-line summary.

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Pre-merge gate: vet, build, full test suite, then the race detector over
+# the packages that exercise the router protocol concurrently-audited paths.
+# Run from the repository root (directly or via `make check`).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/network ./internal/router/... ./internal/core

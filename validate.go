@@ -56,5 +56,19 @@ func (c Config) Validate() error {
 			errs = append(errs, fmt.Errorf("fault %d has unknown component %d", i, int(f.Component)))
 		}
 	}
+	for i, tf := range c.FaultSchedule {
+		if tf.Cycle < 0 {
+			errs = append(errs, fmt.Errorf("scheduled fault %d at negative cycle %d", i, tf.Cycle))
+		}
+		if tf.Fault.Node < 0 || tf.Fault.Node >= c.Width*c.Height {
+			errs = append(errs, fmt.Errorf("scheduled fault %d at nonexistent node %d", i, tf.Fault.Node))
+		}
+		if tf.Fault.Component < RC || tf.Fault.Component > MuxDemux {
+			errs = append(errs, fmt.Errorf("scheduled fault %d has unknown component %d", i, int(tf.Fault.Component)))
+		}
+	}
+	if c.AuditEvery < 0 {
+		errs = append(errs, fmt.Errorf("audit interval %d negative", c.AuditEvery))
+	}
 	return errors.Join(errs...)
 }
