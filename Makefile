@@ -1,4 +1,4 @@
-.PHONY: check test bench fuzz
+.PHONY: check test bench bench-paper fuzz
 
 # The pre-merge gate: vet + build + tests + race detector.
 check:
@@ -7,8 +7,14 @@ check:
 test:
 	go test ./...
 
+# Kernel benchmarks (gated vs reference, three router kinds, three
+# loads); writes BENCH_kernel.json.
 bench:
-	go test -bench=. -benchmem
+	sh scripts/bench.sh
+
+# The paper-table benchmarks at the repository root.
+bench-paper:
+	go test -bench=. -benchmem .
 
 # Extended fuzzing of the runtime fault-injection path.
 fuzz:

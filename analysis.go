@@ -59,6 +59,7 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 		InactivityLimit: cfg.InactivityLimit,
 		Seed:            cfg.Seed,
 		TraceEvery:      traceEvery,
+		ReferenceKernel: cfg.ReferenceKernel,
 	})
 	return net, power.NewProfile(structure)
 }

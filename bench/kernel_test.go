@@ -1,0 +1,79 @@
+// Package bench holds the simulation-kernel micro-benchmarks: per-cycle
+// cost of Network.Step on an 8x8 mesh for each router kind, at low, mid
+// and saturation offered load, under both the activity-gated kernel and
+// the ungated reference. scripts/bench.sh runs them and distils the
+// speedup and allocation numbers into BENCH_kernel.json.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/network"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/router/generic"
+	"github.com/rocosim/roco/internal/router/pathsensitive"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// warmSteps settles each network into steady state (queues populated,
+// flit pool and scratch slices grown) before the timer starts.
+const warmSteps = 1000
+
+var kinds = []struct {
+	name  string
+	build func(int, *router.RouteEngine) router.Router
+}{
+	{"generic", func(id int, e *router.RouteEngine) router.Router { return generic.New(id, e) }},
+	{"pathsensitive", func(id int, e *router.RouteEngine) router.Router { return pathsensitive.New(id, e) }},
+	{"roco", func(id int, e *router.RouteEngine) router.Router { return core.New(id, e) }},
+}
+
+var loads = []struct {
+	name string
+	rate float64
+}{
+	{"low", 0.05},
+	{"mid", 0.20},
+	{"sat", 0.40},
+}
+
+func benchNetwork(build func(int, *router.RouteEngine) router.Router, rate float64, reference bool) *network.Network {
+	return network.New(network.Config{
+		Topo:      topology.NewMesh(8, 8),
+		Algorithm: routing.XY,
+		Build:     build,
+		Traffic:   traffic.Config{Pattern: traffic.Uniform, Rate: rate, FlitsPerPacket: 4},
+		// Generation must never stop mid-benchmark: the kernels are
+		// measured at steady state, not while draining.
+		MeasurePackets:  1 << 40,
+		Seed:            1,
+		ReferenceKernel: reference,
+	})
+}
+
+// BenchmarkKernel measures one simulated cycle (Network.Step) per
+// iteration. Benchmark names read kind/load/kernel.
+func BenchmarkKernel(b *testing.B) {
+	for _, k := range kinds {
+		for _, l := range loads {
+			for _, kernel := range []string{"gated", "reference"} {
+				name := fmt.Sprintf("%s/%s/%s", k.name, l.name, kernel)
+				b.Run(name, func(b *testing.B) {
+					n := benchNetwork(k.build, l.rate, kernel == "reference")
+					for i := 0; i < warmSteps; i++ {
+						n.Step()
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						n.Step()
+					}
+				})
+			}
+		}
+	}
+}

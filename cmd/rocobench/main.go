@@ -48,15 +48,27 @@ func main() {
 		serial   = flag.Bool("serial", false, "disable parallel simulation")
 		mcSample = flag.Int("mc", 1_000_000, "Monte-Carlo samples for table 2")
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
+		kernel   = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
 	)
 	flag.Parse()
+
+	reference := false
+	switch strings.ToLower(*kernel) {
+	case "gated":
+	case "reference":
+		reference = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kernel %q (want gated, reference)\n", *kernel)
+		os.Exit(1)
+	}
 
 	opts := roco.Options{
 		Width: *width, Height: *height,
 		Warmup: *warmup, Measure: *measure,
-		FaultTrials: *trials,
-		Seed:        *seed,
-		Parallel:    !*serial,
+		FaultTrials:     *trials,
+		Seed:            *seed,
+		Parallel:        !*serial,
+		ReferenceKernel: reference,
 	}
 
 	names := []string{*exp}

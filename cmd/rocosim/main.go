@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -45,8 +47,36 @@ func main() {
 		verbose     = flag.Bool("v", false, "print the full result breakdown")
 		heatmap     = flag.Bool("heatmap", false, "print a per-node link-utilization heatmap")
 		tracePkts   = flag.Int("trace", 0, "sample and print this many packet journeys")
+		kernel      = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := roco.Config{
 		Width: *width, Height: *height,
@@ -57,6 +87,14 @@ func main() {
 		Seed:            *seed,
 		HotspotNode:     *hotspot,
 		HotspotFraction: *hotFrac,
+	}
+
+	switch strings.ToLower(*kernel) {
+	case "gated":
+	case "reference":
+		cfg.ReferenceKernel = true
+	default:
+		fatalf("unknown kernel %q (want gated, reference)", *kernel)
 	}
 
 	var ok bool

@@ -30,6 +30,9 @@ type Options struct {
 	Seed uint64
 	// Parallel runs independent simulations on multiple cores.
 	Parallel bool
+	// ReferenceKernel runs every simulation on the ungated cycle loop
+	// instead of the activity-gated kernel (see Config.ReferenceKernel).
+	ReferenceKernel bool
 }
 
 // DefaultOptions returns the harness defaults (8x8 mesh, 2k+30k packets,
@@ -91,10 +94,11 @@ func (o Options) baseConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate
 	return Config{
 		Width: o.Width, Height: o.Height,
 		Router: k, Algorithm: alg, Traffic: tp,
-		InjectionRate:  rate,
-		WarmupPackets:  o.Warmup,
-		MeasurePackets: o.Measure,
-		Seed:           o.Seed,
+		InjectionRate:   rate,
+		WarmupPackets:   o.Warmup,
+		MeasurePackets:  o.Measure,
+		Seed:            o.Seed,
+		ReferenceKernel: o.ReferenceKernel,
 	}
 }
 

@@ -143,6 +143,18 @@ func (m *Mirror) Allocate(has [2][2]bool) MirrorDecision {
 	return dec
 }
 
+// SkipRounds replays the state effect of n request-free allocation rounds
+// without running them. An idle round leaves the global arbiter untouched
+// (no request wins) but still toggles the primary port, so skipping n
+// rounds flips the primary iff n is odd. The activity-gated simulation
+// kernel uses this to keep a slept RoCo module bit-identical to one ticked
+// every cycle.
+func (m *Mirror) SkipRounds(n int64) {
+	if n%2 == 1 {
+		m.primary = 1 - m.primary
+	}
+}
+
 // IsMaximal reports whether dec is a maximal matching for the request
 // pattern has: no unmatched output could be matched to an unmatched input
 // that requests it. Used by tests and assertions.

@@ -39,6 +39,9 @@ type Router struct {
 	// separable output stage (one 2:1 arbiter per output, no mirrored
 	// global decision). Ablation only: quantifies what the mirror buys.
 	disableMirror bool
+	// noFastPath disables Tick's dormant-router early return (reference
+	// kernel mode).
+	noFastPath bool
 
 	injVC int
 
@@ -54,6 +57,7 @@ type Router struct {
 	vaFailed [NumVCs]bool
 	reqVec   [NumVCs]bool
 	setVec   [VCsPerSet]bool
+	byTarget [5][NumVCs][]vaRequest
 }
 
 // New returns a RoCo router for the given node, configured per Table 1 for
@@ -147,6 +151,7 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 // idle VA arbiters, and VA/crossbar/MUX-DEMUX failures by isolating the
 // afflicted module while the other module keeps full service.
 func (r *Router) ApplyFault(flt fault.Fault) {
+	r.NoteFault()
 	m := Module(flt.Module % 2)
 	switch flt.Component {
 	case fault.RC:
@@ -272,6 +277,46 @@ func (r *Router) Quiescent() bool {
 	return true
 }
 
+// Idle reports whether a tick with empty input pipes would leave the
+// router bit-identical to SkipCycles replaying it: every VC is dormant —
+// no flits buffered, no packet state resident — so sweeping, draining,
+// reaping, VA and SA all have nothing to do. Bare upstream claims do not
+// block idleness (no tick phase acts on a claim alone, and the dead-grant
+// hunt only reads channels with resident packet state). The only state an
+// idle tick moves — the cycle counter and each live module's mirror
+// primary toggle — is what SkipCycles replays.
+func (r *Router) Idle() bool {
+	for _, vc := range r.vcs {
+		if !vc.Dormant() {
+			return false
+		}
+	}
+	return true
+}
+
+// DisableTickFastPath makes Tick run every phase even when the router is
+// Idle; the reference kernel sets it so the ungated baseline executes the
+// full tick-everything cost.
+func (r *Router) DisableTickFastPath() { r.noFastPath = true }
+
+// SkipCycles replays n idle ticks in O(1). An idle RoCo tick always counts
+// a cycle (blocked modules do not stop the clock), clears the vaBusy
+// latches, and runs each unblocked module's Mirror allocation round with
+// no requests — which still toggles the primary port. (With saShared the
+// module also reaches Allocate on idle ticks, because vaBusy is false; the
+// disableMirror fallback uses round-robin arbiters, which hold still.)
+func (r *Router) SkipCycles(n int64) {
+	r.act.Cycles += n
+	r.vaBusy[Row], r.vaBusy[Col] = false, false
+	if !r.disableMirror {
+		for m := Module(0); m < numModules; m++ {
+			if !r.blocked[m] {
+				r.mirror[m].SkipRounds(n)
+			}
+		}
+	}
+}
+
 // TryInject offers the next flit of the PE's current packet. Self-addressed
 // packets are delivered straight back to the PE.
 func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
@@ -379,12 +424,30 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
+	// Fast path: with every channel dormant the recovery and allocation
+	// phases below reduce to the idle tick that SkipCycles replays —
+	// clear the vaBusy latches and toggle each unblocked module's mirror
+	// primary (the cycle counter already moved above).
+	if !r.noFastPath && r.Idle() {
+		r.vaBusy[Row], r.vaBusy[Col] = false, false
+		if !r.disableMirror {
+			for m := Module(0); m < numModules; m++ {
+				if !r.blocked[m] {
+					r.mirror[m].SkipRounds(1)
+				}
+			}
+		}
+		return
+	}
+
 	// Fault recovery: react to broken packets and dead grants (the RoCo
 	// fault-handshake hardware), drain condemned wormholes, retire orphaned
 	// fragments.
-	r.SweepBroken(cycle, true)
-	r.drainDoomed(cycle)
-	r.ReapOrphans(cycle)
+	if r.noFastPath || !r.RecoveryQuiet() {
+		r.SweepBroken(cycle, true)
+		r.drainDoomed(cycle)
+		r.ReapOrphans(cycle)
+	}
 	r.vaBusy[Row], r.vaBusy[Col] = false, false
 	r.allocateVCs(cycle)
 	for m := Module(0); m < numModules; m++ {
@@ -426,7 +489,8 @@ type vaRequest struct {
 // physically independent; one pass covers both since requests never cross
 // modules).
 func (r *Router) allocateVCs(cycle int64) {
-	var byTarget [5][NumVCs][]vaRequest
+	// Scratch slices live on the router; the drain loop truncates them.
+	byTarget := &r.byTarget
 
 	for id, vc := range r.vcs {
 		r.vaFailed[id] = false
@@ -465,6 +529,7 @@ func (r *Router) allocateVCs(cycle int64) {
 			if len(claims) == 0 {
 				continue
 			}
+			byTarget[out][c] = claims[:0]
 			for i := range r.reqVec {
 				r.reqVec[i] = false
 			}

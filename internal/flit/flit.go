@@ -125,6 +125,10 @@ type Flit struct {
 	// downstream router performs current-node routing first (+1 cycle).
 	// Consumed (reset) when the flit is buffered.
 	Penalty int64
+
+	// pooled guards against double-recycling: set by Pool.Put, cleared by
+	// Pool.Get. A live flit always reads false.
+	pooled bool
 }
 
 // String renders a compact debugging representation.
@@ -146,31 +150,5 @@ type Packet struct {
 // packet's routing state; OutPort and VC are left Invalid/-1 for the source
 // PE to fill in at injection time.
 func (p Packet) Segment() []*Flit {
-	if p.Flits < 1 {
-		panic(fmt.Sprintf("flit: packet %d has %d flits; need at least 1", p.ID, p.Flits))
-	}
-	out := make([]*Flit, p.Flits)
-	for i := range out {
-		t := Body
-		switch {
-		case p.Flits == 1:
-			t = HeadTail
-		case i == 0:
-			t = Head
-		case i == p.Flits-1:
-			t = Tail
-		}
-		out[i] = &Flit{
-			Type:      t,
-			PacketID:  p.ID,
-			Seq:       i,
-			Src:       p.Src,
-			Dst:       p.Dst,
-			Mode:      p.Mode,
-			OutPort:   topology.Invalid,
-			VC:        -1,
-			CreatedAt: p.CreatedAt,
-		}
-	}
-	return out
+	return AppendSegment(make([]*Flit, 0, p.Flits), p, nil)
 }

@@ -1,0 +1,143 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// kernelConfig is a mid-load 8x8 run, small enough to finish quickly but
+// busy enough that routers sleep and wake many times per run.
+func kernelConfig(build func(int, *router.RouteEngine) router.Router, seed uint64) Config {
+	return Config{
+		Topo:            topology.NewMesh(8, 8),
+		Algorithm:       routing.XY,
+		Build:           build,
+		Traffic:         traffic.Config{Pattern: traffic.Uniform, Rate: 0.15, FlitsPerPacket: 4},
+		WarmupPackets:   300,
+		MeasurePackets:  1500,
+		InactivityLimit: 1000,
+		MaxCycles:       400_000,
+		Seed:            seed,
+		AuditEvery:      64,
+	}
+}
+
+// TestGatedKernelMatchesReference is the correctness contract of the
+// activity-gated kernel: for every router kind and seed, the gated run and
+// the tick-everything reference run must produce bit-identical Results —
+// same latency histogram, same per-router activity counters, same fault
+// log. Any divergence means a router was left asleep through a cycle that
+// would have done work (under-waking) or SkipCycles mis-replayed an idle
+// tick.
+func TestGatedKernelMatchesReference(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+	}{
+		{"generic", genericBuilder},
+		{"pathsensitive", psBuilder},
+		{"roco", rocoBuilder},
+		{"pdr", pdrBuilder},
+	}
+	for _, b := range builders {
+		b := b
+		for _, seed := range []uint64{1, 42, 99} {
+			seed := seed
+			t.Run(b.name, func(t *testing.T) {
+				t.Parallel()
+				ref := kernelConfig(b.build, seed)
+				ref.ReferenceKernel = true
+				gated := kernelConfig(b.build, seed)
+
+				want := New(ref).Run()
+				got := New(gated).Run()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: gated kernel diverged from reference\n gated: %+v\n   ref: %+v",
+						seed, got.Summary, want.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestGatedKernelMatchesReferenceUnderFaults repeats the bit-identity
+// check with a Poisson runtime-fault schedule striking mid-run, so the
+// settle-before-ApplyFault path and the fault wake rules are on the hook
+// too.
+func TestGatedKernelMatchesReferenceUnderFaults(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+	}{
+		{"generic", genericBuilder},
+		{"pathsensitive", psBuilder},
+		{"roco", rocoBuilder},
+	}
+	for _, b := range builders {
+		b := b
+		for _, seed := range []uint64{7, 1234} {
+			seed := seed
+			t.Run(b.name, func(t *testing.T) {
+				t.Parallel()
+				sched := fault.PoissonSchedule(fault.NonCritical, 120, 600, 64, core.NumVCs, stats.NewRNG(seed^0xfa17))
+
+				ref := kernelConfig(b.build, seed)
+				ref.Schedule = sched
+				ref.ReferenceKernel = true
+				gated := kernelConfig(b.build, seed)
+				gated.Schedule = sched
+
+				want := New(ref).Run()
+				got := New(gated).Run()
+				if len(want.FaultLog) == 0 {
+					t.Fatalf("seed %d: fault schedule installed no faults; test is vacuous", seed)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: gated kernel diverged from reference under faults\n gated: %+v\n   ref: %+v",
+						seed, got.Summary, want.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestStepZeroAllocsWhenIdle pins the clock-gating payoff: once a network
+// has nothing to generate, inject, tick, or advance, Step must not touch
+// the heap at all.
+func TestStepZeroAllocsWhenIdle(t *testing.T) {
+	cfg := smokeConfig(routing.XY, traffic.Uniform, 0, 5)
+	cfg.Traffic.Rate = 0
+	n := New(cfg)
+	for i := 0; i < 8; i++ {
+		n.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() { n.Step() })
+	if allocs != 0 {
+		t.Fatalf("idle Step allocates %v objects per cycle, want 0", allocs)
+	}
+}
+
+// TestStepBoundedAllocsUnderLoad asserts the steady-state Step of a
+// loaded network stays (amortised) allocation-free: flits come from the
+// pool, arbitration scratch lives on the router structs, and the
+// worklists are reused. A small budget absorbs rare slice regrowth.
+func TestStepBoundedAllocsUnderLoad(t *testing.T) {
+	cfg := kernelConfig(genericBuilder, 3)
+	cfg.MeasurePackets = 1_000_000 // never stop generating during the probe
+	n := New(cfg)
+	for i := 0; i < 2000; i++ { // warm pools and worklists to steady state
+		n.Step()
+	}
+	allocs := testing.AllocsPerRun(500, func() { n.Step() })
+	if allocs > 1 {
+		t.Fatalf("loaded Step allocates %v objects per cycle, want <= 1 amortised", allocs)
+	}
+}

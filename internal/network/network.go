@@ -8,6 +8,7 @@ package network
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
@@ -62,6 +63,11 @@ type Config struct {
 	// TraceEvery samples packet journeys: every TraceEvery-th generated
 	// packet gets a trace record (0 disables tracing).
 	TraceEvery uint64
+	// ReferenceKernel selects the ungated cycle loop: every router ticked
+	// and every pipe advanced every cycle, flits freshly allocated. It is
+	// the determinism oracle and benchmark baseline for the activity-gated
+	// kernel (the default); results are bit-identical either way.
+	ReferenceKernel bool
 }
 
 // Result carries everything a run measured.
@@ -118,9 +124,24 @@ type link struct {
 // pe is the processing element attached to one router: an infinite source
 // queue of segmented packets plus delivery bookkeeping.
 type pe struct {
-	id      int
-	gen     traffic.Generator
-	backlog []*flit.Flit // flits awaiting injection, across packets in order
+	id  int
+	gen traffic.Generator
+	// backlog[head:] holds the flits awaiting injection, across packets in
+	// order. Consuming by index instead of re-slicing keeps the front
+	// capacity alive, so once drained the array is reset and reused —
+	// steady-state generation appends without reallocating.
+	backlog []*flit.Flit
+	head    int
+}
+
+// consumeFront retires the backlog's front flit, recycling the array once
+// every queued flit has been consumed.
+func (p *pe) consumeFront() {
+	p.head++
+	if p.head == len(p.backlog) {
+		p.backlog = p.backlog[:0]
+		p.head = 0
+	}
 }
 
 // Network is a fully wired simulation instance.
@@ -162,6 +183,23 @@ type Network struct {
 	completion     metrics.Completion
 	deliveredFlits int64
 	lastDelivery   int64
+
+	// nextAudit is the first cycle the conservation auditor runs at again
+	// (MaxInt64 when disabled), replacing a per-cycle modulo check.
+	nextAudit int64
+
+	// Activity-gated kernel state (see DESIGN.md "Simulation kernel").
+	// Unused in ReferenceKernel mode; pool stays nil there so flits are
+	// freshly allocated exactly as the pre-gating kernel did.
+	pool       *flit.Pool
+	graveyard  []*flit.Flit // flits that died this cycle, recycled at end of Step
+	active     []bool       // routers ticking this cycle
+	nextActive []bool       // wakes accumulated for next cycle
+	lastRun    []int64      // last cycle each router ticked; -1 = never
+	ticked     []int        // scratch: routers ticked this Step
+	adjConns   [][]int      // conn indexes touching each node
+	advance    []int        // scratch: conns with staged traffic this Step
+	connMark   []int64      // last cycle each conn was marked for advance
 }
 
 // New wires a network per cfg.
@@ -203,6 +241,10 @@ func New(cfg Config) *Network {
 		if flt.Node < 0 || flt.Node >= nodes {
 			panic(fmt.Sprintf("network: fault at nonexistent node %d", flt.Node))
 		}
+		// Arm the recovery scans network-wide (routers also self-arm in
+		// ApplyFault; this covers install orderings where the faulted
+		// router has not been handed the registry yet).
+		n.broken.MarkFaulty()
 		n.routers[flt.Node].ApplyFault(flt)
 	}
 	for _, ev := range cfg.Schedule.Events() {
@@ -244,6 +286,36 @@ func New(cfg Config) *Network {
 	for id := range n.pes {
 		n.pes[id] = &pe{id: id, gen: n.gens[id]}
 	}
+
+	n.nextAudit = math.MaxInt64
+	if cfg.AuditEvery > 0 {
+		n.nextAudit = cfg.AuditEvery
+	}
+	if cfg.ReferenceKernel {
+		// Tick everything, fully: the reference baseline also forgoes the
+		// routers' dormant early return, so it executes (and benchmarks)
+		// the pre-gating tick-everything cost.
+		for _, r := range n.routers {
+			r.DisableTickFastPath()
+		}
+	} else {
+		n.pool = &flit.Pool{}
+		n.active = make([]bool, nodes)
+		n.nextActive = make([]bool, nodes)
+		n.lastRun = make([]int64, nodes)
+		for id := range n.lastRun {
+			n.lastRun[id] = -1
+		}
+		n.adjConns = make([][]int, nodes)
+		for i, l := range n.links {
+			n.adjConns[l.up] = append(n.adjConns[l.up], i)
+			n.adjConns[l.down] = append(n.adjConns[l.down], i)
+		}
+		n.connMark = make([]int64, len(n.conns))
+		for i := range n.connMark {
+			n.connMark[i] = -1
+		}
+	}
 	return n
 }
 
@@ -260,6 +332,12 @@ func (n *Network) Cycle() int64 { return n.cycle }
 func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 	if f.Dst != node {
 		panic(fmt.Sprintf("network: flit %v delivered to wrong node %d", f, node))
+	}
+	// The flit is dead once accounting completes, but callers (loopback
+	// injection, the PE latch) may still read it this cycle — recycle at
+	// the end of Step, not here.
+	if n.pool != nil {
+		n.graveyard = append(n.graveyard, f)
 	}
 	measured := f.PacketID >= uint64(n.cfg.WarmupPackets)
 	n.delFlitsAll++
@@ -317,13 +395,13 @@ func (n *Network) generate() {
 		}
 		n.nextPacketID++
 		n.generated++
-		flits := pkt.Segment()
+		head := len(p.backlog)
+		p.backlog = flit.AppendSegment(p.backlog, pkt, n.pool)
 		if n.cfg.TraceEvery > 0 && pkt.ID%n.cfg.TraceEvery == 0 {
-			flits[0].Rec = n.tracer.NewRecord(pkt.ID, pkt.Src, pkt.Dst, pkt.CreatedAt)
+			p.backlog[head].Rec = n.tracer.NewRecord(pkt.ID, pkt.Src, pkt.Dst, pkt.CreatedAt)
 		}
-		p.backlog = append(p.backlog, flits...)
-		n.genFlits += int64(len(flits))
-		n.backlogFlits += int64(len(flits))
+		n.genFlits += int64(fpp)
+		n.backlogFlits += int64(fpp)
 
 		// The warm-up boundary: reset measurement state the moment the
 		// first measured packet is created. Measured-ness is a property of
@@ -343,6 +421,15 @@ func (n *Network) generate() {
 func (n *Network) beginMeasurement() {
 	n.measuring = true
 	n.measureStart = n.cycle
+	// Replay pending sleep cycles into the pre-boundary counters first:
+	// SkipCycles is not purely statistical — a slept RoCo module's mirror
+	// primary must flip for those cycles no matter where the measurement
+	// boundary lands. The replayed Cycles counts are then zeroed along
+	// with everything else, so future settles count activity from the
+	// boundary cycle on — exactly what the ungated kernel measures.
+	for id := range n.lastRun {
+		n.settleTo(id, n.cycle-1)
+	}
 	for _, r := range n.routers {
 		*r.Activity() = router.Activity{}
 		*r.Contention() = router.Contention{}
@@ -355,12 +442,17 @@ func (n *Network) beginMeasurement() {
 func (n *Network) noteDrop(f *flit.Flit, cycle int64) {
 	n.dropFlitsAll++
 	n.broken.Add(f.PacketID, cycle)
+	// Dead-node drains and doomed-wormhole drops read the flit (VC, tail
+	// type) after reporting it — defer recycling to the end of Step.
+	if n.pool != nil {
+		n.graveyard = append(n.graveyard, f)
+	}
 }
 
 // dropAtSource discards the PE's front backlog flit (never injected).
 func (n *Network) dropAtSource(p *pe) {
-	f := p.backlog[0]
-	p.backlog = p.backlog[1:]
+	f := p.backlog[p.head]
+	p.consumeFront()
 	n.backlogFlits--
 	if f.Rec != nil && f.Type.IsHead() {
 		f.Rec.Visit(p.id, n.cycle, trace.Dropped)
@@ -371,17 +463,20 @@ func (n *Network) dropAtSource(p *pe) {
 // inject advances every PE's source queue by at most one flit (the PE link
 // is one flit wide).
 func (n *Network) inject() {
+	if n.backlogFlits == 0 {
+		return
+	}
 	for _, p := range n.pes {
 		// Flits of packets already broken (a fault dropped an injected
 		// fragment, or the head was source-dropped) will never be accepted;
 		// discard them so the source queue keeps draining.
-		for len(p.backlog) > 0 && n.broken.Contains(p.backlog[0].PacketID) {
+		for p.head < len(p.backlog) && n.broken.Contains(p.backlog[p.head].PacketID) {
 			n.dropAtSource(p)
 		}
-		if len(p.backlog) == 0 {
+		if p.head == len(p.backlog) {
 			continue
 		}
-		f := p.backlog[0]
+		f := p.backlog[p.head]
 		if f.Type.IsHead() {
 			f.OutPort = n.engine.FirstHop(p.id, f)
 			// Source drop: faults left the local router unable to serve the
@@ -389,8 +484,8 @@ func (n *Network) inject() {
 			// the whole node is dead). Discard the packet whole — retrying
 			// a permanent fault forever would wedge the source queue.
 			if f.OutPort != topology.Local && !n.routers[p.id].CanServe(topology.Local, f.OutPort) {
-				for len(p.backlog) > 0 {
-					tail := p.backlog[0].Type.IsTail()
+				for p.head < len(p.backlog) {
+					tail := p.backlog[p.head].Type.IsTail()
 					n.dropAtSource(p)
 					if tail {
 						break
@@ -404,14 +499,28 @@ func (n *Network) inject() {
 			if f.Rec != nil {
 				f.Rec.Visit(p.id, n.cycle, trace.Injected)
 			}
-			p.backlog = p.backlog[1:]
+			p.consumeFront()
 			n.backlogFlits--
+			if n.nextActive != nil {
+				// The accepted flit needs the router's allocators next cycle.
+				n.nextActive[p.id] = true
+			}
 		}
 	}
 }
 
 // Step advances the simulation one cycle.
 func (n *Network) Step() {
+	if n.cfg.ReferenceKernel {
+		n.stepReference()
+	} else {
+		n.stepGated()
+	}
+}
+
+// stepReference is the ungated cycle loop: tick every router, advance
+// every pipe. It is the oracle the gated kernel must match bit for bit.
+func (n *Network) stepReference() {
 	n.installDueFaults()
 	n.generate()
 	for _, r := range n.routers {
@@ -421,9 +530,100 @@ func (n *Network) Step() {
 	for _, c := range n.conns {
 		c.Advance()
 	}
+	n.finishCycle()
+}
+
+// stepGated is the activity-gated cycle loop — the software analog of the
+// paper's clock gating. Only routers in the active set tick; a ticked
+// router that ends the cycle idle falls out of the set, and sleepers are
+// woken by staged link/credit traffic, accepted injections, and fault
+// installation. Skipped ticks are pure no-ops except for the effects
+// Router.SkipCycles replays at wake-up, so gated and reference executions
+// produce bit-identical results. Only pipes with staged traffic advance.
+func (n *Network) stepGated() {
+	n.installDueFaults()
+	n.generate()
+	t := n.cycle
+
+	n.ticked = n.ticked[:0]
+	for id, r := range n.routers {
+		if !n.active[id] {
+			continue
+		}
+		n.settleTo(id, t-1)
+		r.Tick(t)
+		n.lastRun[id] = t
+		n.ticked = append(n.ticked, id)
+	}
+
+	n.inject()
+
+	// All pipe staging happens inside router ticks, so only conns touching
+	// a ticked router can carry traffic: advance exactly those, and wake
+	// each half-channel's reader so the staged content is consumed next
+	// cycle (a flit wakes the downstream node, credits the upstream one).
+	for _, id := range n.ticked {
+		if !n.routers[id].Idle() {
+			n.nextActive[id] = true
+		}
+		for _, c := range n.adjConns[id] {
+			if n.connMark[c] == t {
+				continue
+			}
+			conn := n.conns[c]
+			busy, pending := conn.Flit.Busy(), conn.Credit.Pending()
+			if !busy && !pending {
+				continue
+			}
+			n.connMark[c] = t
+			n.advance = append(n.advance, c)
+			if busy {
+				n.nextActive[n.links[c].down] = true
+			}
+			if pending {
+				n.nextActive[n.links[c].up] = true
+			}
+		}
+	}
+	for _, c := range n.advance {
+		n.conns[c].Advance()
+	}
+	n.advance = n.advance[:0]
+
+	for id := range n.active {
+		n.active[id] = n.nextActive[id]
+		n.nextActive[id] = false
+	}
+
+	// Recycle the flits that died this cycle. Deferred to here because
+	// delivery and drop sinks run mid-cycle while callers still hold (and
+	// in places read) the pointers.
+	for i, f := range n.graveyard {
+		n.pool.Put(f)
+		n.graveyard[i] = nil
+	}
+	n.graveyard = n.graveyard[:0]
+
+	n.finishCycle()
+}
+
+// finishCycle advances the clock and runs the conservation auditor when
+// its next scheduled cycle arrives.
+func (n *Network) finishCycle() {
 	n.cycle++
-	if n.cfg.AuditEvery > 0 && n.cycle%n.cfg.AuditEvery == 0 {
+	if n.cycle >= n.nextAudit {
 		n.audit()
+		n.nextAudit = n.cycle + n.cfg.AuditEvery
+	}
+}
+
+// settleTo replays router id's skipped idle cycles through upTo, so its
+// activity counters and tick-invariant arbitration state match a router
+// that was ticked every cycle.
+func (n *Network) settleTo(id int, upTo int64) {
+	if gap := upTo - n.lastRun[id]; gap > 0 {
+		n.routers[id].SkipCycles(gap)
+		n.lastRun[id] = upTo
 	}
 }
 
@@ -433,8 +633,26 @@ func (n *Network) Step() {
 // through them VA and adaptive routing) see the degradation immediately.
 func (n *Network) installDueFaults() {
 	for _, ev := range n.schedule.Due(n.cycle) {
-		n.routers[ev.Fault.Node].ApplyFault(ev.Fault)
-		n.propagateHandshake(ev.Fault.Node)
+		node := ev.Fault.Node
+		if n.active != nil {
+			// Replay the node's sleep under pre-fault rules before the
+			// fault changes them, then wake it and its upstream neighbors
+			// for this very cycle so reactions are not delayed.
+			n.settleTo(node, n.cycle-1)
+			n.active[node] = true
+			for _, l := range n.links {
+				if l.down == node {
+					// propagateHandshake is about to mutate the upstream
+					// credit book; replay that router's sleep first so the
+					// replayed ticks happen under pre-fault state.
+					n.settleTo(l.up, n.cycle-1)
+					n.active[l.up] = true
+				}
+			}
+		}
+		n.broken.MarkFaulty()
+		n.routers[node].ApplyFault(ev.Fault)
+		n.propagateHandshake(node)
 		n.faultLog = append(n.faultLog, ev)
 	}
 }
@@ -530,6 +748,10 @@ func (n *Network) RunCycles(c int64) Result {
 // Summary are zero here; the caller applies a power profile (the network
 // does not know the router technology parameters).
 func (n *Network) collect(saturated bool) Result {
+	// Replay any outstanding sleep so per-router activity is complete.
+	for id := range n.lastRun {
+		n.settleTo(id, n.cycle-1)
+	}
 	n.audit() // conservation always holds at termination
 	res := Result{
 		Latency:        n.latency,

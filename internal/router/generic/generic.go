@@ -57,8 +57,11 @@ type Router struct {
 	injVC int // Local-port VC owned by the packet being injected, or -1
 
 	dead bool
-	act  router.Activity
-	cont router.Contention
+	// noFastPath disables Tick's dormant-router early return (reference
+	// kernel mode).
+	noFastPath bool
+	act        router.Activity
+	cont       router.Contention
 
 	// scratch state reused across cycles
 	vaRotate [numPorts][VCsPerPort]int
@@ -68,6 +71,15 @@ type Router struct {
 	reqVec   [numReqs]bool
 	portVec  [numPorts]bool
 	vcVec    [VCsPerPort]bool
+	byTarget [numPorts][VCsPerPort][]vaClaim
+}
+
+// vaClaim is one input channel's nomination for a (output port, downstream
+// VC) target during VC allocation.
+type vaClaim struct {
+	port, vcIdx int
+	choice      int
+	nextOut     topology.Direction
 }
 
 // New returns a generic router for the given node.
@@ -156,6 +168,7 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 // are discarded with their credits returned, so the network around the
 // dead node keeps flowing.
 func (r *Router) ApplyFault(fault.Fault) {
+	r.NoteFault()
 	r.dead = true
 	for p := range r.ports {
 		for _, vc := range r.ports[p] {
@@ -236,6 +249,36 @@ func (r *Router) Quiescent() bool {
 	return true
 }
 
+// Idle reports whether a tick with empty input pipes would be a pure
+// no-op: every VC is dormant (no flits buffered, no packet state
+// resident), so sweeping, draining, reaping, VA and SA all have nothing
+// to do. Upstream claims on empty channels do not block idleness — no
+// tick phase acts on a bare claim.
+func (r *Router) Idle() bool {
+	for p := range r.ports {
+		for _, vc := range r.ports[p] {
+			if !vc.Dormant() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DisableTickFastPath makes Tick run every phase even when the router is
+// Idle; the reference kernel sets it so the ungated baseline executes the
+// full tick-everything cost.
+func (r *Router) DisableTickFastPath() { r.noFastPath = true }
+
+// SkipCycles replays n idle ticks. A live idle tick only advances the
+// activity cycle counter (round-robin arbiters do not move without
+// requests); a dead router's tick never counts cycles at all.
+func (r *Router) SkipCycles(n int64) {
+	if !r.dead {
+		r.act.Cycles += n
+	}
+}
+
 // TryInject offers the next flit of the PE's current packet.
 func (r *Router) TryInject(f *flit.Flit, cycle int64) bool {
 	if r.dead {
@@ -291,9 +334,20 @@ func (r *Router) injectionVCs(f *flit.Flit) []int {
 	return []int{0, 1, 2}
 }
 
+// Shared candidate sets for candidateVCs: the callers only iterate, so
+// handing out the same read-only slices keeps VC allocation off the heap.
+var (
+	vcsDateline    = []int{1}
+	vcsPreDateline = []int{0, 2}
+	vcsYFirst      = []int{yFirstVC}
+	vcsXFirst      = []int{xFirstVC, xFirstVC2}
+	vcsAny         = []int{0, 1, 2}
+)
+
 // candidateVCs returns the downstream VC indexes a head flit may be
 // allocated for a hop leaving through out, respecting the class
 // discipline: mode classes under XY-YX, dateline classes on a torus.
+// The returned slice is shared and must not be mutated.
 func (r *Router) candidateVCs(f *flit.Flit, out topology.Direction) []int {
 	if r.torus != nil {
 		// Dateline discipline: VCs 0 and 2 carry packets that have not
@@ -306,17 +360,17 @@ func (r *Router) candidateVCs(f *flit.Flit, out topology.Direction) []int {
 		}
 		crossed = crossed || routing.TorusHopWraps(r.torus.Width(), r.torus.Height(), r.torus.Coord(r.id), out)
 		if crossed {
-			return []int{1}
+			return vcsDateline
 		}
-		return []int{0, 2}
+		return vcsPreDateline
 	}
 	if r.engine.Algorithm() == routing.XYYX {
 		if f.Mode == flit.YFirst {
-			return []int{yFirstVC}
+			return vcsYFirst
 		}
-		return []int{xFirstVC, xFirstVC2}
+		return vcsXFirst
 	}
-	return []int{0, 1, 2}
+	return vcsAny
 }
 
 // Tick advances the router one cycle.
@@ -361,9 +415,19 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.SweepBroken(cycle, false)
-	r.drainDoomed(cycle)
-	r.ReapOrphans(cycle)
+	// Fast path: with every channel dormant the sweep, drain, reap and
+	// allocator phases below are all no-ops (the same argument that makes
+	// SkipCycles sound), so a router woken only to absorb returning
+	// credits skips the channel scans.
+	if !r.noFastPath && r.Idle() {
+		return
+	}
+
+	if r.noFastPath || !r.RecoveryQuiet() {
+		r.SweepBroken(cycle, false)
+		r.drainDoomed(cycle)
+		r.ReapOrphans(cycle)
+	}
 
 	// 3. VA: separable, one iteration per cycle, speculative with SA.
 	r.allocateVCs(cycle)
@@ -421,13 +485,9 @@ func (r *Router) drainDoomed(cycle int64) {
 
 // allocateVCs runs the input-then-output separable VC allocation pass.
 func (r *Router) allocateVCs(cycle int64) {
-	type claim struct {
-		port, vcIdx int
-		choice      int
-		nextOut     topology.Direction
-	}
-	// Group requesters by (output port, downstream VC).
-	var byTarget [numPorts][VCsPerPort][]claim
+	// Group requesters by (output port, downstream VC). The scratch slices
+	// live on the router and are truncated each cycle by the drain loop.
+	byTarget := &r.byTarget
 
 	for p := 0; p < numPorts; p++ {
 		for v, vc := range r.ports[p] {
@@ -482,7 +542,7 @@ func (r *Router) allocateVCs(cycle int64) {
 				}
 			}
 			if best >= 0 {
-				byTarget[out][best] = append(byTarget[out][best], claim{p, v, best, nextOut})
+				byTarget[out][best] = append(byTarget[out][best], vaClaim{p, v, best, nextOut})
 			} else {
 				r.vaFailed[p][v] = true
 			}
@@ -495,6 +555,7 @@ func (r *Router) allocateVCs(cycle int64) {
 			if len(claims) == 0 {
 				continue
 			}
+			byTarget[out][c] = claims[:0]
 			for i := range r.reqVec {
 				r.reqVec[i] = false
 			}

@@ -117,4 +117,22 @@ type Router interface {
 	// Quiescent reports whether the router holds no flits (used for drain
 	// and deadlock/inactivity detection).
 	Quiescent() bool
+
+	// Idle reports whether ticking the router with empty input pipes would
+	// be a pure no-op apart from the effects SkipCycles replays: no
+	// buffered or claimed VCs, no granted switch state, nothing to sweep.
+	// The activity-gated kernel puts Idle routers to sleep.
+	Idle() bool
+	// SkipCycles replays the state effects of n consecutive idle ticks in
+	// O(1): activity cycle counting and any arbitration state that moves
+	// even without requests (the RoCo mirror's primary-port toggle). The
+	// kernel calls it when waking a slept router so gated and ungated
+	// executions stay bit-identical.
+	SkipCycles(n int64)
+	// DisableTickFastPath makes Tick run every phase even when the router
+	// is Idle. The reference kernel sets it on every router so the ungated
+	// baseline executes (and benchmarks) the full tick-everything cost;
+	// results are identical either way, since the fast path only skips
+	// phases that are no-ops on an Idle router.
+	DisableTickFastPath()
 }

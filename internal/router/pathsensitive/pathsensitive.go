@@ -79,12 +79,16 @@ type Router struct {
 	injVC int
 
 	dead bool
-	act  router.Activity
-	cont router.Contention
+	// noFastPath disables Tick's dormant-router early return (reference
+	// kernel mode).
+	noFastPath bool
+	act        router.Activity
+	cont       router.Contention
 
 	vaFailed [NumVCs]bool
 	reqVec   [NumVCs]bool
 	setVec   [VCsPerSet]bool
+	byTarget [5][NumVCs][]vaRequest
 
 	setReqOut [numSets]topology.Direction
 	setReqVC  [numSets]int
@@ -162,6 +166,7 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 // Section 5.4 treats both baselines this way). Applied live, resident
 // traffic is condemned and drains as drops.
 func (r *Router) ApplyFault(fault.Fault) {
+	r.NoteFault()
 	r.dead = true
 	for _, vc := range r.vcs {
 		vc.Condemn()
@@ -233,6 +238,34 @@ func (r *Router) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// Idle reports whether a tick with empty input pipes would be a pure
+// no-op: every VC is dormant — no flits buffered, no packet state
+// resident. Bare upstream claims do not block idleness, since no tick
+// phase acts on a claim alone. (The loopback-delivery sentinel
+// injVC == -2 needs no check — Tick never reads injVC, and loopback
+// progress comes from TryInject, which wakes the node on its own.)
+func (r *Router) Idle() bool {
+	for _, vc := range r.vcs {
+		if !vc.Dormant() {
+			return false
+		}
+	}
+	return true
+}
+
+// DisableTickFastPath makes Tick run every phase even when the router is
+// Idle; the reference kernel sets it so the ungated baseline executes the
+// full tick-everything cost.
+func (r *Router) DisableTickFastPath() { r.noFastPath = true }
+
+// SkipCycles replays n idle ticks: only the activity cycle counter moves
+// (idle round-robin arbiters hold still), and only on a live node.
+func (r *Router) SkipCycles(n int64) {
+	if !r.dead {
+		r.act.Cycles += n
+	}
 }
 
 // packetQuadrant returns the path set a packet travels in: the quadrant of
@@ -341,9 +374,18 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.SweepBroken(cycle, false)
-	r.drainDoomed(cycle)
-	r.ReapOrphans(cycle)
+	// Fast path: with every channel dormant the phases below are all
+	// no-ops (the same argument that makes SkipCycles sound), so a
+	// router woken only to absorb returning credits skips them.
+	if !r.noFastPath && r.Idle() {
+		return
+	}
+
+	if r.noFastPath || !r.RecoveryQuiet() {
+		r.SweepBroken(cycle, false)
+		r.drainDoomed(cycle)
+		r.ReapOrphans(cycle)
+	}
 	r.allocateVCs(cycle)
 	r.allocateSwitch(cycle)
 }
@@ -403,7 +445,8 @@ type vaRequest struct {
 // requests a channel in the downstream router's quadrant set for its
 // destination.
 func (r *Router) allocateVCs(cycle int64) {
-	var byTarget [5][NumVCs][]vaRequest
+	// Scratch slices live on the router; the drain loop truncates them.
+	byTarget := &r.byTarget
 
 	for id, vc := range r.vcs {
 		r.vaFailed[id] = false
@@ -456,6 +499,7 @@ func (r *Router) allocateVCs(cycle int64) {
 			if len(claims) == 0 {
 				continue
 			}
+			byTarget[out][c] = claims[:0]
 			for i := range r.reqVec {
 				r.reqVec[i] = false
 			}

@@ -96,11 +96,15 @@ type Router struct {
 	injVC int
 
 	dead bool
-	act  router.Activity
-	cont router.Contention
+	// noFastPath disables Tick's dormant-router early return (reference
+	// kernel mode).
+	noFastPath bool
+	act        router.Activity
+	cont       router.Contention
 
 	vaFailed [NumVCs]bool
 	reqVec   [NumVCs]bool
+	byTarget [6][NumVCs][]vaRequest
 
 	nomOut [numPorts]int // nominated module output slot per port, -1 = none
 	nomVC  [numPorts]int
@@ -204,6 +208,7 @@ func (r *Router) Contention() *router.Contention { return &r.cont }
 // so there is no graceful degradation to fall back to. Applied live,
 // resident traffic is condemned and drains as drops.
 func (r *Router) ApplyFault(fault.Fault) {
+	r.NoteFault()
 	r.dead = true
 	for _, vc := range r.vcs {
 		vc.Condemn()
@@ -275,6 +280,32 @@ func (r *Router) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// Idle reports whether a tick with empty input pipes would be a pure
+// no-op: every VC (external or internal transfer) is dormant — no flits
+// buffered, no packet state resident. Bare upstream claims do not block
+// idleness, since no tick phase acts on a claim alone.
+func (r *Router) Idle() bool {
+	for _, vc := range r.vcs {
+		if !vc.Dormant() {
+			return false
+		}
+	}
+	return true
+}
+
+// DisableTickFastPath makes Tick run every phase even when the router is
+// Idle; the reference kernel sets it so the ungated baseline executes the
+// full tick-everything cost.
+func (r *Router) DisableTickFastPath() { r.noFastPath = true }
+
+// SkipCycles replays n idle ticks: only the activity cycle counter moves
+// (idle round-robin arbiters hold still), and only on a live node.
+func (r *Router) SkipCycles(n int64) {
+	if !r.dead {
+		r.act.Cycles += n
+	}
 }
 
 // TryInject offers the next flit of the PE's current packet. All injection
@@ -396,9 +427,18 @@ func (r *Router) Tick(cycle int64) {
 		r.act.BufferWrites++
 	}
 
-	r.SweepBroken(cycle, false)
-	r.drainDoomed(cycle)
-	r.ReapOrphans(cycle)
+	// Fast path: with every channel dormant the phases below are all
+	// no-ops (the same argument that makes SkipCycles sound), so a
+	// router woken only to absorb returning credits skips them.
+	if !r.noFastPath && r.Idle() {
+		return
+	}
+
+	if r.noFastPath || !r.RecoveryQuiet() {
+		r.SweepBroken(cycle, false)
+		r.drainDoomed(cycle)
+		r.ReapOrphans(cycle)
+	}
 	r.allocateVCs(cycle)
 	r.allocateSwitch(cycle)
 }
@@ -461,7 +501,8 @@ type vaRequest struct {
 // router channels) and the internal X-to-Y transfer (local fromX
 // channels).
 func (r *Router) allocateVCs(cycle int64) {
-	var byTarget [6][NumVCs][]vaRequest
+	// Scratch slices live on the router; the drain loop truncates them.
+	byTarget := &r.byTarget
 
 	for id, vc := range r.vcs {
 		r.vaFailed[id] = false
@@ -528,6 +569,7 @@ func (r *Router) allocateVCs(cycle int64) {
 			if len(claims) == 0 {
 				continue
 			}
+			byTarget[bookIdx][c] = claims[:0]
 			for i := range r.reqVec {
 				r.reqVec[i] = false
 			}

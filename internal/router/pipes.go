@@ -67,26 +67,34 @@ func (p *FlitPipe) Advance() {
 // multiple VCs is impossible on one link, but tail-release and regular
 // forwarding can coincide across VC indexes).
 type CreditPipe struct {
+	// cur and next ping-pong between two backing arrays that live for the
+	// pipe's lifetime, so steady-state Writes never touch the heap. Read
+	// hands out cur without surrendering the header; Writes only ever
+	// append to next, which keeps the lease sound until the next Advance.
 	cur, next []int
+	readable  bool // cur carries this cycle's credits, not yet consumed
 }
 
 // Write stages a credit for VC index vc.
 func (p *CreditPipe) Write(vc int) { p.next = append(p.next, vc) }
 
-// Read consumes the credits delivered this cycle. The returned slice is
-// only valid until the next Advance.
+// Read consumes the credits delivered this cycle, or nil. The returned
+// slice is only valid until the next Advance.
 func (p *CreditPipe) Read() []int {
-	c := p.cur
-	p.cur = nil
-	return c
+	if !p.readable {
+		return nil
+	}
+	p.readable = false
+	return p.cur
 }
+
+// Pending reports whether credits are staged for next cycle.
+func (p *CreditPipe) Pending() bool { return len(p.next) > 0 }
 
 // Advance moves staged credits into view.
 func (p *CreditPipe) Advance() {
 	p.cur, p.next = p.next, p.cur[:0]
-	if p.cur != nil && len(p.cur) == 0 {
-		p.cur = nil
-	}
+	p.readable = len(p.cur) > 0
 }
 
 // Conn bundles the two half-channels of one directed router-to-router

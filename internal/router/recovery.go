@@ -15,6 +15,10 @@ import (
 // flits drain instead of wedging the network.
 type BrokenSet struct {
 	ids map[uint64]int64 // packet ID -> cycle first broken
+	// faulty latches permanently once any fault is installed anywhere in
+	// the network; together with an empty registry it proves the recovery
+	// scans (SweepBroken, doomed drains, ReapOrphans) have nothing to do.
+	faulty bool
 }
 
 // NewBrokenSet returns an empty registry.
@@ -37,6 +41,14 @@ func (b *BrokenSet) Contains(id uint64) bool {
 
 // Len returns the number of broken packets.
 func (b *BrokenSet) Len() int { return len(b.ids) }
+
+// MarkFaulty latches that a fault was installed somewhere in the network
+// (permanently — faults never heal in this simulator).
+func (b *BrokenSet) MarkFaulty() { b.faulty = true }
+
+// Quiet reports that no fault was ever installed and no packet ever broke,
+// so no router can hold doomed, dead-granted, or orphaned state.
+func (b *BrokenSet) Quiet() bool { return !b.faulty && len(b.ids) == 0 }
 
 // StuckFlit describes one packet stalled in a router buffer; the livelock
 // watchdog collects them for its diagnostic report.
@@ -119,6 +131,26 @@ func (rc *Recovery) SetBroken(b *BrokenSet) { rc.broken = b }
 // Broken reports whether the packet is registered as broken.
 func (rc *Recovery) Broken(id uint64) bool {
 	return rc.broken != nil && rc.broken.Contains(id)
+}
+
+// NoteFault latches the shared registry's faulty flag; router ApplyFault
+// implementations call it so the recovery scans arm even when a test
+// installs a fault directly instead of through the network.
+func (rc *Recovery) NoteFault() {
+	if rc.broken != nil {
+		rc.broken.MarkFaulty()
+	}
+}
+
+// RecoveryQuiet reports that the recovery scans can be skipped this tick:
+// no fault was ever installed and no packet ever broke, so SweepBroken,
+// the doomed drain, and ReapOrphans are all provably no-ops. Every path
+// that dooms or condemns a channel first either breaks a packet or
+// installs a fault (CanServe only denies service on a faulted node), so
+// a quiet network cannot hold recovery work. A router without the shared
+// registry (standalone unit tests) always runs the scans.
+func (rc *Recovery) RecoveryQuiet() bool {
+	return rc.broken != nil && rc.broken.Quiet()
 }
 
 // DropFlit reports one discarded flit to the trace and the network's drop

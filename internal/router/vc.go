@@ -110,6 +110,13 @@ func (v *VC) Active() bool { return len(v.states) > 0 }
 // Idle reports whether the channel holds neither packets nor claims.
 func (v *VC) Idle() bool { return v.claims == 0 && len(v.queue) == 0 }
 
+// Dormant reports whether ticking the owning router can do nothing with
+// this channel: no flit is buffered and no packet state is resident. An
+// upstream claim alone does not block dormancy — a claimed channel needs
+// no work until its flit lands, and the link pipe carrying that flit
+// wakes the router before it does.
+func (v *VC) Dormant() bool { return len(v.queue) == 0 && len(v.states) == 0 }
+
 // Front returns the oldest buffered flit without removing it, or nil.
 func (v *VC) Front() *flit.Flit {
 	if len(v.queue) == 0 {
@@ -411,7 +418,7 @@ func (v *VC) SwitchReady(cycle int64) bool {
 // stays in order.
 type OutVCBook struct {
 	depths   []int
-	inflight []int // flits sent into the channel, credits not yet returned
+	inflight []int   // flits sent into the channel, credits not yet returned
 	order    [][]int // per channel: FIFO of local grantee VC indexes
 }
 

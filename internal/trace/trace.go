@@ -111,7 +111,12 @@ type Collector struct {
 
 // NewRecord registers and returns a fresh record for one packet.
 func (c *Collector) NewRecord(packetID uint64, src, dst int, createdAt int64) *Record {
-	r := &Record{PacketID: packetID, Src: src, Dst: dst, CreatedAt: createdAt}
+	// A journey on an 8x8 mesh is injection + up to 14 hops + delivery;
+	// sizing Visits up front keeps traced runs off the append-regrow path.
+	r := &Record{
+		PacketID: packetID, Src: src, Dst: dst, CreatedAt: createdAt,
+		Visits: make([]Visit, 0, 16),
+	}
 	c.mu.Lock()
 	c.records = append(c.records, r)
 	c.mu.Unlock()

@@ -294,6 +294,12 @@ type Config struct {
 	// allocator with a plain separable output stage — the ablation that
 	// quantifies what the mirror buys. Ignored by the baselines.
 	DisableMirrorSA bool
+	// ReferenceKernel selects the ungated simulation loop (every router
+	// ticked and every pipe advanced every cycle, flits freshly
+	// allocated) instead of the default activity-gated kernel. Results
+	// are bit-identical either way; the reference exists as the
+	// determinism oracle and benchmark baseline.
+	ReferenceKernel bool
 }
 
 // withDefaults fills zero fields.

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Kernel benchmark driver: runs the simulation-kernel micro-benchmarks in
+# bench/ (gated vs reference kernel, three router kinds, three loads) and
+# distils the results into BENCH_kernel.json — per-benchmark ns/op, B/op
+# and allocs/op, plus the low-load speedup and saturation allocation
+# reduction per router kind that the perf trajectory tracks.
+#
+# Usage: sh scripts/bench.sh [benchtime]   (default 2s; pass e.g. 5s for
+# steadier numbers). Run from the repository root (directly or via
+# `make bench`).
+set -eu
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_kernel.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench BenchmarkKernel -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+/^BenchmarkKernel\// {
+    # BenchmarkKernel/kind/load/kernel-N  iters  X ns/op  Y B/op  Z allocs/op
+    name = $1
+    sub(/^BenchmarkKernel\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    split(name, part, "/")
+    kind = part[1]; load = part[2]; kernel = part[3]
+    ns[kind, load, kernel] = $3
+    bytes[kind, load, kernel] = $5
+    allocs[kind, load, kernel] = $7
+    if (!(kind in seen)) { kinds[++nk] = kind; seen[kind] = 1 }
+}
+END {
+    if (nk == 0) { print "bench.sh: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    nl = split("low mid sat", loads, " ")
+    printf "{\n  \"benchtime\": \"%s\",\n  \"kinds\": {", benchtime
+    for (i = 1; i <= nk; i++) {
+        k = kinds[i]
+        printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), k
+        for (j = 1; j <= nl; j++) {
+            l = loads[j]
+            printf "%s\n      \"%s\": {", (j > 1 ? "," : ""), l
+            printf "\n        \"gated\":     {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},", ns[k,l,"gated"], bytes[k,l,"gated"], allocs[k,l,"gated"]
+            printf "\n        \"reference\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", ns[k,l,"reference"], bytes[k,l,"reference"], allocs[k,l,"reference"]
+            printf "\n      }"
+        }
+        low_speedup = ns[k,"low","reference"] / ns[k,"low","gated"]
+        if (allocs[k,"sat","reference"] > 0)
+            alloc_cut = 1 - allocs[k,"sat","gated"] / allocs[k,"sat","reference"]
+        else
+            alloc_cut = 0
+        printf ",\n      \"low_load_speedup\": %.2f,\n      \"sat_allocs_reduction\": %.2f\n    }", low_speedup, alloc_cut
+    }
+    printf "\n  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
