@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-paper fuzz
+.PHONY: check test bench bench-paper fuzz soak
 
 # The pre-merge gate: vet + build + tests + race detector.
 check:
@@ -19,3 +19,9 @@ bench-paper:
 # Extended fuzzing of the runtime fault-injection path.
 fuzz:
 	go test ./internal/network -run '^$$' -fuzz FuzzDynamicFaults -fuzztime 60s
+
+# Fault-storm chaos soak: the reliable-delivery protocol under a Poisson
+# storm of runtime faults, with the race detector on.
+soak:
+	go test -race -run 'TestReliable' -count=1 ./internal/network
+	go test -race -run 'TestSoakReliableFaultStorm' -count=1 .

@@ -9,6 +9,7 @@ import (
 	"github.com/rocosim/roco/internal/metrics"
 	"github.com/rocosim/roco/internal/network"
 	"github.com/rocosim/roco/internal/power"
+	"github.com/rocosim/roco/internal/protocol"
 	"github.com/rocosim/roco/internal/report"
 	"github.com/rocosim/roco/internal/router"
 	"github.com/rocosim/roco/internal/topology"
@@ -60,6 +61,12 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 		Seed:            cfg.Seed,
 		TraceEvery:      traceEvery,
 		ReferenceKernel: cfg.ReferenceKernel,
+		Reliable:        cfg.Reliable,
+		Protocol: protocol.Params{
+			Timeout:    cfg.RetransmitTimeout,
+			MaxTimeout: cfg.RetransmitMaxTimeout,
+			MaxRetries: cfg.RetransmitMaxRetries,
+		},
 	})
 	return net, power.NewProfile(structure)
 }
@@ -258,16 +265,35 @@ func summarize(cfg Config, res network.Result, profile power.Profile) Result {
 		Saturated:         res.Saturated,
 		DroppedFlits:      res.DroppedFlits,
 		BrokenPackets:     res.BrokenPackets,
+		DroppedUnroutable: res.Drops.Unroutable,
+		DroppedInFlight:   res.Drops.InFlight,
+		DroppedDeadNode:   res.Drops.DeadDrain,
+		Retransmissions:   res.Retransmissions,
+		RecoveredPackets:  res.RecoveredPackets,
+		DuplicatePackets:  res.DuplicatePackets,
+		ResidualLoss:      res.ResidualLoss,
+	}
+	for _, g := range res.GiveUps {
+		out.GiveUps = append(out.GiveUps, GiveUp{
+			Src: g.Src, Dst: g.Dst, Attempts: g.Attempts,
+			Cycle: g.Cycle, Reason: g.Reason.String(),
+		})
 	}
 	for _, fr := range res.FaultLog {
 		out.FaultEvents = append(out.FaultEvents, FaultEvent{
-			Cycle:          fr.Event.Cycle,
-			Fault:          publicFault(fr.Event.Fault),
-			PreRate:        fr.Degradation.PreRate,
-			FloorRate:      fr.Degradation.FloorRate,
-			PostRate:       fr.Degradation.PostRate,
-			RecoveryCycles: fr.Degradation.RecoveryCycles,
-			Recovered:      fr.Degradation.Recovered,
+			Cycle:             fr.Event.Cycle,
+			Fault:             publicFault(fr.Event.Fault),
+			PreRate:           fr.Degradation.PreRate,
+			FloorRate:         fr.Degradation.FloorRate,
+			PostRate:          fr.Degradation.PostRate,
+			PreGoodput:        fr.Degradation.PreGoodput,
+			FloorGoodput:      fr.Degradation.FloorGoodput,
+			PostGoodput:       fr.Degradation.PostGoodput,
+			RecoveryCycles:    fr.Degradation.RecoveryCycles,
+			Recovered:         fr.Degradation.Recovered,
+			DroppedUnroutable: fr.Drops.Unroutable,
+			DroppedInFlight:   fr.Drops.InFlight,
+			DroppedDeadNode:   fr.Drops.DeadDrain,
 		})
 	}
 	if res.Watchdog != nil {

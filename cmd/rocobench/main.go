@@ -49,6 +49,7 @@ func main() {
 		mcSample = flag.Int("mc", 1_000_000, "Monte-Carlo samples for table 2")
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
 		kernel   = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
+		reliable = flag.Bool("reliable", false, "arm end-to-end reliable delivery in the fault-injecting experiments (degradation)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 		Seed:            *seed,
 		Parallel:        !*serial,
 		ReferenceKernel: reference,
+		Reliable:        *reliable,
 	}
 
 	names := []string{*exp}

@@ -44,6 +44,11 @@ func main() {
 		flits       = flag.Int("flits", 4, "flits per packet")
 		hotspot     = flag.Int("hotspot", 27, "hotspot node (hotspot traffic)")
 		hotFrac     = flag.Float64("hotfrac", 0.2, "fraction of traffic sent to the hotspot")
+		reliable    = flag.Bool("reliable", false, "enable end-to-end reliable delivery (source retransmission, duplicate suppression, fault-region give-up)")
+		retxTimeout = flag.Int64("retx-timeout", 0, "base retransmission timeout in cycles (0 = default; needs -reliable)")
+		retxMax     = flag.Int64("retx-max-timeout", 0, "backoff cap in cycles (0 = default; needs -reliable)")
+		retxRetries = flag.Int("retx-retries", 0, "max retransmissions per packet (0 = default; needs -reliable)")
+		jsonOut     = flag.Bool("json", false, "emit the full result as JSON on stdout instead of the human summary")
 		verbose     = flag.Bool("v", false, "print the full result breakdown")
 		heatmap     = flag.Bool("heatmap", false, "print a per-node link-utilization heatmap")
 		tracePkts   = flag.Int("trace", 0, "sample and print this many packet journeys")
@@ -87,6 +92,14 @@ func main() {
 		Seed:            *seed,
 		HotspotNode:     *hotspot,
 		HotspotFraction: *hotFrac,
+		Reliable:        *reliable,
+	}
+	if *reliable {
+		cfg.RetransmitTimeout = *retxTimeout
+		cfg.RetransmitMaxTimeout = *retxMax
+		cfg.RetransmitMaxRetries = *retxRetries
+	} else if *retxTimeout != 0 || *retxMax != 0 || *retxRetries != 0 {
+		fatalf("-retx-* flags need -reliable")
 	}
 
 	switch strings.ToLower(*kernel) {
@@ -117,8 +130,10 @@ func main() {
 	}
 	if *faults > 0 {
 		cfg.Faults = roco.RandomFaults(class, *faults, *width, *height, *seed)
-		for _, f := range cfg.Faults {
-			fmt.Printf("fault: node %d, %s (module %d, vc %d)\n", f.Node, f.Component, f.Module, f.VC)
+		if !*jsonOut {
+			for _, f := range cfg.Faults {
+				fmt.Printf("fault: node %d, %s (module %d, vc %d)\n", f.Node, f.Component, f.Module, f.VC)
+			}
 		}
 	}
 	cfg.AuditEvery = *audit
@@ -143,9 +158,11 @@ func main() {
 	case *faultRate > 0:
 		cfg.FaultSchedule = roco.PoissonFaultSchedule(class, *faultRate, *faultHor, *width, *height, *seed)
 	}
-	for _, tf := range cfg.FaultSchedule {
-		fmt.Printf("scheduled fault: cycle %d, node %d, %s (module %d, vc %d)\n",
-			tf.Cycle, tf.Fault.Node, tf.Fault.Component, tf.Fault.Module, tf.Fault.VC)
+	if !*jsonOut {
+		for _, tf := range cfg.FaultSchedule {
+			fmt.Printf("scheduled fault: cycle %d, node %d, %s (module %d, vc %d)\n",
+				tf.Cycle, tf.Fault.Node, tf.Fault.Component, tf.Fault.Module, tf.Fault.VC)
+		}
 	}
 
 	var res roco.Result
@@ -160,6 +177,15 @@ func main() {
 		res = detail.Result
 	default:
 		res = roco.Run(cfg)
+	}
+	if *jsonOut {
+		// The Result carries everything downstream tools need: summary
+		// metrics, the drop breakdown, reliability counters with give-ups,
+		// the per-fault log, and the watchdog report.
+		if err := roco.WriteJSON(os.Stdout, res); err != nil {
+			fatalf("json: %v", err)
+		}
+		return
 	}
 	fmt.Printf("%s | %s routing | %s traffic | rate %.2f | %dx%d mesh\n",
 		cfg.Router, cfg.Algorithm, cfg.Traffic, *rate, *width, *height)
@@ -194,7 +220,15 @@ func main() {
 		fmt.Printf("  fault @%-8d node %d %-10s %s\n", ev.Cycle, ev.Fault.Node, ev.Fault.Component, status)
 	}
 	if res.DroppedFlits > 0 || res.BrokenPackets > 0 {
-		fmt.Printf("  dropped          %10d flits (%d broken packets)\n", res.DroppedFlits, res.BrokenPackets)
+		fmt.Printf("  dropped          %10d flits (%d broken packets; %d unroutable, %d in-flight, %d dead-node)\n",
+			res.DroppedFlits, res.BrokenPackets, res.DroppedUnroutable, res.DroppedInFlight, res.DroppedDeadNode)
+	}
+	if *reliable {
+		fmt.Printf("  reliability      %10d retransmitted, %d recovered, %d duplicates suppressed, %d given up, residual loss %d\n",
+			res.Retransmissions, res.RecoveredPackets, res.DuplicatePackets, len(res.GiveUps), res.ResidualLoss)
+		for _, g := range res.GiveUps {
+			fmt.Printf("  gave up          %d->%d after %d attempts @%d (%s)\n", g.Src, g.Dst, g.Attempts, g.Cycle, g.Reason)
+		}
 	}
 	if res.Watchdog != "" {
 		fmt.Println(res.Watchdog)

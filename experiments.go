@@ -33,6 +33,10 @@ type Options struct {
 	// ReferenceKernel runs every simulation on the ungated cycle loop
 	// instead of the activity-gated kernel (see Config.ReferenceKernel).
 	ReferenceKernel bool
+	// Reliable arms the end-to-end reliable-delivery protocol in the
+	// experiments that inject faults into live traffic (currently the
+	// degradation experiment), surfacing goodput and recovery counters.
+	Reliable bool
 }
 
 // DefaultOptions returns the harness defaults (8x8 mesh, 2k+30k packets,
@@ -467,6 +471,13 @@ type DegradationExperiment struct {
 	Completion map[RouterKind]float64
 	Dropped    map[RouterKind]int64
 	Watchdogs  map[RouterKind]string
+	// Reliable reports whether the runs armed the reliable-delivery
+	// protocol; the maps below are populated only then.
+	Reliable      bool
+	Retransmitted map[RouterKind]int64
+	Recovered     map[RouterKind]int64
+	GivenUp       map[RouterKind]int64
+	ResidualLoss  map[RouterKind]int64
 }
 
 // RunDegradationExperiment measures online recovery from one runtime fault.
@@ -486,6 +497,13 @@ func RunDegradationExperiment(opts Options, alg Algorithm) DegradationExperiment
 		Completion: map[RouterKind]float64{},
 		Dropped:    map[RouterKind]int64{},
 		Watchdogs:  map[RouterKind]string{},
+		Reliable:   opts.Reliable,
+	}
+	if opts.Reliable {
+		exp.Retransmitted = map[RouterKind]int64{}
+		exp.Recovered = map[RouterKind]int64{}
+		exp.GivenUp = map[RouterKind]int64{}
+		exp.ResidualLoss = map[RouterKind]int64{}
 	}
 	var cfgs []Config
 	for _, k := range RouterKinds {
@@ -493,6 +511,7 @@ func RunDegradationExperiment(opts Options, alg Algorithm) DegradationExperiment
 		cfg.FaultSchedule = []TimedFault{{Cycle: faultCycle, Fault: flt}}
 		cfg.AuditEvery = 64
 		cfg.MaxCycles = 60 * (opts.Warmup + opts.Measure)
+		cfg.Reliable = opts.Reliable
 		cfgs = append(cfgs, cfg)
 	}
 	results := runAll(opts, cfgs)
@@ -501,6 +520,12 @@ func RunDegradationExperiment(opts Options, alg Algorithm) DegradationExperiment
 		exp.Completion[k] = results[i].Completion
 		exp.Dropped[k] = results[i].DroppedFlits
 		exp.Watchdogs[k] = results[i].Watchdog
+		if opts.Reliable {
+			exp.Retransmitted[k] = results[i].Retransmissions
+			exp.Recovered[k] = results[i].RecoveredPackets
+			exp.GivenUp[k] = int64(len(results[i].GiveUps))
+			exp.ResidualLoss[k] = results[i].ResidualLoss
+		}
 	}
 	return exp
 }
@@ -541,6 +566,21 @@ func (e DegradationExperiment) Render(w io.Writer) {
 		ev := e.Events[k][0]
 		return fmt.Sprintf("%.2f/%.2f", ev.PreRate, ev.FloorRate)
 	})...)...)
+	if e.Reliable {
+		tbl.AddRow(append([]string{"goodput pre/floor"}, cell(func(k RouterKind) string {
+			if len(e.Events[k]) == 0 {
+				return "-"
+			}
+			ev := e.Events[k][0]
+			return fmt.Sprintf("%.2f/%.2f", ev.PreGoodput, ev.FloorGoodput)
+		})...)...)
+		tbl.AddRow(append([]string{"retx/recovered"}, cell(func(k RouterKind) string {
+			return fmt.Sprintf("%d/%d", e.Retransmitted[k], e.Recovered[k])
+		})...)...)
+		tbl.AddRow(append([]string{"given up/residual"}, cell(func(k RouterKind) string {
+			return fmt.Sprintf("%d/%d", e.GivenUp[k], e.ResidualLoss[k])
+		})...)...)
+	}
 	tbl.AddRow(append([]string{"wedged"}, cell(func(k RouterKind) string {
 		if e.Watchdogs[k] == "" {
 			return "no"

@@ -467,7 +467,7 @@ func (r *Router) drainDoomed(cycle int64) {
 				break
 			}
 			r.act.DroppedFlits++
-			r.DropFlit(f, cycle)
+			r.DropFlit(f, cycle, trace.DropInFlight)
 			if feeder.IsCardinal() && r.in[feeder] != nil {
 				r.in[feeder].Credit.Write(vc.Index)
 			}

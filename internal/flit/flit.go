@@ -125,6 +125,16 @@ type Flit struct {
 	// downstream router performs current-node routing first (+1 cycle).
 	// Consumed (reset) when the flit is buffered.
 	Penalty int64
+	// SrcSeq is the per-source end-to-end sequence number of the logical
+	// packet, stamped by the reliability protocol at first injection and
+	// preserved across retransmissions. Zero when the protocol is off.
+	SrcSeq uint64
+	// Origin is the PacketID of the logical packet's first transmission
+	// attempt. Retransmitted copies carry fresh PacketIDs (the physical
+	// identity routers and the broken-set key on) but keep Origin, so
+	// measurement windows and traces follow the logical packet. Equal to
+	// PacketID on first attempts and whenever the protocol is off.
+	Origin uint64
 
 	// pooled guards against double-recycling: set by Pool.Put, cleared by
 	// Pool.Get. A live flit always reads false.
@@ -144,6 +154,13 @@ type Packet struct {
 	Flits     int
 	CreatedAt int64
 	Mode      RouteMode
+	// SrcSeq and Origin carry the end-to-end reliability identity (see the
+	// same fields on Flit). The network stamps Origin = ID on every first
+	// attempt, so the two identities coincide whenever the protocol is off;
+	// retransmissions keep the origin's value. Standalone router harnesses
+	// may leave both zero.
+	SrcSeq uint64
+	Origin uint64
 }
 
 // Segment expands the packet into its flits. The head flit carries the

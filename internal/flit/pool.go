@@ -82,6 +82,8 @@ func AppendSegment(dst []*Flit, p Packet, pool *Pool) []*Flit {
 		f.OutPort = topology.Invalid
 		f.VC = -1
 		f.CreatedAt = p.CreatedAt
+		f.SrcSeq = p.SrcSeq
+		f.Origin = p.Origin
 		dst = append(dst, f)
 	}
 	return dst

@@ -20,6 +20,12 @@ type Degradation struct {
 	RecoveryCycles int64
 	// Recovered reports whether the threshold was reached again at all.
 	Recovered bool
+	// PreGoodput, FloorGoodput and PostGoodput are the same three
+	// measurements taken on the goodput series — deliveries of flits that
+	// completed a logical packet exactly once (duplicates from the
+	// reliability protocol excluded). Without a goodput series they equal
+	// their raw counterparts.
+	PreGoodput, FloorGoodput, PostGoodput float64
 }
 
 // MeasureDegradation computes the Degradation around faultCycle from a
@@ -29,10 +35,28 @@ type Degradation struct {
 // the first post-fault position where the mean rate over the next (up to)
 // windowBuckets buckets reaches threshold*PreRate. A zero pre-fault rate
 // counts as immediately recovered: there was no throughput to lose.
-func MeasureDegradation(buckets []int64, bucketCycles, faultCycle int64, windowBuckets int, threshold float64) Degradation {
+//
+// goodBuckets, when non-nil, is the goodput companion series (deliveries
+// excluding protocol duplicates); the goodput fields are measured on it at
+// the same positions the raw series selected, so the pair stays directly
+// comparable. A nil goodBuckets copies the raw measurements into the
+// goodput fields.
+func MeasureDegradation(buckets, goodBuckets []int64, bucketCycles, faultCycle int64, windowBuckets int, threshold float64) Degradation {
 	d := Degradation{FaultCycle: faultCycle}
 	if bucketCycles < 1 || windowBuckets < 1 {
 		panic("metrics: degradation window must be positive")
+	}
+	good := func(b int64) int64 {
+		if goodBuckets == nil {
+			if b < int64(len(buckets)) {
+				return buckets[b]
+			}
+			return 0
+		}
+		if b < int64(len(goodBuckets)) {
+			return goodBuckets[b]
+		}
+		return 0
 	}
 	fb := faultCycle / bucketCycles
 	if fb > int64(len(buckets)) {
@@ -44,11 +68,14 @@ func MeasureDegradation(buckets []int64, bucketCycles, faultCycle int64, windowB
 		lo = 0
 	}
 	if fb > lo {
-		var sum int64
-		for _, b := range buckets[lo:fb] {
-			sum += b
+		var sum, goodSum int64
+		for b := lo; b < fb; b++ {
+			sum += buckets[b]
+			goodSum += good(b)
 		}
-		d.PreRate = float64(sum) / float64((fb-lo)*bucketCycles)
+		span := float64((fb - lo) * bucketCycles)
+		d.PreRate = float64(sum) / span
+		d.PreGoodput = float64(goodSum) / span
 	}
 	if d.PreRate == 0 {
 		d.Recovered = true
@@ -62,6 +89,9 @@ func MeasureDegradation(buckets []int64, bucketCycles, faultCycle int64, windowB
 		rate := float64(buckets[b]) / float64(bucketCycles)
 		if first || rate < d.FloorRate {
 			d.FloorRate = rate
+			// The goodput floor is reported at the raw floor's position —
+			// the same moment in time — not as an independent minimum.
+			d.FloorGoodput = float64(good(b)) / float64(bucketCycles)
 			first = false
 		}
 		if !d.Recovered {
@@ -69,14 +99,17 @@ func MeasureDegradation(buckets []int64, bucketCycles, faultCycle int64, windowB
 			if hi > int64(len(buckets)) {
 				hi = int64(len(buckets))
 			}
-			var sum int64
-			for _, v := range buckets[b:hi] {
-				sum += v
+			var sum, goodSum int64
+			for v := b; v < hi; v++ {
+				sum += buckets[v]
+				goodSum += good(v)
 			}
-			rate := float64(sum) / float64((hi-b)*bucketCycles)
+			span := float64((hi - b) * bucketCycles)
+			rate := float64(sum) / span
 			if rate >= threshold*d.PreRate {
 				d.Recovered = true
 				d.PostRate = rate
+				d.PostGoodput = float64(goodSum) / span
 				d.RecoveryCycles = b*bucketCycles - faultCycle
 				if d.RecoveryCycles < 1 {
 					d.RecoveryCycles = 1

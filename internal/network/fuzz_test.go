@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/protocol"
 	"github.com/rocosim/roco/internal/router"
 	"github.com/rocosim/roco/internal/routing"
 	"github.com/rocosim/roco/internal/stats"
@@ -98,11 +99,14 @@ func TestRandomizedConfigurations(t *testing.T) {
 // auditor armed on a tight interval. Whatever the schedule, a run must
 // terminate — either drained or with a watchdog report — and every
 // generated flit must stay accounted for (the audit panics otherwise).
+// Odd rel bytes run with the reliable-delivery protocol on, under a
+// rel-derived base timeout, checking its invariants too: no duplicate
+// deliveries, and residual loss exactly the give-up count when drained.
 func FuzzDynamicFaults(f *testing.F) {
-	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3))
-	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0))
-	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5))
-	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2))
+	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3), uint8(0))
+	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0), uint8(1))
+	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5), uint8(3))
+	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2), uint8(129))
 
 	builders := []struct {
 		name  string
@@ -115,7 +119,7 @@ func FuzzDynamicFaults(f *testing.F) {
 		{"pdr", pdrBuilder, routing.XY},
 	}
 
-	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8) {
+	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8, rel uint8) {
 		b := builders[int(builder)%len(builders)]
 		const w, h = 4, 4
 		rng := stats.NewRNG(seed)
@@ -150,6 +154,10 @@ func FuzzDynamicFaults(f *testing.F) {
 			AuditEvery:      16,
 			Schedule:        fault.NewSchedule(events),
 		}
+		if rel%2 == 1 {
+			cfg.Reliable = true
+			cfg.Protocol = protocol.Params{Timeout: 16 + int64(rel)}
+		}
 		res := New(cfg).Run()
 
 		if res.Saturated {
@@ -164,6 +172,15 @@ func FuzzDynamicFaults(f *testing.F) {
 		if res.Watchdog == nil && res.DroppedFlits == 0 && len(res.FaultLog) > 0 &&
 			res.Summary.Completion < 1 && !res.Saturated {
 			t.Fatalf("%s: lost traffic without dropping or wedging", b.name)
+		}
+		if cfg.Reliable {
+			if res.DuplicatePackets != 0 {
+				t.Fatalf("%s: %d duplicate deliveries under the protocol", b.name, res.DuplicatePackets)
+			}
+			if res.Watchdog == nil && res.ResidualLoss != int64(len(res.GiveUps)) {
+				t.Fatalf("%s: drained with residual loss %d != %d give-ups",
+					b.name, res.ResidualLoss, len(res.GiveUps))
+			}
 		}
 	})
 }

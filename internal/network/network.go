@@ -13,6 +13,7 @@ import (
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
 	"github.com/rocosim/roco/internal/metrics"
+	"github.com/rocosim/roco/internal/protocol"
 	"github.com/rocosim/roco/internal/router"
 	"github.com/rocosim/roco/internal/routing"
 	"github.com/rocosim/roco/internal/stats"
@@ -68,6 +69,17 @@ type Config struct {
 	// the determinism oracle and benchmark baseline for the activity-gated
 	// kernel (the default); results are bit-identical either way.
 	ReferenceKernel bool
+	// Reliable enables the end-to-end delivery protocol: sources track
+	// every logical packet, retransmit copies whose flits a fault
+	// destroyed (with exponential backoff and fault-region rerouting),
+	// suppress duplicates at the ejection port, and give up only when the
+	// reachability oracle proves the destination cut off or the retry cap
+	// is hit. See internal/protocol and DESIGN.md "Delivery guarantees".
+	Reliable bool
+	// Protocol tunes the retransmission policy (zero values select
+	// defaults; MaxTimeout is additionally clamped to InactivityLimit/2
+	// so a backed-off timer can never outlive the liveness window).
+	Protocol protocol.Params
 }
 
 // Result carries everything a run measured.
@@ -90,8 +102,10 @@ type Result struct {
 	// Saturated reports that the run hit MaxCycles before draining.
 	Saturated bool
 	// DroppedFlits counts every flit discarded anywhere (fault recovery,
-	// dead-node drains, source drops of unroutable packets).
+	// dead-node drains, source drops of unroutable packets); Drops splits
+	// the count by cause.
 	DroppedFlits int64
+	Drops        DropBreakdown
 	// BrokenPackets counts packets that lost at least one flit.
 	BrokenPackets int64
 	// FaultLog lists the runtime faults installed, each with the
@@ -100,13 +114,56 @@ type Result struct {
 	// Watchdog is the livelock/starvation diagnostic, non-nil only when
 	// the run terminated through the inactivity rule.
 	Watchdog *WatchdogReport
+
+	// Reliability protocol outcomes (Config.Reliable runs only; all zero
+	// otherwise). Retransmissions counts extra copies launched;
+	// RecoveredPackets the logical packets whose accepted delivery was a
+	// retransmitted copy; DuplicatePackets/DuplicateFlits the traffic the
+	// ejection port suppressed; GiveUps the packets terminally abandoned;
+	// ResidualLoss the logical packets never delivered (give-ups plus any
+	// still pending when the run was cut off).
+	Retransmissions  int64
+	RecoveredPackets int64
+	DuplicatePackets int64
+	DuplicateFlits   int64
+	GiveUps          []protocol.GiveUp
+	ResidualLoss     int64
 }
 
+// DropBreakdown splits a flit-drop count by cause.
+type DropBreakdown struct {
+	// Unroutable: discarded at the source PE because faults deny the
+	// packet's first hop or local ejection.
+	Unroutable int64
+	// InFlight: broken inside the network by a live fault (condemned
+	// buffers, doomed wormholes, collateral backlog of a broken packet).
+	InFlight int64
+	// DeadDrain: drained by a router that died whole.
+	DeadDrain int64
+}
+
+// note tallies one drop under its reason.
+func (d *DropBreakdown) note(r trace.DropReason) {
+	switch r {
+	case trace.DropUnroutable:
+		d.Unroutable++
+	case trace.DropInFlight:
+		d.InFlight++
+	case trace.DropDeadNode:
+		d.DeadDrain++
+	}
+}
+
+// Total sums the three causes.
+func (d DropBreakdown) Total() int64 { return d.Unroutable + d.InFlight + d.DeadDrain }
+
 // FaultRecord pairs one installed runtime fault with the throughput
-// degradation measured around it.
+// degradation measured around it and the drops attributed to it (every
+// drop between this fault's installation and the next one's).
 type FaultRecord struct {
 	Event       fault.Event
 	Degradation metrics.Degradation
+	Drops       DropBreakdown
 }
 
 // bucketCycles is the width of the delivery-rate buckets behind the
@@ -174,6 +231,27 @@ type Network struct {
 	buckets  []int64 // delivered flits per bucketCycles-wide bucket
 	watchdog *WatchdogReport
 
+	// Drop attribution: global by-reason tallies plus a per-runtime-fault
+	// breakdown (faultDrops parallels faultLog; drops land in the most
+	// recently installed fault's row).
+	drops      DropBreakdown
+	faultDrops []DropBreakdown
+
+	// Reliability protocol state (Config.Reliable only; nil otherwise).
+	// goodBuckets parallels buckets but counts only non-duplicate
+	// deliveries — the goodput series behind degradation reporting.
+	rel         *protocol.Tracker
+	oracle      *protocol.Oracle
+	goodBuckets []int64
+	dupFlits    int64
+	dupPackets  int64
+	// lastProgress is the inactivity-rule clock: the last cycle the run
+	// made observable forward progress (a tail delivered, a retransmission
+	// launched, a packet given up). Without the protocol it equals
+	// lastDelivery, preserving the pre-protocol termination rule bit for
+	// bit.
+	lastProgress int64
+
 	tracer *trace.Collector
 
 	measuring      bool
@@ -229,9 +307,26 @@ func New(cfg Config) *Network {
 		schedule: cfg.Schedule,
 		broken:   router.NewBrokenSet(),
 	}
+	if cfg.Reliable {
+		params := cfg.Protocol.Normalized()
+		// A backed-off timer sleeping longer than the inactivity window
+		// would let the liveness rule kill a run the protocol was still
+		// going to repair; cap the backoff at half the window so every
+		// pending packet is re-examined well inside it.
+		if lim := cfg.InactivityLimit / 2; params.MaxTimeout > lim {
+			params.MaxTimeout = lim
+		}
+		if params.Timeout > params.MaxTimeout {
+			params.Timeout = params.MaxTimeout
+		}
+		n.rel = protocol.NewTracker(cfg.Topo.Nodes(), params)
+	}
 	nodes := cfg.Topo.Nodes()
 	n.routers = make([]router.Router, nodes)
 	n.engine = router.NewRouteEngine(cfg.Topo, cfg.Algorithm, func(id int) router.Router { return n.routers[id] })
+	if n.rel != nil {
+		n.oracle = protocol.NewOracle(n.engine)
+	}
 	for id := 0; id < nodes; id++ {
 		n.routers[id] = cfg.Build(id, n.engine)
 	}
@@ -276,7 +371,7 @@ func New(cfg Config) *Network {
 		}
 		id := id
 		n.routers[id].SetSink(func(f *flit.Flit, cycle int64) { n.deliver(id, f, cycle) })
-		n.routers[id].SetDropSink(func(f *flit.Flit, cycle int64) { n.noteDrop(f, cycle) })
+		n.routers[id].SetDropSink(func(f *flit.Flit, cycle int64, reason trace.DropReason) { n.noteDrop(f, cycle, reason) })
 		n.routers[id].SetBroken(n.broken)
 	}
 
@@ -328,6 +423,14 @@ func (n *Network) Router(id int) router.Router { return n.routers[id] }
 // Cycle returns the current simulation time.
 func (n *Network) Cycle() int64 { return n.cycle }
 
+// Deliverable reports the reliability oracle's current answer for a fresh
+// copy from src to dst (tests use it to check give-up soundness). Panics
+// unless Config.Reliable is set.
+func (n *Network) Deliverable(src, dst int) bool {
+	ok, _ := n.oracle.Deliverable(src, dst)
+	return ok
+}
+
 // deliver is the sink shared by all routers.
 func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 	if f.Dst != node {
@@ -339,13 +442,31 @@ func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 	if n.pool != nil {
 		n.graveyard = append(n.graveyard, f)
 	}
-	measured := f.PacketID >= uint64(n.cfg.WarmupPackets)
+	// Measurement windows follow the logical packet: Origin is the first
+	// attempt's ID, so a retransmitted copy of a measured packet stays
+	// measured (and equals PacketID whenever the protocol is off).
+	measured := f.Origin >= uint64(n.cfg.WarmupPackets)
 	n.delFlitsAll++
 	b := cycle / bucketCycles
 	for int64(len(n.buckets)) <= b {
 		n.buckets = append(n.buckets, 0)
 	}
 	n.buckets[b]++
+	dup := false
+	if n.rel != nil {
+		// Duplicate suppression at the ejection port: flits of a logical
+		// packet already delivered or abandoned count as raw throughput
+		// but not goodput, and never complete a packet twice.
+		dup = n.rel.Resolved(f.Src, f.SrcSeq)
+		for int64(len(n.goodBuckets)) <= b {
+			n.goodBuckets = append(n.goodBuckets, 0)
+		}
+		if dup {
+			n.dupFlits++
+		} else {
+			n.goodBuckets[b]++
+		}
+	}
 	if measured {
 		n.deliveredFlits++
 	}
@@ -357,8 +478,19 @@ func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 	}
 	n.deliveredAll++
 	n.lastDelivery = cycle
+	n.lastProgress = cycle
 	if n.broken.Contains(f.PacketID) {
 		panic(fmt.Sprintf("network: broken packet %d delivered its tail", f.PacketID))
+	}
+	if n.rel != nil {
+		accepted, _ := n.rel.Ack(f.Src, f.SrcSeq, cycle)
+		if !accepted {
+			// Structurally this cannot happen — retransmission launches
+			// only after the previous copy broke, and broken copies never
+			// deliver tails — but the ACK layer stays the authority.
+			n.dupPackets++
+			return
+		}
 	}
 	if measured {
 		n.completion.Delivered++
@@ -392,6 +524,10 @@ func (n *Network) generate() {
 			Flits:     fpp,
 			CreatedAt: n.cycle,
 			Mode:      mode,
+			Origin:    n.nextPacketID,
+		}
+		if n.rel != nil {
+			pkt.SrcSeq = n.rel.Stamp(p.id, dst, pkt.ID, n.cycle)
 		}
 		n.nextPacketID++
 		n.generated++
@@ -437,10 +573,15 @@ func (n *Network) beginMeasurement() {
 }
 
 // noteDrop is the drop sink shared by all routers: it keeps the
-// conservation ledger and registers the packet as broken so its remaining
-// fragments everywhere are doomed.
-func (n *Network) noteDrop(f *flit.Flit, cycle int64) {
+// conservation ledger, attributes the drop to its cause (and to the most
+// recently installed runtime fault), and registers the packet as broken so
+// its remaining fragments everywhere are doomed.
+func (n *Network) noteDrop(f *flit.Flit, cycle int64, reason trace.DropReason) {
 	n.dropFlitsAll++
+	n.drops.note(reason)
+	if k := len(n.faultDrops); k > 0 {
+		n.faultDrops[k-1].note(reason)
+	}
 	n.broken.Add(f.PacketID, cycle)
 	// Dead-node drains and doomed-wormhole drops read the flit (VC, tail
 	// type) after reporting it — defer recycling to the end of Step.
@@ -450,14 +591,14 @@ func (n *Network) noteDrop(f *flit.Flit, cycle int64) {
 }
 
 // dropAtSource discards the PE's front backlog flit (never injected).
-func (n *Network) dropAtSource(p *pe) {
+func (n *Network) dropAtSource(p *pe, reason trace.DropReason) {
 	f := p.backlog[p.head]
 	p.consumeFront()
 	n.backlogFlits--
 	if f.Rec != nil && f.Type.IsHead() {
-		f.Rec.Visit(p.id, n.cycle, trace.Dropped)
+		f.Rec.Drop(p.id, n.cycle, reason)
 	}
-	n.noteDrop(f, n.cycle)
+	n.noteDrop(f, n.cycle, reason)
 }
 
 // inject advances every PE's source queue by at most one flit (the PE link
@@ -467,11 +608,12 @@ func (n *Network) inject() {
 		return
 	}
 	for _, p := range n.pes {
-		// Flits of packets already broken (a fault dropped an injected
-		// fragment, or the head was source-dropped) will never be accepted;
-		// discard them so the source queue keeps draining.
+		// Flits of packets already broken by an in-flight loss will never
+		// be accepted; discard them so the source queue keeps draining.
+		// (Unroutable heads drain with their whole packet below, so the
+		// flits swept here always belong to packets broken in flight.)
 		for p.head < len(p.backlog) && n.broken.Contains(p.backlog[p.head].PacketID) {
-			n.dropAtSource(p)
+			n.dropAtSource(p, trace.DropInFlight)
 		}
 		if p.head == len(p.backlog) {
 			continue
@@ -486,7 +628,7 @@ func (n *Network) inject() {
 			if f.OutPort != topology.Local && !n.routers[p.id].CanServe(topology.Local, f.OutPort) {
 				for p.head < len(p.backlog) {
 					tail := p.backlog[p.head].Type.IsTail()
-					n.dropAtSource(p)
+					n.dropAtSource(p, trace.DropUnroutable)
 					if tail {
 						break
 					}
@@ -509,6 +651,58 @@ func (n *Network) inject() {
 	}
 }
 
+// retransmitDue runs the reliability protocol's timers for this cycle:
+// copies a fault provably destroyed are relaunched (with backoff and
+// fault-region rerouting) or terminally given up. It runs at the same
+// point of Step in both kernels — after generation, before router ticks —
+// so gated and reference executions stay bit-identical. Relaunched copies
+// enter the source PE's ordinary backlog: injection itself wakes the
+// source router in the gated kernel, exactly as fresh traffic does.
+func (n *Network) retransmitDue() {
+	if n.rel == nil {
+		return
+	}
+	fpp := n.cfg.Traffic.FlitsPerPacket
+	acted := n.rel.Expire(n.cycle, protocol.Env{
+		CopyBroken:  n.broken.Contains,
+		Deliverable: n.oracle.Deliverable,
+		Launch: func(e *protocol.Entry, mode flit.RouteMode) uint64 {
+			id := n.nextPacketID
+			n.nextPacketID++
+			pkt := flit.Packet{
+				ID:  id,
+				Src: e.Src, Dst: e.Dst,
+				Flits: fpp,
+				// Latency is end-to-end for the logical packet: the copy
+				// inherits the original creation time.
+				CreatedAt: e.CreatedAt,
+				Mode:      mode,
+				SrcSeq:    e.Seq,
+				Origin:    e.Origin,
+			}
+			p := n.pes[e.Src]
+			p.backlog = flit.AppendSegment(p.backlog, pkt, n.pool)
+			// The copy's flits are new in the conservation ledger (the
+			// originals were already accounted as dropped), but not new
+			// logical packets: generated/completion counts stay untouched.
+			n.genFlits += int64(fpp)
+			n.backlogFlits += int64(fpp)
+			if n.nextActive != nil {
+				// Wake the source router so the backlogged copy injects
+				// promptly even if the node was asleep.
+				n.nextActive[e.Src] = true
+			}
+			return id
+		},
+	})
+	if acted > 0 {
+		// Retransmissions and give-ups are forward progress for the
+		// inactivity rule: each entry can act at most 1+MaxRetries times,
+		// so this cannot postpone termination unboundedly.
+		n.lastProgress = n.cycle
+	}
+}
+
 // Step advances the simulation one cycle.
 func (n *Network) Step() {
 	if n.cfg.ReferenceKernel {
@@ -523,6 +717,7 @@ func (n *Network) Step() {
 func (n *Network) stepReference() {
 	n.installDueFaults()
 	n.generate()
+	n.retransmitDue()
 	for _, r := range n.routers {
 		r.Tick(n.cycle)
 	}
@@ -543,6 +738,7 @@ func (n *Network) stepReference() {
 func (n *Network) stepGated() {
 	n.installDueFaults()
 	n.generate()
+	n.retransmitDue()
 	t := n.cycle
 
 	n.ticked = n.ticked[:0]
@@ -654,6 +850,12 @@ func (n *Network) installDueFaults() {
 		n.routers[node].ApplyFault(ev.Fault)
 		n.propagateHandshake(node)
 		n.faultLog = append(n.faultLog, ev)
+		n.faultDrops = append(n.faultDrops, DropBreakdown{})
+		if n.oracle != nil {
+			// The fault-region map changed; cached reachability answers
+			// are stale.
+			n.oracle.Invalidate()
+		}
 	}
 }
 
@@ -695,9 +897,15 @@ func (n *Network) audit() {
 }
 
 // drained reports whether every generated flit has been delivered or
-// dropped and all source queues are empty.
+// dropped, all source queues are empty, and — under the reliability
+// protocol — every logical packet is resolved (delivered, or given up with
+// a reason). A pending retransmission timer keeps the run alive even when
+// no flit is in flight: the source still owes the network a copy.
 func (n *Network) drained() bool {
-	return n.backlogFlits == 0 && n.genFlits == n.delFlitsAll+n.dropFlitsAll
+	if n.backlogFlits != 0 || n.genFlits != n.delFlitsAll+n.dropFlitsAll {
+		return false
+	}
+	return n.rel == nil || n.rel.Pending() == 0
 }
 
 // Run executes the configured simulation to termination and returns the
@@ -714,8 +922,11 @@ func (n *Network) Run() Result {
 			if n.drained() {
 				break
 			}
-			// Inactivity rule for faulty (or deadlocked) networks.
-			last := n.lastDelivery
+			// Inactivity rule for faulty (or deadlocked) networks. The
+			// clock is lastProgress so a pending retransmission timer (a
+			// liveness mechanism, not live traffic) cannot stop the rule
+			// from firing on a wedged network.
+			last := n.lastProgress
 			if last < n.measureStart {
 				last = n.measureStart
 			}
@@ -761,13 +972,26 @@ func (n *Network) collect(saturated bool) Result {
 		DeliveredFlits: n.deliveredFlits,
 		Saturated:      saturated,
 		DroppedFlits:   n.dropFlitsAll,
+		Drops:          n.drops,
 		BrokenPackets:  int64(n.broken.Len()),
 		Watchdog:       n.watchdog,
 	}
-	for _, ev := range n.faultLog {
+	if n.rel != nil {
+		res.Retransmissions = n.rel.Retransmissions()
+		res.RecoveredPackets = n.rel.Recovered()
+		res.DuplicatePackets = n.dupPackets
+		res.DuplicateFlits = n.dupFlits
+		res.GiveUps = n.rel.GiveUps()
+		// Residual loss: give-ups are decided losses; entries still
+		// pending here were cut off mid-recovery (watchdog or MaxCycles
+		// terminations only — a drained run has none).
+		res.ResidualLoss = int64(len(res.GiveUps) + n.rel.Pending())
+	}
+	for i, ev := range n.faultLog {
 		res.FaultLog = append(res.FaultLog, FaultRecord{
 			Event:       ev,
-			Degradation: metrics.MeasureDegradation(n.buckets, bucketCycles, ev.Cycle, 8, 0.7),
+			Degradation: metrics.MeasureDegradation(n.buckets, n.goodBuckets, bucketCycles, ev.Cycle, 8, 0.7),
+			Drops:       n.faultDrops[i],
 		})
 	}
 	res.PerRouter = make([]router.Activity, len(n.routers))
@@ -851,7 +1075,7 @@ func (n *Network) RunWindows(windowCycles int64) (Result, []WindowPoint) {
 			if n.drained() {
 				break
 			}
-			last := n.lastDelivery
+			last := n.lastProgress
 			if last < n.measureStart {
 				last = n.measureStart
 			}

@@ -1,0 +1,260 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/flit"
+)
+
+// env builds an Env over closures with convenient defaults: no copy broken,
+// everything deliverable, launches allocate sequential IDs from 1000.
+type envState struct {
+	broken   map[uint64]bool
+	reach    bool
+	launched []uint64
+	nextID   uint64
+}
+
+func (s *envState) env() Env {
+	return Env{
+		CopyBroken:  func(id uint64) bool { return s.broken[id] },
+		Deliverable: func(src, dst int) (bool, flit.RouteMode) { return s.reach, flit.XFirst },
+		Launch: func(e *Entry, mode flit.RouteMode) uint64 {
+			s.nextID++
+			s.launched = append(s.launched, s.nextID)
+			return s.nextID
+		},
+	}
+}
+
+func newEnvState() *envState {
+	return &envState{broken: make(map[uint64]bool), reach: true, nextID: 999}
+}
+
+func TestStampSequencesPerSource(t *testing.T) {
+	tr := NewTracker(4, Params{})
+	if got := tr.Stamp(0, 3, 10, 0); got != 1 {
+		t.Fatalf("first seq of source 0 = %d, want 1", got)
+	}
+	if got := tr.Stamp(0, 2, 11, 0); got != 2 {
+		t.Fatalf("second seq of source 0 = %d, want 2", got)
+	}
+	if got := tr.Stamp(1, 3, 12, 0); got != 1 {
+		t.Fatalf("first seq of source 1 = %d, want 1; sequences must be per-source", got)
+	}
+	if tr.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", tr.Pending())
+	}
+}
+
+func TestAckAcceptsOnceThenSuppresses(t *testing.T) {
+	tr := NewTracker(2, Params{})
+	seq := tr.Stamp(0, 1, 100, 0)
+	if tr.Resolved(0, seq) {
+		t.Fatal("fresh packet already resolved")
+	}
+	acc, retx := tr.Ack(0, seq, 40)
+	if !acc || retx {
+		t.Fatalf("first ack: accepted=%v retransmitted=%v, want true,false", acc, retx)
+	}
+	if !tr.Resolved(0, seq) {
+		t.Fatal("acked packet not resolved")
+	}
+	if acc, _ := tr.Ack(0, seq, 41); acc {
+		t.Fatal("duplicate ack accepted")
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("pending = %d after ack, want 0", tr.Pending())
+	}
+}
+
+func TestAckUntrackedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ack of a never-stamped packet must panic")
+		}
+	}()
+	tr := NewTracker(2, Params{})
+	tr.Ack(0, 7, 0)
+}
+
+func TestExpireReArmsAliveCopiesWithoutBackoff(t *testing.T) {
+	tr := NewTracker(1, Params{Timeout: 10, MaxRetries: 3})
+	tr.Stamp(0, 0, 50, 0)
+	s := newEnvState()
+	// The copy is not broken: expiry re-arms the same timeout and neither
+	// retransmits nor gives up, across many deadlines.
+	for cycle := int64(10); cycle <= 50; cycle += 10 {
+		if acted := tr.Expire(cycle, s.env()); acted != 0 {
+			t.Fatalf("cycle %d: expire acted %d times on an alive copy", cycle, acted)
+		}
+	}
+	if len(s.launched) != 0 || tr.Retransmissions() != 0 || len(tr.GiveUps()) != 0 {
+		t.Fatalf("alive copy triggered protocol action: launched=%v", s.launched)
+	}
+}
+
+func TestExpireRetransmitsBrokenCopyWithExponentialBackoff(t *testing.T) {
+	tr := NewTracker(1, Params{Timeout: 10, MaxTimeout: 35, MaxRetries: 10})
+	tr.Stamp(0, 0, 50, 0) // deadline 10
+	s := newEnvState()
+	s.broken[50] = true
+
+	// Deadlines follow doubled-then-capped timeouts: 10, then +20, +35, +35...
+	wantDeadlines := []int64{10, 30, 65, 100, 135}
+	cycle := int64(0)
+	for i, d := range wantDeadlines {
+		if acted := tr.Expire(d-1, s.env()); acted != 0 {
+			t.Fatalf("retx %d: timer fired before deadline %d", i, d)
+		}
+		if acted := tr.Expire(d, s.env()); acted != 1 {
+			t.Fatalf("retx %d: expire at %d acted 0 times", i, d)
+		}
+		if len(s.launched) != i+1 {
+			t.Fatalf("retx %d: %d copies launched", i, len(s.launched))
+		}
+		s.broken[s.launched[i]] = true // this copy breaks too
+		cycle = d
+	}
+	_ = cycle
+	if tr.Retransmissions() != int64(len(wantDeadlines)) {
+		t.Fatalf("retransmissions = %d, want %d", tr.Retransmissions(), len(wantDeadlines))
+	}
+}
+
+func TestExpireGivesUpWhenUnreachable(t *testing.T) {
+	tr := NewTracker(1, Params{Timeout: 10, MaxRetries: 5})
+	seq := tr.Stamp(0, 0, 7, 0)
+	s := newEnvState()
+	s.broken[7] = true
+	s.reach = false
+	if acted := tr.Expire(10, s.env()); acted != 1 {
+		t.Fatal("expire did not act on a broken unreachable packet")
+	}
+	gs := tr.GiveUps()
+	if len(gs) != 1 || gs[0].Reason != Unreachable || gs[0].Seq != seq || gs[0].Attempts != 1 {
+		t.Fatalf("give-ups = %+v", gs)
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("pending = %d after give-up", tr.Pending())
+	}
+	// Abandonment also closes the duplicate window: stray flits of the
+	// broken copy must be suppressed.
+	if !tr.Resolved(0, seq) {
+		t.Fatal("given-up packet not resolved for duplicate suppression")
+	}
+	if len(s.launched) != 0 {
+		t.Fatal("launched a copy despite unreachable destination")
+	}
+}
+
+func TestExpireGivesUpAfterRetryCap(t *testing.T) {
+	tr := NewTracker(1, Params{Timeout: 1, MaxTimeout: 1, MaxRetries: 3})
+	tr.Stamp(0, 0, 42, 0)
+	s := newEnvState()
+	s.broken[42] = true
+	cycle := int64(0)
+	for i := 0; i < 10 && len(tr.GiveUps()) == 0; i++ {
+		cycle += 1
+		tr.Expire(cycle, s.env())
+		for _, id := range s.launched {
+			s.broken[id] = true
+		}
+	}
+	gs := tr.GiveUps()
+	if len(gs) != 1 || gs[0].Reason != RetriesExhausted {
+		t.Fatalf("give-ups = %+v, want one RetriesExhausted", gs)
+	}
+	// MaxRetries=3 allows the original + 3 retransmissions.
+	if len(s.launched) != 3 {
+		t.Fatalf("launched %d copies, want 3 (the retry cap)", len(s.launched))
+	}
+	if gs[0].Attempts != 4 {
+		t.Fatalf("give-up after %d attempts, want 4", gs[0].Attempts)
+	}
+}
+
+func TestRecoveredCountsRetransmittedDeliveries(t *testing.T) {
+	tr := NewTracker(1, Params{Timeout: 10, MaxRetries: 5})
+	seq := tr.Stamp(0, 0, 1, 0)
+	s := newEnvState()
+	s.broken[1] = true
+	tr.Expire(10, s.env()) // launches copy 1000
+	acc, retx := tr.Ack(0, seq, 20)
+	if !acc || !retx {
+		t.Fatalf("ack of retransmitted copy: accepted=%v retransmitted=%v", acc, retx)
+	}
+	if tr.Recovered() != 1 {
+		t.Fatalf("recovered = %d, want 1", tr.Recovered())
+	}
+}
+
+func TestExpireOrderIsDeterministic(t *testing.T) {
+	// Many entries share one deadline; expiry must process them in (src,
+	// seq) order regardless of heap internals.
+	tr := NewTracker(8, Params{Timeout: 10, MaxRetries: 1})
+	var order []int
+	s := newEnvState()
+	env := s.env()
+	env.Launch = func(e *Entry, mode flit.RouteMode) uint64 {
+		order = append(order, e.Src)
+		s.nextID++
+		return s.nextID
+	}
+	for src := 7; src >= 0; src-- {
+		id := uint64(100 + src)
+		tr.Stamp(src, 0, id, 0)
+		s.broken[id] = true
+	}
+	tr.Expire(10, env)
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Fatalf("expiry processed sources out of order: %v", order)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("expired %d entries, want 8", len(order))
+	}
+}
+
+func TestWindowCompaction(t *testing.T) {
+	var w window
+	// Resolve out of order: 2, 3, 5 then 1 closes the prefix through 3; 4
+	// closes through 5.
+	for _, s := range []uint64{2, 3, 5} {
+		w.add(s)
+	}
+	if w.contig != 0 || len(w.over) != 3 {
+		t.Fatalf("window before prefix close: contig=%d over=%v", w.contig, w.over)
+	}
+	w.add(1)
+	if w.contig != 3 || len(w.over) != 1 {
+		t.Fatalf("window after adding 1: contig=%d over=%v", w.contig, w.over)
+	}
+	w.add(4)
+	if w.contig != 5 || len(w.over) != 0 {
+		t.Fatalf("window after adding 4: contig=%d over=%v", w.contig, w.over)
+	}
+	for s := uint64(1); s <= 5; s++ {
+		if !w.has(s) {
+			t.Fatalf("seq %d lost by compaction", s)
+		}
+	}
+	if w.has(6) {
+		t.Fatal("unresolved seq reported resolved")
+	}
+}
+
+func TestParamsNormalized(t *testing.T) {
+	p := Params{}.Normalized()
+	if p.Timeout != 256 || p.MaxTimeout != 4096 || p.MaxRetries != 16 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	p = Params{Timeout: 100, MaxTimeout: 50}.Normalized()
+	if p.MaxTimeout != 100 {
+		t.Fatalf("MaxTimeout below Timeout not repaired: %+v", p)
+	}
+	if q := p.Normalized(); q != p {
+		t.Fatalf("Normalized not idempotent: %+v vs %+v", p, q)
+	}
+}

@@ -446,7 +446,7 @@ func (r *Router) tickDead(cycle int64) {
 		if r.in[d] != nil {
 			if f := r.in[d].Flit.Read(); f != nil {
 				r.act.DroppedFlits++
-				r.DropFlit(f, cycle)
+				r.DropFlit(f, cycle, trace.DropDeadNode)
 				if f.VC >= 0 {
 					r.in[d].Credit.Write(f.VC)
 				}
@@ -471,7 +471,7 @@ func (r *Router) drainDoomed(cycle int64) {
 					break
 				}
 				r.act.DroppedFlits++
-				r.DropFlit(f, cycle)
+				r.DropFlit(f, cycle, trace.DropInFlight)
 				if topology.Direction(p) != topology.Local && r.in[p] != nil {
 					r.in[p].Credit.Write(v)
 				}

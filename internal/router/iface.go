@@ -4,11 +4,17 @@ import (
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
 	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/trace"
 )
 
 // Sink receives flits delivered to a node's processing element. Delivery of
 // a tail flit completes a packet.
 type Sink func(f *flit.Flit, cycle int64)
+
+// DropSink receives flits a router discards, tagged with the distinct cause
+// (broken in flight vs drained by a dead node; the network adds
+// unroutable-at-source drops itself, before injection).
+type DropSink func(f *flit.Flit, cycle int64, reason trace.DropReason)
 
 // Router is the contract every router microarchitecture implements. The
 // network fabric wires routers together with Conn pipes, drives one Tick
@@ -99,8 +105,9 @@ type Router interface {
 
 	// SetDropSink installs the network's drop-accounting callback; every
 	// flit a router discards (doomed wormholes, dead-node drains) is
-	// reported exactly once so flit conservation stays auditable.
-	SetDropSink(s Sink)
+	// reported exactly once, with its reason, so flit conservation stays
+	// auditable and loss is attributable.
+	SetDropSink(s DropSink)
 	// SetBroken shares the network-wide broken-packet registry: packets
 	// that lost at least one flit anywhere. Routers sweep it each Tick and
 	// doom their resident fragments of broken packets.

@@ -34,6 +34,16 @@ func (e *RouteEngine) Algorithm() routing.Algorithm { return e.alg }
 // Topology returns the engine's topology.
 func (e *RouteEngine) Topology() topology.Topology { return e.topo }
 
+// RouterAt resolves a node ID to its router (nil until the network finishes
+// wiring). The reliability protocol's reachability oracle uses it to consult
+// the same CanServe handshake state that look-ahead routing sees.
+func (e *RouteEngine) RouterAt(id int) Router {
+	if e.routerAt == nil {
+		return nil
+	}
+	return e.routerAt(id)
+}
+
 // RouteAt returns the output port flit f will take at node, given that it
 // will arrive there through input side from (topology.Local for freshly
 // injected packets). Escape-marked packets follow strict XY regardless of

@@ -399,7 +399,7 @@ func (r *Router) tickDead(cycle int64) {
 		if r.in[d] != nil {
 			if f := r.in[d].Flit.Read(); f != nil {
 				r.act.DroppedFlits++
-				r.DropFlit(f, cycle)
+				r.DropFlit(f, cycle, trace.DropDeadNode)
 				if f.VC >= 0 {
 					r.in[d].Credit.Write(f.VC)
 				}
@@ -424,7 +424,7 @@ func (r *Router) drainDoomed(cycle int64) {
 				break
 			}
 			r.act.DroppedFlits++
-			r.DropFlit(f, cycle)
+			r.DropFlit(f, cycle, trace.DropInFlight)
 			if feeder.IsCardinal() && r.in[feeder] != nil {
 				r.in[feeder].Credit.Write(vc.Index)
 			}

@@ -101,7 +101,7 @@ type Recovery struct {
 	vcs        []*VC
 	grantRef   func(vcIndex int) (GrantRef, bool)
 	onAbort    func(vcIndex int)
-	dropSink   Sink
+	dropSink   DropSink
 	broken     *BrokenSet
 	emptySince []int64
 }
@@ -123,7 +123,7 @@ func (rc *Recovery) InitRecovery(node int, vcs []*VC, grantRef func(int) (GrantR
 }
 
 // SetDropSink installs the network's drop-accounting callback.
-func (rc *Recovery) SetDropSink(s Sink) { rc.dropSink = s }
+func (rc *Recovery) SetDropSink(s DropSink) { rc.dropSink = s }
 
 // SetBroken shares the network-wide broken-packet registry.
 func (rc *Recovery) SetBroken(b *BrokenSet) { rc.broken = b }
@@ -153,15 +153,15 @@ func (rc *Recovery) RecoveryQuiet() bool {
 	return rc.broken != nil && rc.broken.Quiet()
 }
 
-// DropFlit reports one discarded flit to the trace and the network's drop
-// sink (which registers the packet as broken and keeps the conservation
-// ledger).
-func (rc *Recovery) DropFlit(f *flit.Flit, cycle int64) {
+// DropFlit reports one discarded flit, with its cause, to the trace and the
+// network's drop sink (which registers the packet as broken and keeps the
+// conservation ledger).
+func (rc *Recovery) DropFlit(f *flit.Flit, cycle int64, reason trace.DropReason) {
 	if f.Rec != nil && f.Type.IsHead() {
-		f.Rec.Visit(rc.node, cycle, trace.Dropped)
+		f.Rec.Drop(rc.node, cycle, reason)
 	}
 	if rc.dropSink != nil {
-		rc.dropSink(f, cycle)
+		rc.dropSink(f, cycle, reason)
 	}
 }
 

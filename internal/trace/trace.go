@@ -19,6 +19,44 @@ type Visit struct {
 	Cycle int64
 	// Kind describes the observation.
 	Kind VisitKind
+	// Reason qualifies Dropped observations (zero-valued otherwise).
+	Reason DropReason
+}
+
+// DropReason distinguishes why fault handling discarded a packet. The
+// three causes have very different recovery implications: an
+// unroutable-at-source packet never entered the network, a broken-in-flight
+// packet lost part of its wormhole to a live fault, and a dead-node drain
+// is collateral traffic discarded by a router that was killed whole.
+type DropReason uint8
+
+const (
+	// DropUnroutable: the source PE discarded the packet because the
+	// installed faults leave its first hop (or local ejection) unservable.
+	DropUnroutable DropReason = iota
+	// DropInFlight: a fault broke the packet while it was in the network —
+	// a condemned buffer, a doomed wormhole, or a route that a new fault
+	// made permanently unservable mid-journey.
+	DropInFlight
+	// DropDeadNode: a router that died whole drained the arriving flit.
+	DropDeadNode
+
+	// NumDropReasons sizes per-reason counters.
+	NumDropReasons
+)
+
+// String names the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropUnroutable:
+		return "unroutable-at-source"
+	case DropInFlight:
+		return "broken-in-flight"
+	case DropDeadNode:
+		return "dead-node-drain"
+	default:
+		return "?"
+	}
 }
 
 // VisitKind classifies trace events.
@@ -31,9 +69,9 @@ const (
 	Arrived
 	// Delivered: the head flit reached its destination PE.
 	Delivered
-	// Dropped: fault handling discarded the packet — either unroutable at
-	// its source under the (static or runtime) fault map, or broken by a
-	// fault that struck while it was in flight.
+	// Dropped: fault handling discarded the packet. Visit.Reason carries
+	// the distinct cause (unroutable at source, broken in flight, or
+	// drained by a dead node).
 	Dropped
 )
 
@@ -67,6 +105,11 @@ func (r *Record) Visit(node int, cycle int64, kind VisitKind) {
 	r.Visits = append(r.Visits, Visit{Node: node, Cycle: cycle, Kind: kind})
 }
 
+// Drop appends a Dropped observation with its cause.
+func (r *Record) Drop(node int, cycle int64, reason DropReason) {
+	r.Visits = append(r.Visits, Visit{Node: node, Cycle: cycle, Kind: Dropped, Reason: reason})
+}
+
 // HopLatencies returns the cycle deltas between consecutive observations —
 // the per-hop latency breakdown.
 func (r *Record) HopLatencies() []int64 {
@@ -92,11 +135,15 @@ func (r *Record) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "pkt %d %d->%d:", r.PacketID, r.Src, r.Dst)
 	for i, v := range r.Visits {
+		kind := v.Kind.String()
+		if v.Kind == Dropped {
+			kind = fmt.Sprintf("%s(%s)", v.Kind, v.Reason)
+		}
 		if i == 0 {
-			fmt.Fprintf(&sb, " %s@%d n%d", v.Kind, v.Cycle, v.Node)
+			fmt.Fprintf(&sb, " %s@%d n%d", kind, v.Cycle, v.Node)
 			continue
 		}
-		fmt.Fprintf(&sb, " ->(%d) %s n%d", v.Cycle-r.Visits[i-1].Cycle, v.Kind, v.Node)
+		fmt.Fprintf(&sb, " ->(%d) %s n%d", v.Cycle-r.Visits[i-1].Cycle, kind, v.Node)
 	}
 	return sb.String()
 }

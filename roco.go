@@ -290,6 +290,22 @@ type Config struct {
 	// HotspotNode and HotspotFraction configure the Hotspot pattern.
 	HotspotNode     int
 	HotspotFraction float64
+	// Reliable enables the end-to-end reliable-delivery protocol: every
+	// packet carries a per-source sequence number, sources retransmit
+	// copies whose delivery provably failed (with exponential backoff and a
+	// retry cap), the ejection port suppresses duplicates, and packets
+	// whose destination the live fault map proves unreachable are given up
+	// with a structured reason. With it on, every packet with a reachable
+	// destination is delivered exactly once even under runtime faults.
+	Reliable bool
+	// RetransmitTimeout is the base retransmission timeout in cycles
+	// (0 = default 256); each retransmission doubles it up to
+	// RetransmitMaxTimeout (0 = default 4096, always clamped to half the
+	// inactivity limit). RetransmitMaxRetries caps copies per packet
+	// (0 = default 16). All ignored unless Reliable.
+	RetransmitTimeout    int64
+	RetransmitMaxTimeout int64
+	RetransmitMaxRetries int
 	// DisableMirrorSA (RoCo only) replaces the Mirroring-Effect switch
 	// allocator with a plain separable output stage — the ablation that
 	// quantifies what the mirror buys. Ignored by the baselines.
@@ -358,6 +374,21 @@ type Result struct {
 	// DroppedFlits counts flits discarded by fault handling (static and
 	// runtime); BrokenPackets the packets that lost at least one flit.
 	DroppedFlits, BrokenPackets int64
+	// DroppedUnroutable, DroppedInFlight and DroppedDeadNode split
+	// DroppedFlits by cause: discarded at the source because no route
+	// existed, lost from a wormhole broken mid-flight, and drained from a
+	// fully dead router.
+	DroppedUnroutable, DroppedInFlight, DroppedDeadNode int64
+	// Retransmissions, RecoveredPackets, DuplicatePackets, GiveUps and
+	// ResidualLoss describe the reliable-delivery protocol (all zero unless
+	// Config.Reliable): copies launched beyond first attempts, packets
+	// whose accepted delivery was a retransmitted copy, duplicate tails
+	// suppressed at ejection, packets terminally abandoned, and logical
+	// packets not delivered by the end of the run (always equal to
+	// len(GiveUps) when the run drains).
+	Retransmissions, RecoveredPackets, DuplicatePackets int64
+	GiveUps                                             []GiveUp
+	ResidualLoss                                        int64
 	// FaultEvents describes each runtime fault installed and the
 	// degradation measured around it.
 	FaultEvents []FaultEvent
@@ -365,6 +396,19 @@ type Result struct {
 	// the run terminated through the inactivity rule with traffic wedged
 	// in the network.
 	Watchdog string
+}
+
+// GiveUp is one logical packet the reliable-delivery protocol terminally
+// abandoned.
+type GiveUp struct {
+	// Src and Dst identify the flow; Attempts counts copies tried and
+	// Cycle when the decision fell.
+	Src, Dst int
+	Attempts int
+	Cycle    int64
+	// Reason is "unreachable" (the fault map proves no route survives) or
+	// "retries-exhausted" (the retry cap was hit first).
+	Reason string
 }
 
 // FaultEvent is one runtime fault with its measured impact: the delivery
@@ -375,10 +419,18 @@ type FaultEvent struct {
 	Fault Fault
 	// PreRate, FloorRate and PostRate are delivery rates in flits/cycle.
 	PreRate, FloorRate, PostRate float64
+	// PreGoodput, FloorGoodput and PostGoodput are the same measurements
+	// on the goodput series — deliveries excluding protocol duplicates —
+	// taken at the same positions. They equal their raw counterparts
+	// unless Config.Reliable.
+	PreGoodput, FloorGoodput, PostGoodput float64
 	// RecoveryCycles is the fault-to-recovery distance; Recovered is false
 	// when the network never returned to the threshold.
 	RecoveryCycles int64
 	Recovered      bool
+	// DroppedUnroutable, DroppedInFlight and DroppedDeadNode attribute
+	// drops to this fault (counted from its installation until the next).
+	DroppedUnroutable, DroppedInFlight, DroppedDeadNode int64
 }
 
 // String renders a one-line summary.

@@ -10,3 +10,8 @@ go test ./...
 go test -race ./internal/network ./internal/router/... ./internal/core
 # Smoke the kernel benchmarks: one iteration each, just to prove they run.
 go test -run '^$' -bench=. -benchtime=1x ./bench/...
+# Smoke the CLI's JSON output: a tiny reliable run under a fault must emit
+# parseable JSON with the reliability counters present.
+go run ./cmd/rocosim -json -reliable -rate 0.2 -warmup 200 -measure 2000 \
+	-faults-at 150 -faultclass noncritical -audit 64 \
+	| go run ./scripts/jsoncheck ResidualLoss Retransmissions GiveUps Watchdog FaultEvents

@@ -1,0 +1,29 @@
+// Command jsoncheck validates that stdin is a JSON object containing every
+// field named on the command line. check.sh pipes rocosim -json output
+// through it to keep the machine-readable surface honest.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var doc map[string]any
+	if err := json.NewDecoder(os.Stdin).Decode(&doc); err != nil {
+		fmt.Fprintf(os.Stderr, "jsoncheck: stdin is not a JSON object: %v\n", err)
+		os.Exit(1)
+	}
+	missing := false
+	for _, field := range os.Args[1:] {
+		if _, ok := doc[field]; !ok {
+			fmt.Fprintf(os.Stderr, "jsoncheck: field %q missing\n", field)
+			missing = true
+		}
+	}
+	if missing {
+		os.Exit(1)
+	}
+	fmt.Printf("jsoncheck: ok (%d fields)\n", len(os.Args)-1)
+}

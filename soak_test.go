@@ -2,6 +2,61 @@ package roco
 
 import "testing"
 
+// TestSoakReliableFaultStorm is the public-API chaos soak: a long run
+// under a Poisson storm of runtime faults with the reliable-delivery
+// protocol on and the conservation auditor running tightly. Every packet
+// whose destination stays reachable must be delivered exactly once —
+// residual loss equals the packets terminally abandoned, no duplicates, no
+// wedge. Skipped under -short.
+func TestSoakReliableFaultStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := Config{
+		Router: RoCo, Algorithm: XY, Traffic: Uniform,
+		InjectionRate: 0.35,
+		WarmupPackets: 2000, MeasurePackets: 50000,
+		Seed:              7,
+		AuditEvery:        64,
+		InactivityLimit:   4000,
+		Reliable:          true,
+		RetransmitTimeout: 64,
+	}
+	cfg.FaultSchedule = append(
+		PoissonFaultSchedule(NonCriticalFaults, 100, 8000, 8, 8, 11),
+		PoissonFaultSchedule(CriticalFaults, 2500, 8000, 8, 8, 13)...)
+	res := Run(cfg)
+
+	if res.Watchdog != "" {
+		t.Fatalf("storm run wedged:\n%s", res.Watchdog)
+	}
+	if res.Saturated {
+		t.Fatal("storm run hit MaxCycles")
+	}
+	if len(res.FaultEvents) < 10 {
+		t.Fatalf("storm installed only %d faults", len(res.FaultEvents))
+	}
+	if res.BrokenPackets == 0 || res.Retransmissions == 0 || res.RecoveredPackets == 0 {
+		t.Fatalf("scenario vacuous: broken=%d retransmitted=%d recovered=%d",
+			res.BrokenPackets, res.Retransmissions, res.RecoveredPackets)
+	}
+	if res.DuplicatePackets != 0 {
+		t.Errorf("%d duplicate deliveries", res.DuplicatePackets)
+	}
+	if res.ResidualLoss != int64(len(res.GiveUps)) {
+		t.Errorf("residual loss %d != %d give-ups: reachable packets lost",
+			res.ResidualLoss, len(res.GiveUps))
+	}
+	for _, g := range res.GiveUps {
+		if g.Reason != "unreachable" {
+			t.Errorf("give-up %+v not proven unreachable", g)
+		}
+	}
+	t.Logf("storm: %d faults, %d broken, %d retransmitted, %d recovered, %d given up, completion %.4f",
+		len(res.FaultEvents), res.BrokenPackets, res.Retransmissions, res.RecoveredPackets,
+		len(res.GiveUps), res.Completion)
+}
+
 // TestSoakPaperScale pushes one configuration toward the paper's run
 // length (200k measured packets here versus the paper's 1M) as a
 // statistical-stability and endurance check. Skipped under -short.

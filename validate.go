@@ -70,5 +70,12 @@ func (c Config) Validate() error {
 	if c.AuditEvery < 0 {
 		errs = append(errs, fmt.Errorf("audit interval %d negative", c.AuditEvery))
 	}
+	if c.RetransmitTimeout < 0 || c.RetransmitMaxTimeout < 0 || c.RetransmitMaxRetries < 0 {
+		errs = append(errs, fmt.Errorf("retransmission knobs must be non-negative (timeout %d, max timeout %d, max retries %d)",
+			c.RetransmitTimeout, c.RetransmitMaxTimeout, c.RetransmitMaxRetries))
+	}
+	if !c.Reliable && (c.RetransmitTimeout != 0 || c.RetransmitMaxTimeout != 0 || c.RetransmitMaxRetries != 0) {
+		errs = append(errs, errors.New("retransmission knobs set without Reliable"))
+	}
 	return errors.Join(errs...)
 }
