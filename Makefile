@@ -8,9 +8,11 @@ test:
 	go test ./...
 
 # Kernel benchmarks (gated vs reference, three router kinds, three
-# loads); writes BENCH_kernel.json.
+# loads) and shard-scaling benchmarks (RoCo, three mesh sizes, 1-8
+# shards); writes BENCH_kernel.json and BENCH_shard.json.
 bench:
-	sh scripts/bench.sh
+	sh scripts/bench.sh kernel
+	sh scripts/bench.sh shard
 
 # The paper-table benchmarks at the repository root.
 bench-paper:

@@ -61,6 +61,8 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 		Seed:            cfg.Seed,
 		TraceEvery:      traceEvery,
 		ReferenceKernel: cfg.ReferenceKernel,
+		Shards:          cfg.Shards,
+		Workers:         cfg.Workers,
 		Reliable:        cfg.Reliable,
 		Protocol: protocol.Params{
 			Timeout:    cfg.RetransmitTimeout,

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/network"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// meshes are the shard-scaling grid sizes: the paper's 8x8 scaled up to
+// the mesh sizes the related scalability studies evaluate.
+var meshes = []struct {
+	name          string
+	width, height int
+	warm          int // steady-state warm-up steps before the timer
+}{
+	{"16x16", 16, 16, 800},
+	{"32x32", 32, 32, 500},
+	{"64x64", 64, 64, 300},
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardLoads scales the offered load to the mesh: uniform traffic on a
+// W-wide mesh saturates near 4/W flits/node/cycle (bisection bound), so a
+// fixed absolute rate that is mid-load on 8x8 supersaturates 32x32 and
+// the benchmark would measure unbounded queue growth instead of steady
+// state. Low/mid/sat are 20%/60%/160% of the bisection bound.
+func shardLoads(w int) []struct {
+	name string
+	rate float64
+} {
+	cap := 4.0 / float64(w)
+	return []struct {
+		name string
+		rate float64
+	}{
+		{"low", 0.2 * cap},
+		{"mid", 0.6 * cap},
+		{"sat", 1.6 * cap},
+	}
+}
+
+func shardNetwork(w, h int, rate float64, shards int) *network.Network {
+	return network.New(network.Config{
+		Topo:      topology.NewMesh(w, h),
+		Algorithm: routing.XY,
+		Build:     func(id int, e *router.RouteEngine) router.Router { return core.New(id, e) },
+		Traffic:   traffic.Config{Pattern: traffic.Uniform, Rate: rate, FlitsPerPacket: 4},
+		// Generation must never stop mid-benchmark: the kernel is measured
+		// at steady state, not while draining.
+		MeasurePackets: 1 << 40,
+		Seed:           1,
+		Shards:         shards,
+		Workers:        shards,
+	})
+}
+
+// BenchmarkShard measures one simulated cycle (Network.Step) of the RoCo
+// router on the gated kernel at 1/2/4/8 shards across mesh sizes and
+// loads. Benchmark names read mesh/load/sN; scripts/bench.sh distils the
+// scaling curves into BENCH_shard.json.
+func BenchmarkShard(b *testing.B) {
+	for _, m := range meshes {
+		for _, l := range shardLoads(m.width) {
+			for _, shards := range shardCounts {
+				name := fmt.Sprintf("%s/%s/s%d", m.name, l.name, shards)
+				b.Run(name, func(b *testing.B) {
+					n := shardNetwork(m.width, m.height, l.rate, shards)
+					for i := 0; i < m.warm; i++ {
+						n.Step()
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						n.Step()
+					}
+				})
+			}
+		}
+	}
+}

@@ -45,7 +45,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		width    = flag.Int("width", 8, "mesh width")
 		height   = flag.Int("height", 8, "mesh height")
-		serial   = flag.Bool("serial", false, "disable parallel simulation")
+		serial   = flag.Bool("serial", false, "disable parallel simulation (deprecated: use -workers 1)")
+		workers  = flag.Int("workers", 0, "total simulation concurrency, shared between parallel configurations and per-run shards (0 = GOMAXPROCS, or serial with -serial)")
+		shards   = flag.Int("shards", 1, "split every simulation across this many mesh shards (bit-identical results for any value)")
 		mcSample = flag.Int("mc", 1_000_000, "Monte-Carlo samples for table 2")
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
 		kernel   = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
@@ -68,7 +70,9 @@ func main() {
 		Warmup: *warmup, Measure: *measure,
 		FaultTrials:     *trials,
 		Seed:            *seed,
+		Workers:         *workers,
 		Parallel:        !*serial,
+		Shards:          *shards,
 		ReferenceKernel: reference,
 		Reliable:        *reliable,
 	}

@@ -53,6 +53,8 @@ func main() {
 		heatmap     = flag.Bool("heatmap", false, "print a per-node link-utilization heatmap")
 		tracePkts   = flag.Int("trace", 0, "sample and print this many packet journeys")
 		kernel      = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
+		shards      = flag.Int("shards", 1, "split the run across this many mesh shards ticking in parallel (bit-identical results for any value)")
+		workers     = flag.Int("workers", 0, "goroutines executing shard ticks (0 = one per shard up to GOMAXPROCS)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -93,6 +95,8 @@ func main() {
 		HotspotNode:     *hotspot,
 		HotspotFraction: *hotFrac,
 		Reliable:        *reliable,
+		Shards:          *shards,
+		Workers:         *workers,
 	}
 	if *reliable {
 		cfg.RetransmitTimeout = *retxTimeout

@@ -28,8 +28,23 @@ type Options struct {
 	FaultTrials int
 	// Seed drives all randomness.
 	Seed uint64
-	// Parallel runs independent simulations on multiple cores.
+	// Workers caps the total simulation concurrency: how many CPUs the
+	// drivers may occupy at once, shared between running independent
+	// configurations in parallel and sharding individual runs (Shards).
+	// 0 consults the deprecated Parallel flag (GOMAXPROCS when set, else
+	// serial); 1 forces fully serial execution.
+	Workers int
+	// Parallel is the deprecated boolean predecessor of Workers, honored
+	// only when Workers is 0: true means GOMAXPROCS workers, false means
+	// serial. DefaultOptions sets it so zero-Workers callers keep their
+	// old parallel behavior.
 	Parallel bool
+	// Shards applies intra-run sharding (Config.Shards) to every
+	// simulation the drivers launch. Results are bit-identical for any
+	// value; use it to speed up large-mesh experiments. The worker budget
+	// is shared: with Shards=4 and Workers=8, two configurations run
+	// concurrently, each on four shard workers.
+	Shards int
 	// ReferenceKernel runs every simulation on the ungated cycle loop
 	// instead of the activity-gated kernel (see Config.ReferenceKernel).
 	ReferenceKernel bool
@@ -60,22 +75,70 @@ func QuickOptions() Options {
 	return o
 }
 
-// runAll executes the given configs (in parallel when requested) and
-// returns results in order.
+// effectiveWorkers resolves the Options concurrency budget: Workers wins
+// when set, otherwise the deprecated Parallel flag picks GOMAXPROCS or
+// serial.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	if o.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// runAll executes the given configs and returns results in input order.
+// The Options worker budget is shared between config-level parallelism and
+// intra-run sharding: each config's shard workers are capped so that the
+// configs running concurrently never occupy more than the budget in total.
 func runAll(opts Options, cfgs []Config) []Result {
 	out := make([]Result, len(cfgs))
-	if !opts.Parallel {
+	budget := opts.effectiveWorkers()
+
+	// Cap every config's shard concurrency by the budget, and size the
+	// config-level pool so concurrent-configs x shard-workers <= budget.
+	perRun := 1
+	for i := range cfgs {
+		if cfgs[i].Shards > 1 {
+			w := cfgs[i].Shards
+			if cfgs[i].Workers > 0 && cfgs[i].Workers < w {
+				w = cfgs[i].Workers
+			}
+			if w > budget {
+				w = budget
+			}
+			cfgs[i].Workers = w
+			if w > perRun {
+				perRun = w
+			}
+		} else if cfgs[i].Workers == 0 {
+			cfgs[i].Workers = 1
+		}
+	}
+	workers := budget / perRun
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers == 1 {
 		for i, c := range cfgs {
 			out[i] = Run(c)
 		}
 		return out
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs) {
-		workers = len(cfgs)
+	// The index channel is buffered to len(cfgs) and fully loaded before
+	// the workers start, so dispatch never interleaves with (or blocks on)
+	// worker startup; each worker writes out[i] for the indexes it drew,
+	// keeping results in input order by construction.
+	idx := make(chan int, len(cfgs))
+	for i := range cfgs {
+		idx <- i
 	}
+	close(idx)
 	var wg sync.WaitGroup
-	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -85,10 +148,6 @@ func runAll(opts Options, cfgs []Config) []Result {
 			}
 		}()
 	}
-	for i := range cfgs {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 	return out
 }
@@ -103,6 +162,7 @@ func (o Options) baseConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate
 		MeasurePackets:  o.Measure,
 		Seed:            o.Seed,
 		ReferenceKernel: o.ReferenceKernel,
+		Shards:          o.Shards,
 	}
 }
 

@@ -23,10 +23,28 @@ type Pool struct {
 	free []*Flit
 }
 
-// Get returns a zeroed flit, recycled when the free list has one.
+// slabSize is the number of flits a dry pool allocates at once. Under
+// sustained load (most visibly at saturation, where the in-flight
+// population keeps growing) the pool would otherwise fall back to one heap
+// allocation per flit; refilling from a slab amortizes that to one
+// allocation per slabSize flits, which rounds to zero allocations per
+// simulated cycle.
+const slabSize = 256
+
+// Get returns a zeroed flit, recycled when the free list has one and drawn
+// from a freshly allocated slab otherwise.
 func (p *Pool) Get() *Flit {
-	if p == nil || len(p.free) == 0 {
+	if p == nil {
 		return &Flit{}
+	}
+	if len(p.free) == 0 {
+		slab := make([]Flit, slabSize)
+		if cap(p.free) < slabSize {
+			p.free = make([]*Flit, 0, slabSize)
+		}
+		for i := range slab {
+			p.free = append(p.free, &slab[i])
+		}
 	}
 	f := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]

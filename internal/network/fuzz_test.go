@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"github.com/rocosim/roco/internal/fault"
@@ -102,11 +103,13 @@ func TestRandomizedConfigurations(t *testing.T) {
 // Odd rel bytes run with the reliable-delivery protocol on, under a
 // rel-derived base timeout, checking its invariants too: no duplicate
 // deliveries, and residual loss exactly the give-up count when drained.
+// The shard count (1-4) is fuzzed alongside; every multi-shard run is
+// additionally replayed at Shards=1 and must match it bit for bit.
 func FuzzDynamicFaults(f *testing.F) {
-	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3), uint8(0))
-	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0), uint8(1))
-	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5), uint8(3))
-	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2), uint8(129))
+	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3), uint8(0), uint8(0))
+	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0), uint8(1), uint8(1))
+	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5), uint8(3), uint8(2))
+	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2), uint8(129), uint8(3))
 
 	builders := []struct {
 		name  string
@@ -119,7 +122,7 @@ func FuzzDynamicFaults(f *testing.F) {
 		{"pdr", pdrBuilder, routing.XY},
 	}
 
-	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8, rel uint8) {
+	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8, rel uint8, shards uint8) {
 		b := builders[int(builder)%len(builders)]
 		const w, h = 4, 4
 		rng := stats.NewRNG(seed)
@@ -158,7 +161,19 @@ func FuzzDynamicFaults(f *testing.F) {
 			cfg.Reliable = true
 			cfg.Protocol = protocol.Params{Timeout: 16 + int64(rel)}
 		}
+		cfg.Shards = 1 + int(shards)%4
+		cfg.Workers = cfg.Shards
 		res := New(cfg).Run()
+
+		if cfg.Shards > 1 {
+			serial := cfg
+			serial.Shards = 1
+			serial.Workers = 1
+			if want := New(serial).Run(); !reflect.DeepEqual(res, want) {
+				t.Fatalf("%s: Shards=%d diverged from Shards=1\n sharded: %+v\n  serial: %+v",
+					b.name, cfg.Shards, res.Summary, want.Summary)
+			}
+		}
 
 		if res.Saturated {
 			t.Fatalf("%s: run hit MaxCycles instead of draining or watchdogging", b.name)

@@ -9,6 +9,7 @@ package network
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
@@ -69,6 +70,19 @@ type Config struct {
 	// the determinism oracle and benchmark baseline for the activity-gated
 	// kernel (the default); results are bit-identical either way.
 	ReferenceKernel bool
+	// Shards partitions the mesh into spatially contiguous shards (by
+	// ascending node id) that tick in parallel inside each color phase of
+	// the canonical schedule (see DESIGN.md "Parallel kernel"). The shard
+	// count fixes the deterministic replay order of delivery/drop events
+	// and the flit-pool partition, but results are bit-identical for every
+	// value: Shards=N matches Shards=1 and the reference kernel exactly.
+	// 0 or 1 selects the sequential path; the reference kernel always runs
+	// single-sharded.
+	Shards int
+	// Workers caps the goroutines executing shard ticks (0 = one per
+	// shard up to GOMAXPROCS, 1 = tick shards inline on the coordinator).
+	// Pure execution concurrency: results never depend on Workers.
+	Workers int
 	// Reliable enables the end-to-end delivery protocol: sources track
 	// every logical packet, retransmit copies whose flits a fault
 	// destroyed (with exponential backoff and fault-region rerouting),
@@ -183,6 +197,11 @@ type link struct {
 type pe struct {
 	id  int
 	gen traffic.Generator
+	// mode is this PE's private RNG stream for injection-mode coin flips
+	// (XY-vs-YX under O1TURN, adaptive seeding). Splitting one stream per
+	// PE from the user seed keeps generation deterministic regardless of
+	// how the mesh is sharded.
+	mode *stats.RNG
 	// backlog[head:] holds the flits awaiting injection, across packets in
 	// order. Consuming by index instead of re-slicing keeps the front
 	// capacity alive, so once drained the array is reset and reused —
@@ -267,17 +286,31 @@ type Network struct {
 	nextAudit int64
 
 	// Activity-gated kernel state (see DESIGN.md "Simulation kernel").
-	// Unused in ReferenceKernel mode; pool stays nil there so flits are
+	// Unused in ReferenceKernel mode; pools stays nil there so flits are
 	// freshly allocated exactly as the pre-gating kernel did.
-	pool       *flit.Pool
-	graveyard  []*flit.Flit // flits that died this cycle, recycled at end of Step
-	active     []bool       // routers ticking this cycle
-	nextActive []bool       // wakes accumulated for next cycle
-	lastRun    []int64      // last cycle each router ticked; -1 = never
-	ticked     []int        // scratch: routers ticked this Step
-	adjConns   [][]int      // conn indexes touching each node
-	advance    []int        // scratch: conns with staged traffic this Step
-	connMark   []int64      // last cycle each conn was marked for advance
+	pools       []*flit.Pool // per-shard flit free lists
+	graveyard   []*flit.Flit // flits that died this cycle, recycled at end of Step
+	active      []bool       // routers ticking this cycle
+	nextActive  []bool       // wakes accumulated for next cycle
+	lastRun     []int64      // last cycle each router ticked; -1 = never
+	shardTicked [][]int      // scratch: routers ticked this Step, per shard
+	adjConns    [][]int      // conn indexes touching each node
+	advance     []int        // scratch: conns with staged traffic this Step
+	connMark    []int64      // last cycle each conn was marked for advance
+
+	// Canonical tick schedule and sharding state (see DESIGN.md "Parallel
+	// kernel"). Both kernels tick through sched — colors ascending, router
+	// ids ascending within a color — and both stage delivery/drop events
+	// during the tick phases, replaying them at each color barrier in
+	// shard-major (= ascending id) order, so sequential, sharded, and
+	// reference executions are bit-identical.
+	shards   int
+	workers  int
+	sched    [][][]int // [color][shard] -> router ids, ascending
+	shardOf  []int     // node id -> shard
+	sinkBufs [][]sinkEvent
+	staging  bool // tick phases in progress: sinks buffer instead of applying
+	wp       *workerPool
 }
 
 // New wires a network per cfg.
@@ -370,16 +403,62 @@ func New(cfg Config) *Network {
 			n.links = append(n.links, link{up: id, out: d, down: nb})
 		}
 		id := id
-		n.routers[id].SetSink(func(f *flit.Flit, cycle int64) { n.deliver(id, f, cycle) })
-		n.routers[id].SetDropSink(func(f *flit.Flit, cycle int64, reason trace.DropReason) { n.noteDrop(f, cycle, reason) })
+		// During the tick phases of a cycle the sinks stage their events
+		// into the emitting node's shard buffer; the coordinator replays
+		// them in canonical order at each color barrier. Outside the tick
+		// phases (injection loopback, fault installation, source drops)
+		// they apply directly.
+		n.routers[id].SetSink(func(f *flit.Flit, cycle int64) {
+			if n.staging {
+				s := n.shardOf[id]
+				n.sinkBufs[s] = append(n.sinkBufs[s], sinkEvent{f: f, node: int32(id), cycle: cycle})
+				return
+			}
+			n.deliver(id, f, cycle)
+		})
+		n.routers[id].SetDropSink(func(f *flit.Flit, cycle int64, reason trace.DropReason) {
+			if n.staging {
+				s := n.shardOf[id]
+				n.sinkBufs[s] = append(n.sinkBufs[s], sinkEvent{f: f, node: int32(id), drop: true, reason: reason, cycle: cycle})
+				return
+			}
+			n.noteDrop(f, cycle, reason)
+		})
 		n.routers[id].SetBroken(n.broken)
 	}
 
+	// Shard partition and canonical color schedule. The reference kernel
+	// always runs single-sharded (it is the sequential oracle); workers
+	// never exceed shards, and the default is one worker per shard up to
+	// the machine's parallelism.
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	if cfg.ReferenceKernel {
+		shards = 1
+	}
+	n.shards = shards
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	n.workers = workers
+	n.sched, n.shardOf = buildSchedule(cfg.Topo, shards)
+	n.sinkBufs = make([][]sinkEvent, shards)
+
 	// Traffic generators, one independent stream per node.
 	n.gens = traffic.New(cfg.Traffic, cfg.Topo, n.rng.Split(0x726166666963)) // "raffic"
+	modeBase := n.rng.Split(0x6d6f6465)                                      // "mode"
 	n.pes = make([]*pe, nodes)
 	for id := range n.pes {
-		n.pes[id] = &pe{id: id, gen: n.gens[id]}
+		n.pes[id] = &pe{id: id, gen: n.gens[id], mode: modeBase.Split(uint64(id))}
 	}
 
 	n.nextAudit = math.MaxInt64
@@ -394,7 +473,11 @@ func New(cfg Config) *Network {
 			r.DisableTickFastPath()
 		}
 	} else {
-		n.pool = &flit.Pool{}
+		n.pools = make([]*flit.Pool, shards)
+		for i := range n.pools {
+			n.pools[i] = &flit.Pool{}
+		}
+		n.shardTicked = make([][]int, shards)
 		n.active = make([]bool, nodes)
 		n.nextActive = make([]bool, nodes)
 		n.lastRun = make([]int64, nodes)
@@ -439,7 +522,7 @@ func (n *Network) deliver(node int, f *flit.Flit, cycle int64) {
 	// The flit is dead once accounting completes, but callers (loopback
 	// injection, the PE latch) may still read it this cycle — recycle at
 	// the end of Step, not here.
-	if n.pool != nil {
+	if n.pools != nil {
 		n.graveyard = append(n.graveyard, f)
 	}
 	// Measurement windows follow the logical packet: Origin is the first
@@ -516,7 +599,7 @@ func (n *Network) generate() {
 		if !ok {
 			continue
 		}
-		mode := routing.InjectionMode(n.cfg.Algorithm, func() bool { return n.rng.Bernoulli(0.5) })
+		mode := routing.InjectionMode(n.cfg.Algorithm, func() bool { return p.mode.Bernoulli(0.5) })
 		pkt := flit.Packet{
 			ID:        n.nextPacketID,
 			Src:       p.id,
@@ -532,7 +615,7 @@ func (n *Network) generate() {
 		n.nextPacketID++
 		n.generated++
 		head := len(p.backlog)
-		p.backlog = flit.AppendSegment(p.backlog, pkt, n.pool)
+		p.backlog = flit.AppendSegment(p.backlog, pkt, n.poolFor(p.id))
 		if n.cfg.TraceEvery > 0 && pkt.ID%n.cfg.TraceEvery == 0 {
 			p.backlog[head].Rec = n.tracer.NewRecord(pkt.ID, pkt.Src, pkt.Dst, pkt.CreatedAt)
 		}
@@ -585,7 +668,7 @@ func (n *Network) noteDrop(f *flit.Flit, cycle int64, reason trace.DropReason) {
 	n.broken.Add(f.PacketID, cycle)
 	// Dead-node drains and doomed-wormhole drops read the flit (VC, tail
 	// type) after reporting it — defer recycling to the end of Step.
-	if n.pool != nil {
+	if n.pools != nil {
 		n.graveyard = append(n.graveyard, f)
 	}
 }
@@ -681,7 +764,7 @@ func (n *Network) retransmitDue() {
 				Origin:    e.Origin,
 			}
 			p := n.pes[e.Src]
-			p.backlog = flit.AppendSegment(p.backlog, pkt, n.pool)
+			p.backlog = flit.AppendSegment(p.backlog, pkt, n.poolFor(e.Src))
 			// The copy's flits are new in the conservation ledger (the
 			// originals were already accounted as dropped), but not new
 			// logical packets: generated/completion counts stay untouched.
@@ -712,15 +795,14 @@ func (n *Network) Step() {
 	}
 }
 
-// stepReference is the ungated cycle loop: tick every router, advance
-// every pipe. It is the oracle the gated kernel must match bit for bit.
+// stepReference is the ungated cycle loop: tick every router in canonical
+// color order, advance every pipe. It is the oracle the gated kernel (at
+// any shard count) must match bit for bit.
 func (n *Network) stepReference() {
 	n.installDueFaults()
 	n.generate()
 	n.retransmitDue()
-	for _, r := range n.routers {
-		r.Tick(n.cycle)
-	}
+	n.tickColors(n.cycle)
 	n.inject()
 	for _, c := range n.conns {
 		c.Advance()
@@ -741,16 +823,7 @@ func (n *Network) stepGated() {
 	n.retransmitDue()
 	t := n.cycle
 
-	n.ticked = n.ticked[:0]
-	for id, r := range n.routers {
-		if !n.active[id] {
-			continue
-		}
-		n.settleTo(id, t-1)
-		r.Tick(t)
-		n.lastRun[id] = t
-		n.ticked = append(n.ticked, id)
-	}
+	n.tickColors(t)
 
 	n.inject()
 
@@ -758,28 +831,35 @@ func (n *Network) stepGated() {
 	// a ticked router can carry traffic: advance exactly those, and wake
 	// each half-channel's reader so the staged content is consumed next
 	// cycle (a flit wakes the downstream node, credits the upstream one).
-	for _, id := range n.ticked {
-		if !n.routers[id].Idle() {
-			n.nextActive[id] = true
+	// The scan runs shard-major over the per-shard ticked lists; its order
+	// is immaterial (bools, connMark dedup, independent pipe advances) but
+	// kept deterministic anyway.
+	for s := range n.shardTicked {
+		ticked := n.shardTicked[s]
+		for _, id := range ticked {
+			if !n.routers[id].Idle() {
+				n.nextActive[id] = true
+			}
+			for _, c := range n.adjConns[id] {
+				if n.connMark[c] == t {
+					continue
+				}
+				conn := n.conns[c]
+				busy, pending := conn.Flit.Busy(), conn.Credit.Pending()
+				if !busy && !pending {
+					continue
+				}
+				n.connMark[c] = t
+				n.advance = append(n.advance, c)
+				if busy {
+					n.nextActive[n.links[c].down] = true
+				}
+				if pending {
+					n.nextActive[n.links[c].up] = true
+				}
+			}
 		}
-		for _, c := range n.adjConns[id] {
-			if n.connMark[c] == t {
-				continue
-			}
-			conn := n.conns[c]
-			busy, pending := conn.Flit.Busy(), conn.Credit.Pending()
-			if !busy && !pending {
-				continue
-			}
-			n.connMark[c] = t
-			n.advance = append(n.advance, c)
-			if busy {
-				n.nextActive[n.links[c].down] = true
-			}
-			if pending {
-				n.nextActive[n.links[c].up] = true
-			}
-		}
+		n.shardTicked[s] = ticked[:0]
 	}
 	for _, c := range n.advance {
 		n.conns[c].Advance()
@@ -791,11 +871,11 @@ func (n *Network) stepGated() {
 		n.nextActive[id] = false
 	}
 
-	// Recycle the flits that died this cycle. Deferred to here because
-	// delivery and drop sinks run mid-cycle while callers still hold (and
-	// in places read) the pointers.
+	// Recycle the flits that died this cycle into their source shard's
+	// pool. Deferred to here because delivery and drop sinks run mid-cycle
+	// while callers still hold (and in places read) the pointers.
 	for i, f := range n.graveyard {
-		n.pool.Put(f)
+		n.pools[n.shardOf[f.Src]].Put(f)
 		n.graveyard[i] = nil
 	}
 	n.graveyard = n.graveyard[:0]
@@ -959,6 +1039,7 @@ func (n *Network) RunCycles(c int64) Result {
 // Summary are zero here; the caller applies a power profile (the network
 // does not know the router technology parameters).
 func (n *Network) collect(saturated bool) Result {
+	n.stopWorkers()
 	// Replay any outstanding sleep so per-router activity is complete.
 	for id := range n.lastRun {
 		n.settleTo(id, n.cycle-1)

@@ -1,0 +1,134 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// shardConfig is a 16x16 run with a Poisson runtime-fault schedule and the
+// reliability protocol armed — the hardest determinism surface the kernel
+// has: retransmission timers, duplicate suppression, broken-packet
+// registration, and fault recovery all in play while shards tick
+// concurrently.
+func shardConfig(build func(int, *router.RouteEngine) router.Router, seed uint64) Config {
+	return Config{
+		Topo:            topology.NewMesh(16, 16),
+		Algorithm:       routing.XY,
+		Build:           build,
+		Traffic:         traffic.Config{Pattern: traffic.Uniform, Rate: 0.15, FlitsPerPacket: 4},
+		WarmupPackets:   300,
+		MeasurePackets:  2000,
+		InactivityLimit: 1500,
+		MaxCycles:       400_000,
+		Seed:            seed,
+		AuditEvery:      64,
+		Reliable:        true,
+		Schedule:        fault.PoissonSchedule(fault.NonCritical, 150, 700, 256, core.NumVCs, stats.NewRNG(seed^0xfa17)),
+	}
+}
+
+// TestShardedKernelMatchesReference is the determinism contract of the
+// sharded parallel kernel: for every router kind, Shards ∈ {1, 2, 4} (with
+// enough workers to actually run shards concurrently) must produce Results
+// bit-identical to the sequential reference kernel — same latency
+// histogram, same per-router activity, same fault log, same reliability
+// outcomes. Run under -race in make check, this doubles as the data-race
+// proof of the color-phased schedule.
+func TestShardedKernelMatchesReference(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+	}{
+		{"generic", genericBuilder},
+		{"pathsensitive", psBuilder},
+		{"roco", rocoBuilder},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			t.Parallel()
+			const seed = 11
+			ref := shardConfig(b.build, seed)
+			ref.ReferenceKernel = true
+			want := New(ref).Run()
+			if len(want.FaultLog) == 0 {
+				t.Fatal("fault schedule installed no faults; test is vacuous")
+			}
+			for _, shards := range []int{1, 2, 4} {
+				cfg := shardConfig(b.build, seed)
+				cfg.Shards = shards
+				cfg.Workers = shards
+				got := New(cfg).Run()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("Shards=%d diverged from reference\n sharded: %+v\n     ref: %+v",
+						shards, got.Summary, want.Summary)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedKernelAllAlgorithms sweeps the routing disciplines (the
+// adaptive lookahead is the kernel's only dynamic distance-1 read; O1TURN
+// exercises the per-PE mode RNG) at Shards=4 against Shards=1, faults off,
+// on all three router kinds.
+func TestShardedKernelAllAlgorithms(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+	}{
+		{"generic", genericBuilder},
+		{"pathsensitive", psBuilder},
+		{"roco", rocoBuilder},
+	}
+	for _, alg := range []routing.Algorithm{routing.XY, routing.XYYX, routing.Adaptive} {
+		for _, b := range builders {
+			alg, b := alg, b
+			t.Run(alg.String()+"/"+b.name, func(t *testing.T) {
+				t.Parallel()
+				base := shardConfig(b.build, 23)
+				base.Algorithm = alg
+				base.Schedule = fault.Schedule{}
+				base.Reliable = false
+				want := New(base).Run()
+				cfg := shardConfig(b.build, 23)
+				cfg.Algorithm = alg
+				cfg.Schedule = fault.Schedule{}
+				cfg.Reliable = false
+				cfg.Shards = 4
+				cfg.Workers = 4
+				got := New(cfg).Run()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s Shards=4 diverged from Shards=1\n sharded: %+v\n  serial: %+v",
+						alg, got.Summary, want.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedKernelWorkerCountIrrelevant pins the shards/workers split:
+// the shard count fixes the results, the worker count must not.
+func TestShardedKernelWorkerCountIrrelevant(t *testing.T) {
+	base := shardConfig(rocoBuilder, 5)
+	base.Shards = 4
+	base.Workers = 1
+	want := New(base).Run()
+	for _, workers := range []int{2, 3, 0} {
+		cfg := shardConfig(rocoBuilder, 5)
+		cfg.Shards = 4
+		cfg.Workers = workers
+		got := New(cfg).Run()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d changed the results of a Shards=4 run", workers)
+		}
+	}
+}

@@ -316,6 +316,19 @@ type Config struct {
 	// are bit-identical either way; the reference exists as the
 	// determinism oracle and benchmark baseline.
 	ReferenceKernel bool
+	// Shards splits the single run across CPU cores: the mesh is
+	// partitioned into Shards contiguous node ranges that tick in
+	// parallel inside each phase of the kernel's color schedule (see
+	// DESIGN.md "Parallel kernel"). Results are bit-identical for every
+	// value — Shards=N matches Shards=1 exactly — so this is purely a
+	// speed knob for large meshes. 0 or 1 keeps the sequential kernel;
+	// values above the node count are clamped; ignored (sequential) with
+	// ReferenceKernel.
+	Shards int
+	// Workers caps the goroutines executing shard ticks (0 = one per
+	// shard up to GOMAXPROCS, 1 = run shards inline). It never affects
+	// results, only wall-clock time; it is clamped to Shards.
+	Workers int
 }
 
 // withDefaults fills zero fields.

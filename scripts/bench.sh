@@ -1,19 +1,83 @@
 #!/bin/sh
-# Kernel benchmark driver: runs the simulation-kernel micro-benchmarks in
-# bench/ (gated vs reference kernel, three router kinds, three loads) and
-# distils the results into BENCH_kernel.json — per-benchmark ns/op, B/op
-# and allocs/op, plus the low-load speedup and saturation allocation
-# reduction per router kind that the perf trajectory tracks.
+# Benchmark driver with two modes:
 #
-# Usage: sh scripts/bench.sh [benchtime]   (default 2s; pass e.g. 5s for
-# steadier numbers). Run from the repository root (directly or via
-# `make bench`).
+#   sh scripts/bench.sh [kernel] [benchtime]  — the simulation-kernel
+#     micro-benchmarks in bench/ (gated vs reference kernel, three router
+#     kinds, three loads), distilled into BENCH_kernel.json: per-benchmark
+#     ns/op, B/op and allocs/op, plus the low-load speedup and saturation
+#     allocation reduction per router kind.
+#
+#   sh scripts/bench.sh shard [benchtime]     — the sharded parallel-kernel
+#     scaling benchmarks (RoCo router, 16x16/32x32/64x64 meshes, three
+#     loads, 1/2/4/8 shards), distilled into BENCH_shard.json: ns/op and
+#     allocs/op per point plus the 2/4/8-shard speedups over one shard.
+#
+# A bare first argument that is not a mode name is taken as the benchtime
+# for the kernel mode (back-compat). Default benchtime 2s; pass e.g. 5s
+# for steadier numbers. Run from the repository root (directly or via
+# `make bench`, which runs both modes).
 set -eu
 
+MODE="kernel"
+case "${1:-}" in
+kernel | shard)
+	MODE="$1"
+	shift
+	;;
+esac
 BENCHTIME="${1:-2s}"
-OUT="BENCH_kernel.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
+
+if [ "$MODE" = "shard" ]; then
+	OUT="BENCH_shard.json"
+	CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+
+	go test -run '^$' -bench BenchmarkShard -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
+
+	awk -v benchtime="$BENCHTIME" -v cpus="$CPUS" '
+	/^BenchmarkShard\// {
+	    # BenchmarkShard/mesh/load/sN-P  iters  X ns/op  Y B/op  Z allocs/op
+	    name = $1
+	    sub(/^BenchmarkShard\//, "", name)
+	    sub(/-[0-9]+$/, "", name)
+	    split(name, part, "/")
+	    mesh = part[1]; load = part[2]; sh = substr(part[3], 2)
+	    ns[mesh, load, sh] = $3
+	    allocs[mesh, load, sh] = $7
+	    if (!(mesh in seenm)) { meshes[++nm] = mesh; seenm[mesh] = 1 }
+	}
+	END {
+	    if (nm == 0) { print "bench.sh: no shard benchmark output parsed" > "/dev/stderr"; exit 1 }
+	    nl = split("low mid sat", loads, " ")
+	    nsh = split("1 2 4 8", shards, " ")
+	    printf "{\n  \"benchtime\": \"%s\",\n  \"cpus\": \"%s\",\n  \"router\": \"roco\",\n  \"meshes\": {", benchtime, cpus
+	    for (i = 1; i <= nm; i++) {
+	        m = meshes[i]
+	        printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), m
+	        for (j = 1; j <= nl; j++) {
+	            l = loads[j]
+	            printf "%s\n      \"%s\": {", (j > 1 ? "," : ""), l
+	            for (k = 1; k <= nsh; k++) {
+	                s = shards[k]
+	                printf "%s\n        \"shards_%s\": {\"ns_op\": %s, \"allocs_op\": %s}", (k > 1 ? "," : ""), s, ns[m,l,s], allocs[m,l,s]
+	            }
+	            for (k = 2; k <= nsh; k++) {
+	                s = shards[k]
+	                printf ",\n        \"speedup_%s\": %.2f", s, ns[m,l,"1"] / ns[m,l,s]
+	            }
+	            printf "\n      }"
+	        }
+	        printf "\n    }"
+	    }
+	    printf "\n  }\n}\n"
+	}' "$RAW" > "$OUT"
+
+	echo "wrote $OUT"
+	exit 0
+fi
+
+OUT="BENCH_kernel.json"
 
 go test -run '^$' -bench BenchmarkKernel -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
 

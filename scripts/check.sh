@@ -15,3 +15,11 @@ go test -run '^$' -bench=. -benchtime=1x ./bench/...
 go run ./cmd/rocosim -json -reliable -rate 0.2 -warmup 200 -measure 2000 \
 	-faults-at 150 -faultclass noncritical -audit 64 \
 	| go run ./scripts/jsoncheck ResidualLoss Retransmissions GiveUps Watchdog FaultEvents
+# Shard-equivalence smoke: the same 4x4 run sharded and sequential must
+# emit byte-identical JSON.
+SHARD1="$(mktemp)"
+SHARD2="$(mktemp)"
+trap 'rm -f "$SHARD1" "$SHARD2"' EXIT
+go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -shards 1 >"$SHARD1"
+go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -shards 2 >"$SHARD2"
+cmp "$SHARD1" "$SHARD2"

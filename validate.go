@@ -70,6 +70,12 @@ func (c Config) Validate() error {
 	if c.AuditEvery < 0 {
 		errs = append(errs, fmt.Errorf("audit interval %d negative", c.AuditEvery))
 	}
+	if c.Shards < 0 {
+		errs = append(errs, fmt.Errorf("shard count %d negative", c.Shards))
+	}
+	if c.Workers < 0 {
+		errs = append(errs, fmt.Errorf("worker count %d negative", c.Workers))
+	}
 	if c.RetransmitTimeout < 0 || c.RetransmitMaxTimeout < 0 || c.RetransmitMaxRetries < 0 {
 		errs = append(errs, fmt.Errorf("retransmission knobs must be non-negative (timeout %d, max timeout %d, max retries %d)",
 			c.RetransmitTimeout, c.RetransmitMaxTimeout, c.RetransmitMaxRetries))
