@@ -1,18 +1,25 @@
-.PHONY: check test bench bench-paper fuzz soak
+.PHONY: check test doccheck bench bench-paper fuzz soak
 
-# The pre-merge gate: vet + build + tests + race detector.
+# The pre-merge gate: vet + build + tests + race detector + doc gate.
 check:
 	sh scripts/check.sh
 
 test:
 	go test ./...
 
+# The documentation gate alone (also part of `make check`): package
+# comments, exported-identifier docs, live markdown links.
+doccheck:
+	sh scripts/doccheck.sh
+
 # Kernel benchmarks (gated vs reference, three router kinds, three
-# loads) and shard-scaling benchmarks (RoCo, three mesh sizes, 1-8
-# shards); writes BENCH_kernel.json and BENCH_shard.json.
+# loads), shard-scaling benchmarks (RoCo, three mesh sizes, 1-8 shards),
+# and the telemetry-overhead benchmarks (epoch sampling off vs on);
+# writes BENCH_kernel.json, BENCH_shard.json and BENCH_telemetry.json.
 bench:
 	sh scripts/bench.sh kernel
 	sh scripts/bench.sh shard
+	sh scripts/bench.sh telemetry
 
 # The paper-table benchmarks at the repository root.
 bench-paper:

@@ -40,6 +40,7 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 	if cfg.Torus {
 		topo = topology.NewTorus(cfg.Width, cfg.Height)
 	}
+	profile := power.NewProfile(structure)
 	net := network.New(network.Config{
 		Topo:      topo,
 		Algorithm: cfg.Algorithm.internal(),
@@ -51,26 +52,29 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 			HotspotNode:     cfg.HotspotNode,
 			HotspotFraction: cfg.HotspotFraction,
 		},
-		WarmupPackets:   cfg.WarmupPackets,
-		MeasurePackets:  cfg.MeasurePackets,
-		Faults:          faults,
-		Schedule:        fault.NewSchedule(events),
-		AuditEvery:      cfg.AuditEvery,
-		MaxCycles:       cfg.MaxCycles,
-		InactivityLimit: cfg.InactivityLimit,
-		Seed:            cfg.Seed,
-		TraceEvery:      traceEvery,
-		ReferenceKernel: cfg.ReferenceKernel,
-		Shards:          cfg.Shards,
-		Workers:         cfg.Workers,
-		Reliable:        cfg.Reliable,
+		WarmupPackets:     cfg.WarmupPackets,
+		MeasurePackets:    cfg.MeasurePackets,
+		Faults:            faults,
+		Schedule:          fault.NewSchedule(events),
+		AuditEvery:        cfg.AuditEvery,
+		MaxCycles:         cfg.MaxCycles,
+		InactivityLimit:   cfg.InactivityLimit,
+		Seed:              cfg.Seed,
+		TraceEvery:        traceEvery,
+		ReferenceKernel:   cfg.ReferenceKernel,
+		Shards:            cfg.Shards,
+		Workers:           cfg.Workers,
+		TelemetryEvery:    cfg.TelemetryEvery,
+		TelemetryCapacity: cfg.TelemetryCapacity,
+		TelemetryProfile:  profile,
+		Reliable:          cfg.Reliable,
 		Protocol: protocol.Params{
 			Timeout:    cfg.RetransmitTimeout,
 			MaxTimeout: cfg.RetransmitMaxTimeout,
 			MaxRetries: cfg.RetransmitMaxRetries,
 		},
 	})
-	return net, power.NewProfile(structure)
+	return net, profile
 }
 
 // runNetwork executes one simulation and returns the raw network result
@@ -301,6 +305,7 @@ func summarize(cfg Config, res network.Result, profile power.Profile) Result {
 	if res.Watchdog != nil {
 		out.Watchdog = res.Watchdog.String()
 	}
+	out.Telemetry = convertTelemetry(cfg, res.Telemetry)
 	return out
 }
 

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/network"
+	"github.com/rocosim/roco/internal/power"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// telemetryNetwork is benchNetwork for the telemetry-overhead study: the
+// gated kernel on the RoCo router, with epoch sampling on or off.
+func telemetryNetwork(rate float64, every int64) *network.Network {
+	cfg := network.Config{
+		Topo:      topology.NewMesh(8, 8),
+		Algorithm: routing.XY,
+		Build:     func(id int, e *router.RouteEngine) router.Router { return core.New(id, e) },
+		Traffic:   traffic.Config{Pattern: traffic.Uniform, Rate: rate, FlitsPerPacket: 4},
+		// Generation must never stop mid-benchmark (steady state, not
+		// draining).
+		MeasurePackets: 1 << 40,
+		Seed:           1,
+		TelemetryEvery: every,
+	}
+	if every > 0 {
+		cfg.TelemetryProfile = power.NewProfile(power.RoCoStructure())
+	}
+	return network.New(cfg)
+}
+
+// BenchmarkTelemetry prices Config.TelemetryEvery: one simulated cycle
+// (Network.Step) per iteration on the gated kernel, with telemetry off
+// versus a 256-cycle epoch. The "off" case pays exactly one int64
+// comparison per cycle; the "on" case adds the amortised epoch sampling
+// walk (all routers' counters, VC occupancy, energy pricing) every 256
+// cycles. Benchmark names read load/telemetry-mode; scripts/bench.sh
+// telemetry distils the overhead into BENCH_telemetry.json.
+func BenchmarkTelemetry(b *testing.B) {
+	for _, l := range loads {
+		for _, mode := range []struct {
+			name  string
+			every int64
+		}{
+			{"off", 0},
+			{"on", 256},
+		} {
+			name := fmt.Sprintf("%s/%s", l.name, mode.name)
+			b.Run(name, func(b *testing.B) {
+				n := telemetryNetwork(l.rate, mode.every)
+				for i := 0; i < warmSteps; i++ {
+					n.Step()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Step()
+				}
+			})
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -65,13 +66,22 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Resolve -serial into the Workers budget up front instead of going
+	// through the deprecated Options.Parallel flag.
+	budget := *workers
+	if budget == 0 {
+		if *serial {
+			budget = 1
+		} else {
+			budget = runtime.GOMAXPROCS(0)
+		}
+	}
 	opts := roco.Options{
 		Width: *width, Height: *height,
 		Warmup: *warmup, Measure: *measure,
 		FaultTrials:     *trials,
 		Seed:            *seed,
-		Workers:         *workers,
-		Parallel:        !*serial,
+		Workers:         budget,
 		Shards:          *shards,
 		ReferenceKernel: reference,
 		Reliable:        *reliable,

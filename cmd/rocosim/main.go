@@ -1,7 +1,7 @@
 // Command rocosim runs a single on-chip-network simulation and prints its
 // measurements. It exposes every knob of the public API: router
 // architecture, routing algorithm, traffic pattern, injection rate, mesh
-// size, run length, and fault injection.
+// size, run length, fault injection, and epoch telemetry.
 //
 // Examples:
 //
@@ -10,11 +10,17 @@
 //	rocosim -router roco -faults 2 -faultclass critical -rate 0.3 -seed 7
 //	rocosim -router roco -faults-at 3000,7000 -audit 64 -v
 //	rocosim -router roco -fault-rate 20000 -fault-horizon 60000 -v
+//	rocosim -router roco -telemetry-every 256 -json
+//	rocosim -router roco -rate 0.30 -serve 127.0.0.1:9090
 package main
 
 import (
+	_ "expvar" // registers /debug/vars on the -serve endpoint
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -serve endpoint
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -52,6 +58,8 @@ func main() {
 		verbose     = flag.Bool("v", false, "print the full result breakdown")
 		heatmap     = flag.Bool("heatmap", false, "print a per-node link-utilization heatmap")
 		tracePkts   = flag.Int("trace", 0, "sample and print this many packet journeys")
+		teleEvery   = flag.Int64("telemetry-every", 0, "cycles between telemetry epochs (0 disables; the series lands in the -json result and on the -serve endpoint)")
+		serveAddr   = flag.String("serve", "", "serve live telemetry over HTTP at this address while the run executes (/metrics Prometheus text, /healthz, /debug/vars, /debug/pprof); keeps serving final values until interrupted")
 		kernel      = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
 		shards      = flag.Int("shards", 1, "split the run across this many mesh shards ticking in parallel (bit-identical results for any value)")
 		workers     = flag.Int("workers", 0, "goroutines executing shard ticks (0 = one per shard up to GOMAXPROCS)")
@@ -97,6 +105,7 @@ func main() {
 		Reliable:        *reliable,
 		Shards:          *shards,
 		Workers:         *workers,
+		TelemetryEvery:  *teleEvery,
 	}
 	if *reliable {
 		cfg.RetransmitTimeout = *retxTimeout
@@ -172,8 +181,13 @@ func main() {
 	var res roco.Result
 	var detail roco.Detailed
 	var traces []roco.PacketTrace
-	needDetail := *heatmap || *verbose
+	needDetail := (*heatmap || *verbose) && *serveAddr == ""
 	switch {
+	case *serveAddr != "":
+		if *tracePkts > 0 || *heatmap {
+			fatalf("-serve is incompatible with -trace and -heatmap")
+		}
+		res = runServed(cfg, *serveAddr)
 	case *tracePkts > 0:
 		res, traces = roco.RunTraced(cfg, *tracePkts)
 	case needDetail:
@@ -185,10 +199,12 @@ func main() {
 	if *jsonOut {
 		// The Result carries everything downstream tools need: summary
 		// metrics, the drop breakdown, reliability counters with give-ups,
-		// the per-fault log, and the watchdog report.
+		// the per-fault log, the watchdog report, and the telemetry epoch
+		// series when -telemetry-every is set.
 		if err := roco.WriteJSON(os.Stdout, res); err != nil {
 			fatalf("json: %v", err)
 		}
+		lingerIfServing(*serveAddr)
 		return
 	}
 	fmt.Printf("%s | %s routing | %s traffic | rate %.2f | %dx%d mesh\n",
@@ -209,7 +225,7 @@ func main() {
 		fmt.Printf("  leakage energy   %10.2f nJ\n", res.LeakageNJ)
 		fmt.Printf("  delivered        %10d / %d packets\n", res.DeliveredPackets, res.GeneratedPackets)
 		fmt.Printf("  simulated        %10d cycles (saturated=%v)\n", res.Cycles, res.Saturated)
-		if *tracePkts == 0 {
+		if needDetail {
 			e := detail.Energy
 			fmt.Printf("  energy split: buffers %.0f, crossbar %.0f, links %.0f, arbitration %.0f, routing %.0f, ejection %.0f, leakage %.0f nJ\n",
 				e.BuffersNJ, e.CrossbarNJ, e.LinksNJ, e.ArbitrationNJ, e.RoutingNJ, e.EjectionNJ, e.LeakageNJ)
@@ -237,6 +253,10 @@ func main() {
 	if res.Watchdog != "" {
 		fmt.Println(res.Watchdog)
 	}
+	if t := res.Telemetry; t != nil {
+		fmt.Printf("  telemetry        %10d epochs x %d cycles (%d retained, %d evicted)\n",
+			t.Totals.Epochs, t.Every, len(t.Epochs), t.EvictedEpochs)
+	}
 	if *heatmap && *tracePkts == 0 && detail.Nodes != nil {
 		fmt.Println()
 		detail.RenderHeatmap(os.Stdout)
@@ -247,6 +267,42 @@ func main() {
 			fmt.Println(t)
 		}
 	}
+	lingerIfServing(*serveAddr)
+}
+
+// runServed executes the simulation as a LiveRun with the telemetry HTTP
+// endpoint mounted for its whole duration. expvar and net/http/pprof
+// register themselves on the default mux via their imports, so the one
+// listener also serves /debug/vars and /debug/pprof.
+func runServed(cfg roco.Config, addr string) roco.Result {
+	live := roco.NewLiveRun(cfg)
+	http.Handle("/metrics", live.MetricsHandler())
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	// The resolved address matters when the user asked for port 0.
+	fmt.Fprintf(os.Stderr, "rocosim: serving telemetry on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fatalf("serve: %v", err)
+		}
+	}()
+	return live.Run()
+}
+
+// lingerIfServing keeps a -serve process alive after the run so the final
+// epoch and totals stay scrapeable; the user interrupts it when done.
+func lingerIfServing(addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "rocosim: run complete; serving final telemetry until interrupted")
+	select {}
 }
 
 func parseRouter(s string) (roco.RouterKind, bool) {

@@ -1,12 +1,17 @@
 // Observability: the simulator's introspection tools — sampled packet
 // journeys, a link-utilization heatmap, the per-component energy split,
-// and a windowed delivery time series that makes self-similar burstiness
-// visible.
+// a windowed delivery time series that makes self-similar burstiness
+// visible, and the epoch telemetry layer: Result.Telemetry time series
+// plus the live Prometheus /metrics endpoint of a LiveRun.
 package main
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 
 	"github.com/rocosim/roco"
 )
@@ -56,4 +61,51 @@ func main() {
 	fmt.Println("Self-similar windows swing harder than uniform ones (per-node")
 	fmt.Println("bursts partly smooth out in the 64-node aggregate); the dispersion")
 	fmt.Println("gap is what differentiates the paper's Figure 9 from Figure 8.")
+
+	// Epoch telemetry: set Config.TelemetryEvery and the Result grows a
+	// time series of per-epoch counters — utilizations, VC occupancy by
+	// path-set class, SA conflicts, early ejections, per-module energy.
+	// The stream is identical whichever kernel ran the simulation, and
+	// enabling it never changes the other Result fields.
+	fmt.Println()
+	fmt.Println("== Epoch telemetry (TelemetryEvery = 500) ==")
+	cfg.TelemetryEvery = 500
+	res := roco.Run(cfg)
+	tel := res.Telemetry
+	fmt.Println("epoch  cycles  link-util  xbar-util  early-ej  occupancy by class")
+	for i := range tel.Epochs {
+		ep := &tel.Epochs[i]
+		fmt.Printf("%5d  %6d  %9.3f  %9.3f  %8d  %v\n",
+			ep.Index, ep.Cycles, ep.LinkUtilization, ep.CrossbarUtilization,
+			ep.EarlyEjections, ep.Occupancy)
+	}
+	fmt.Printf("classes: %v; totals: %d flits over %d cycles, %.1f nJ\n",
+		roco.VCClassNames, tel.Totals.Delivered, tel.Totals.Cycles, tel.Totals.Energy.TotalNJ())
+	fmt.Println()
+	mid := &tel.Epochs[len(tel.Epochs)/2]
+	tel.RenderHeatmap(os.Stdout, mid)
+
+	// The same series streams live: a LiveRun exposes the collector as a
+	// Prometheus /metrics handler while the simulation executes (rocosim
+	// -serve wraps exactly this). Here an httptest server stands in for
+	// a real listener and is scraped after the run completes.
+	fmt.Println()
+	fmt.Println("== Live /metrics (LiveRun + Prometheus text format) ==")
+	live := roco.NewLiveRun(cfg)
+	srv := httptest.NewServer(live.MetricsHandler())
+	defer srv.Close()
+	live.Run()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "roco_flits_") || strings.HasPrefix(line, "roco_link_utilization") ||
+			strings.HasPrefix(line, "roco_energy_nanojoules_total{module=\"buffers\"}") {
+			fmt.Println(" ", line)
+		}
+	}
 }

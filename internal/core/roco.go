@@ -645,8 +645,12 @@ func (r *Router) allocateSwitch(m Module, cycle int64) {
 	for p := 0; p < 2; p++ {
 		for s := 0; s < VCsPerSet; s++ {
 			vc := r.vcs[base+p*VCsPerSet+s]
-			if vc.SwitchReady(cycle) && r.creditOK(vc) {
-				desire[p][DirSlot(vc.OutPort())] = true
+			if vc.SwitchReady(cycle) {
+				if r.creditOK(vc) {
+					desire[p][DirSlot(vc.OutPort())] = true
+				} else {
+					r.act.CreditStalls++
+				}
 			}
 		}
 	}

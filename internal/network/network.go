@@ -14,10 +14,12 @@ import (
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
 	"github.com/rocosim/roco/internal/metrics"
+	"github.com/rocosim/roco/internal/power"
 	"github.com/rocosim/roco/internal/protocol"
 	"github.com/rocosim/roco/internal/router"
 	"github.com/rocosim/roco/internal/routing"
 	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/telemetry"
 	"github.com/rocosim/roco/internal/topology"
 	"github.com/rocosim/roco/internal/trace"
 	"github.com/rocosim/roco/internal/traffic"
@@ -83,6 +85,22 @@ type Config struct {
 	// shard up to GOMAXPROCS, 1 = tick shards inline on the coordinator).
 	// Pure execution concurrency: results never depend on Workers.
 	Workers int
+	// TelemetryEvery samples the telemetry collector every TelemetryEvery
+	// cycles (0 disables it). Sampling happens on the coordinator at
+	// cycle boundaries, after every kernel barrier, and reads only
+	// counters that are bit-identical across kernels — enabling it never
+	// changes a run's Result, and disabling it costs one comparison per
+	// cycle.
+	TelemetryEvery int64
+	// TelemetryCapacity bounds the telemetry epoch ring (0 selects the
+	// package default); the oldest epochs are evicted first, with their
+	// contribution preserved in the cumulative totals.
+	TelemetryCapacity int
+	// TelemetryProfile prices the telemetry energy series. The zero
+	// profile yields all-zero energy series (the network deliberately
+	// does not know router technology parameters; the public layer
+	// threads the router-kind profile through here).
+	TelemetryProfile power.Profile
 	// Reliable enables the end-to-end delivery protocol: sources track
 	// every logical packet, retransmit copies whose flits a fault
 	// destroyed (with exponential backoff and fault-region rerouting),
@@ -125,6 +143,12 @@ type Result struct {
 	// FaultLog lists the runtime faults installed, each with the
 	// degradation measured around it (paper Figure 13 style).
 	FaultLog []FaultRecord
+	// Telemetry is the epoch time-series snapshot (nil unless
+	// Config.TelemetryEvery was set). The final partial epoch is flushed
+	// at collection time. Deliberately excluded from the bit-identity
+	// contract between telemetry-on and telemetry-off runs; every other
+	// field is covered by it.
+	Telemetry *telemetry.Series
 	// Watchdog is the livelock/starvation diagnostic, non-nil only when
 	// the run terminated through the inactivity rule.
 	Watchdog *WatchdogReport
@@ -284,6 +308,11 @@ type Network struct {
 	// nextAudit is the first cycle the conservation auditor runs at again
 	// (MaxInt64 when disabled), replacing a per-cycle modulo check.
 	nextAudit int64
+
+	// nextTelemetry is the first cycle the telemetry collector samples
+	// at again (MaxInt64 when disabled), same pattern as nextAudit.
+	nextTelemetry int64
+	tele          *telemetry.Collector
 
 	// Activity-gated kernel state (see DESIGN.md "Simulation kernel").
 	// Unused in ReferenceKernel mode; pools stays nil there so flits are
@@ -464,6 +493,25 @@ func New(cfg Config) *Network {
 	n.nextAudit = math.MaxInt64
 	if cfg.AuditEvery > 0 {
 		n.nextAudit = cfg.AuditEvery
+	}
+	n.nextTelemetry = math.MaxInt64
+	if cfg.TelemetryEvery > 0 {
+		links := make([]int, nodes)
+		for id := range links {
+			for _, d := range topology.CardinalDirections {
+				if _, ok := cfg.Topo.Neighbor(id, d); ok {
+					links[id]++
+				}
+			}
+		}
+		n.tele = telemetry.New(telemetry.Config{
+			Every:    cfg.TelemetryEvery,
+			Capacity: cfg.TelemetryCapacity,
+			Nodes:    nodes,
+			Links:    links,
+			Profile:  cfg.TelemetryProfile,
+		})
+		n.nextTelemetry = cfg.TelemetryEvery
 	}
 	if cfg.ReferenceKernel {
 		// Tick everything, fully: the reference baseline also forgoes the
@@ -883,15 +931,41 @@ func (n *Network) stepGated() {
 	n.finishCycle()
 }
 
-// finishCycle advances the clock and runs the conservation auditor when
-// its next scheduled cycle arrives.
+// finishCycle advances the clock, runs the conservation auditor when its
+// next scheduled cycle arrives, and closes a telemetry epoch likewise.
+// Both run on the coordinator with every worker parked, so the telemetry
+// sample reads quiescent router state under any kernel.
 func (n *Network) finishCycle() {
 	n.cycle++
 	if n.cycle >= n.nextAudit {
 		n.audit()
 		n.nextAudit = n.cycle + n.cfg.AuditEvery
 	}
+	if n.cycle >= n.nextTelemetry {
+		n.tele.Sample(n.cycle, n.routers, n.telemetryCounters())
+		n.nextTelemetry = n.cycle + n.cfg.TelemetryEvery
+	}
 }
+
+// telemetryCounters snapshots the network-side cumulative counters the
+// telemetry collector folds into each epoch.
+func (n *Network) telemetryCounters() telemetry.NetSample {
+	s := telemetry.NetSample{
+		GenFlits:  n.genFlits,
+		DelFlits:  n.delFlitsAll,
+		DropFlits: n.dropFlitsAll,
+	}
+	if n.rel != nil {
+		s.Retransmissions = n.rel.Retransmissions()
+		s.Recovered = n.rel.Recovered()
+		s.GiveUps = int64(len(n.rel.GiveUps()))
+	}
+	return s
+}
+
+// Telemetry exposes the live collector (nil unless Config.TelemetryEvery
+// is set); the HTTP metrics endpoint serves from it while a run executes.
+func (n *Network) Telemetry() *telemetry.Collector { return n.tele }
 
 // settleTo replays router id's skipped idle cycles through upTo, so its
 // activity counters and tick-invariant arbitration state match a router
@@ -1045,6 +1119,11 @@ func (n *Network) collect(saturated bool) Result {
 		n.settleTo(id, n.cycle-1)
 	}
 	n.audit() // conservation always holds at termination
+	if n.tele != nil {
+		// Flush the final partial epoch (idempotent when the clock sits
+		// exactly on an epoch boundary).
+		n.tele.Sample(n.cycle, n.routers, n.telemetryCounters())
+	}
 	res := Result{
 		Latency:        n.latency,
 		Completion:     n.completion,
@@ -1056,6 +1135,9 @@ func (n *Network) collect(saturated bool) Result {
 		Drops:          n.drops,
 		BrokenPackets:  int64(n.broken.Len()),
 		Watchdog:       n.watchdog,
+	}
+	if n.tele != nil {
+		res.Telemetry = n.tele.Snapshot()
 	}
 	if n.rel != nil {
 		res.Retransmissions = n.rel.Retransmissions()

@@ -36,6 +36,13 @@ type Activity struct {
 	// DroppedFlits counts flits discarded because a permanent fault
 	// blocked their only route (static fault handling).
 	DroppedFlits int64
+	// CreditStalls counts cycles in which a switch-ready channel could
+	// not even request the switch because the downstream buffer had no
+	// credit. Counted once per channel per cycle during the switch
+	// allocator's desire pass; telemetry plots it as the backpressure
+	// signal. The energy model ignores it (a stalled channel burns no
+	// dynamic switch energy).
+	CreditStalls int64
 	// Cycles counts simulated cycles (for leakage energy).
 	Cycles int64
 }
@@ -57,6 +64,7 @@ func (a *Activity) Add(o *Activity) {
 	a.Ejections += o.Ejections
 	a.EarlyEjections += o.EarlyEjections
 	a.DroppedFlits += o.DroppedFlits
+	a.CreditStalls += o.CreditStalls
 	a.Cycles += o.Cycles
 }
 

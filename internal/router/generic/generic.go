@@ -594,8 +594,12 @@ func (r *Router) allocateSwitch(cycle int64) {
 	var desire [numPorts][numPorts]bool
 	for p := 0; p < numPorts; p++ {
 		for v, vc := range r.ports[p] {
-			if vc.SwitchReady(cycle) && r.creditOK(vc, p*VCsPerPort+v) {
-				desire[p][vc.OutPort()] = true
+			if vc.SwitchReady(cycle) {
+				if r.creditOK(vc, p*VCsPerPort+v) {
+					desire[p][vc.OutPort()] = true
+				} else {
+					r.act.CreditStalls++
+				}
 			}
 		}
 	}

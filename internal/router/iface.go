@@ -3,6 +3,7 @@ package router
 import (
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/routing"
 	"github.com/rocosim/roco/internal/topology"
 	"github.com/rocosim/roco/internal/trace"
 )
@@ -119,6 +120,14 @@ type Router interface {
 	// Activity exposes the per-component event counters for the energy
 	// model.
 	Activity() *Activity
+	// VCOccupancy adds the router's currently buffered flits into per,
+	// bucketed by each holding channel's path-set class (routing.Turn),
+	// and returns the total added. Baseline routers do not assign
+	// classes, so their whole occupancy lands in the zero-value bucket
+	// (ContinueX); the RoCo router reports the real per-class split.
+	// Telemetry samples it at epoch boundaries; it must not mutate
+	// router state.
+	VCOccupancy(per *[routing.NumClasses]int32) int
 	// Contention exposes the switch-conflict tallies for Figure 3.
 	Contention() *Contention
 	// Quiescent reports whether the router holds no flits (used for drain

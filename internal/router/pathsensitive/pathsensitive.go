@@ -537,8 +537,12 @@ func (r *Router) allocateSwitch(cycle int64) {
 	for s := 0; s < numSets; s++ {
 		for g := 0; g < VCsPerSet; g++ {
 			vc := r.vcs[s*VCsPerSet+g]
-			if vc.SwitchReady(cycle) && r.creditOK(vc) {
-				desire[s][vc.OutPort()] = true
+			if vc.SwitchReady(cycle) {
+				if r.creditOK(vc) {
+					desire[s][vc.OutPort()] = true
+				} else {
+					r.act.CreditStalls++
+				}
 			}
 		}
 	}

@@ -643,11 +643,16 @@ func (r *Router) allocateSwitch(cycle int64) {
 	// module output.
 	var desire [numPorts][numOutsPerMod]bool
 	for id, vc := range r.vcs {
-		if r.switchReady(id, vc, cycle) {
-			port := portOfVC(id)
-			_, slot := moduleOutOf(port, vc.OutPort())
-			desire[port][slot] = true
+		if !vc.SwitchReady(cycle) || vc.Doomed() {
+			continue
 		}
+		if !r.creditOK(id, vc) {
+			r.act.CreditStalls++
+			continue
+		}
+		port := portOfVC(id)
+		_, slot := moduleOutOf(port, vc.OutPort())
+		desire[port][slot] = true
 	}
 	for m := 0; m < 2; m++ {
 		for o := 0; o < numOutsPerMod; o++ {

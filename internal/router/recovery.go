@@ -2,6 +2,7 @@ package router
 
 import (
 	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/routing"
 	"github.com/rocosim/roco/internal/topology"
 	"github.com/rocosim/roco/internal/trace"
 )
@@ -172,6 +173,24 @@ func (rc *Recovery) BufferedFlits() int {
 		n += vc.Len()
 	}
 	return n
+}
+
+// VCOccupancy adds each channel's buffered flit count into per, bucketed
+// by the channel's path-set class, and returns the total added. Channels
+// whose implementation never assigns a class (the baseline routers) all
+// land in the zero-value bucket (ContinueX). Read-only; the telemetry
+// collector samples it at epoch boundaries.
+func (rc *Recovery) VCOccupancy(per *[routing.NumClasses]int32) int {
+	total := 0
+	for _, vc := range rc.vcs {
+		n := vc.Len()
+		if n == 0 {
+			continue
+		}
+		per[vc.Class] += int32(n)
+		total += n
+	}
+	return total
 }
 
 // SweepBroken dooms resident front packets that can no longer complete and

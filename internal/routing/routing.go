@@ -334,6 +334,12 @@ const (
 	Eject
 )
 
+// NumClasses is the number of buffer-holding path-set classes (dx, dy,
+// txy, tyx, Injxy, Injyx) — every Turn value except Eject, which names
+// the bufferless early-ejection path. Telemetry indexes per-class VC
+// occupancy arrays by Turn over [0, NumClasses).
+const NumClasses = 6
+
 // String names the turn using the paper's VC-class vocabulary.
 func (t Turn) String() string {
 	switch t {

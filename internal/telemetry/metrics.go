@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/rocosim/roco/internal/routing"
+)
+
+// Metrics returns an http.Handler serving the collector's state in the
+// Prometheus text exposition format (version 0.0.4), hand-rolled on the
+// standard library only. Counters come from the eviction-proof totals;
+// gauges from the most recent closed epoch. The handler takes the
+// collector lock for the duration of one scrape — cheap next to the
+// epoch granularity the collector samples at.
+func Metrics(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		c.mu.Lock()
+		writeMetrics(&b, c)
+		c.mu.Unlock()
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+func counter(b *strings.Builder, name, help string, v int64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func gauge(b *strings.Builder, name, help string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func writeMetrics(b *strings.Builder, c *Collector) {
+	t := c.totals
+	counter(b, "roco_epochs_total", "Telemetry epochs sampled.", t.Epochs)
+	counter(b, "roco_cycles_total", "Simulated cycles covered by telemetry.", t.Cycles)
+	counter(b, "roco_flits_generated_total", "Flits generated at source PEs.", t.Generated)
+	counter(b, "roco_flits_delivered_total", "Flits delivered to destination PEs.", t.Delivered)
+	counter(b, "roco_flits_dropped_total", "Flits discarded by fault handling.", t.Dropped)
+	counter(b, "roco_retransmissions_total", "Reliable-delivery copies launched beyond first attempts.", t.Retransmissions)
+	counter(b, "roco_recovered_packets_total", "Packets whose accepted delivery was a retransmitted copy.", t.Recovered)
+	counter(b, "roco_giveups_total", "Packets terminally abandoned by the reliable-delivery protocol.", t.GiveUps)
+	counter(b, "roco_link_flits_total", "Flits driven onto inter-router links.", t.LinkFlits)
+	counter(b, "roco_crossbar_traversals_total", "Flits crossing a switch fabric.", t.CrossbarFlits)
+	counter(b, "roco_sa_grants_total", "Switch-allocator grants.", t.SAGrants)
+	counter(b, "roco_sa_conflicts_total", "Contended switch-allocator requests (Figure 3 numerator).", t.SAConflicts)
+	counter(b, "roco_credit_stalls_total", "Channel-cycles a switch-ready flit stalled on zero downstream credit.", t.CreditStalls)
+	counter(b, "roco_ejections_total", "Flits delivered through the crossbar ejection path.", t.Ejections)
+	counter(b, "roco_early_ejections_total", "Flits delivered through the early-ejection bypass.", t.EarlyEjections)
+
+	fmt.Fprintf(b, "# HELP roco_energy_nanojoules_total Energy by router module, nJ.\n# TYPE roco_energy_nanojoules_total counter\n")
+	for _, m := range []struct {
+		name string
+		v    float64
+	}{
+		{"buffers", t.Energy.BuffersNJ},
+		{"crossbar", t.Energy.CrossbarNJ},
+		{"links", t.Energy.LinksNJ},
+		{"arbitration", t.Energy.ArbitrationNJ},
+		{"routing", t.Energy.RoutingNJ},
+		{"ejection", t.Energy.EjectionNJ},
+		{"leakage", t.Energy.LeakageNJ},
+	} {
+		fmt.Fprintf(b, "roco_energy_nanojoules_total{module=%q} %g\n", m.name, m.v)
+	}
+
+	e := c.latestLocked()
+	if e == nil {
+		return
+	}
+	gauge(b, "roco_epoch_cycles", "Width of the most recent telemetry epoch, cycles.", float64(e.Cycles))
+	gauge(b, "roco_epoch_end_cycle", "Closing cycle of the most recent telemetry epoch.", float64(e.EndCycle))
+
+	links := 0
+	for _, l := range c.cfg.Links {
+		links += l
+	}
+	var linkUtil, xbarUtil float64
+	if links > 0 && e.Cycles > 0 {
+		linkUtil = float64(e.LinkFlits) / float64(links) / float64(e.Cycles)
+	}
+	if c.cfg.Nodes > 0 && e.Cycles > 0 {
+		xbarUtil = float64(e.CrossbarFlits) / float64(c.cfg.Nodes) / float64(e.Cycles)
+	}
+	gauge(b, "roco_link_utilization", "Network-mean link utilization over the latest epoch, flits/link/cycle.", linkUtil)
+	gauge(b, "roco_crossbar_utilization", "Network-mean crossbar traversals per node per cycle over the latest epoch.", xbarUtil)
+
+	eject := e.Ejections + e.EarlyEjections
+	var earlyRatio float64
+	if eject > 0 {
+		earlyRatio = float64(e.EarlyEjections) / float64(eject)
+	}
+	gauge(b, "roco_early_ejection_ratio", "Fraction of latest-epoch deliveries that used the early-ejection bypass.", earlyRatio)
+
+	fmt.Fprintf(b, "# HELP roco_vc_occupancy_flits Buffered flits by path-set class at the latest epoch boundary.\n# TYPE roco_vc_occupancy_flits gauge\n")
+	for cl := 0; cl < routing.NumClasses; cl++ {
+		fmt.Fprintf(b, "roco_vc_occupancy_flits{class=%q} %d\n", ClassName(cl), e.Occupancy[cl])
+	}
+
+	fmt.Fprintf(b, "# HELP roco_node_link_utilization Per-node link utilization over the latest epoch, flits/link/cycle.\n# TYPE roco_node_link_utilization gauge\n")
+	for id := range e.Nodes {
+		fmt.Fprintf(b, "roco_node_link_utilization{node=\"%d\"} %g\n",
+			id, e.Nodes[id].LinkUtilization(c.cfg.Links[id], e.Cycles))
+	}
+}

@@ -329,6 +329,18 @@ type Config struct {
 	// shard up to GOMAXPROCS, 1 = run shards inline). It never affects
 	// results, only wall-clock time; it is clamped to Shards.
 	Workers int
+	// TelemetryEvery enables the epoch time-series collector: every
+	// TelemetryEvery cycles the per-router counters (link/crossbar
+	// utilization, VC occupancy by class, SA grants and conflicts,
+	// early ejections, credit stalls, retransmissions, per-module
+	// energy) are snapshotted into Result.Telemetry. 0 disables it (the
+	// default; disabled telemetry is free). Enabling it never changes
+	// any other Result field, under any kernel.
+	TelemetryEvery int64
+	// TelemetryCapacity bounds the telemetry epoch ring (0 = default
+	// 512). When exceeded, the oldest epochs are evicted; cumulative
+	// totals survive eviction.
+	TelemetryCapacity int
 }
 
 // withDefaults fills zero fields.
@@ -409,6 +421,9 @@ type Result struct {
 	// the run terminated through the inactivity rule with traffic wedged
 	// in the network.
 	Watchdog string
+	// Telemetry is the epoch time series (nil unless
+	// Config.TelemetryEvery was set); see the Telemetry type.
+	Telemetry *Telemetry `json:",omitempty"`
 }
 
 // GiveUp is one logical packet the reliable-delivery protocol terminally

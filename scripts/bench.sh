@@ -12,20 +12,34 @@
 #     loads, 1/2/4/8 shards), distilled into BENCH_shard.json: ns/op and
 #     allocs/op per point plus the 2/4/8-shard speedups over one shard.
 #
+#   sh scripts/bench.sh telemetry [benchtime] — the telemetry-overhead
+#     benchmarks (gated kernel, RoCo router, 8x8 mesh, three loads, epoch
+#     sampling off vs every 256 cycles), distilled into
+#     BENCH_telemetry.json: ns/op and allocs/op per point plus the
+#     per-load overhead percentage of enabling telemetry. This mode
+#     defaults to a fixed iteration count (60000x) instead of a duration:
+#     per-cycle cost drifts with simulated time (queues deepen toward
+#     saturation), so the off/on runs must simulate the same horizon for
+#     the overhead division to be meaningful.
+#
 # A bare first argument that is not a mode name is taken as the benchtime
 # for the kernel mode (back-compat). Default benchtime 2s; pass e.g. 5s
 # for steadier numbers. Run from the repository root (directly or via
-# `make bench`, which runs both modes).
+# `make bench`, which runs the kernel and shard modes).
 set -eu
 
 MODE="kernel"
 case "${1:-}" in
-kernel | shard)
+kernel | shard | telemetry)
 	MODE="$1"
 	shift
 	;;
 esac
-BENCHTIME="${1:-2s}"
+if [ "$MODE" = "telemetry" ]; then
+	BENCHTIME="${1:-60000x}"
+else
+	BENCHTIME="${1:-2s}"
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
@@ -68,6 +82,43 @@ if [ "$MODE" = "shard" ]; then
 	            }
 	            printf "\n      }"
 	        }
+	        printf "\n    }"
+	    }
+	    printf "\n  }\n}\n"
+	}' "$RAW" > "$OUT"
+
+	echo "wrote $OUT"
+	exit 0
+fi
+
+if [ "$MODE" = "telemetry" ]; then
+	OUT="BENCH_telemetry.json"
+
+	go test -run '^$' -bench BenchmarkTelemetry -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
+
+	awk -v benchtime="$BENCHTIME" '
+	/^BenchmarkTelemetry\// {
+	    # BenchmarkTelemetry/load/mode-N  iters  X ns/op  Y B/op  Z allocs/op
+	    name = $1
+	    sub(/^BenchmarkTelemetry\//, "", name)
+	    sub(/-[0-9]+$/, "", name)
+	    split(name, part, "/")
+	    load = part[1]; mode = part[2]
+	    ns[load, mode] = $3
+	    bytes[load, mode] = $5
+	    allocs[load, mode] = $7
+	    seen = 1
+	}
+	END {
+	    if (!seen) { print "bench.sh: no telemetry benchmark output parsed" > "/dev/stderr"; exit 1 }
+	    nl = split("low mid sat", loads, " ")
+	    printf "{\n  \"benchtime\": \"%s\",\n  \"router\": \"roco\",\n  \"kernel\": \"gated\",\n  \"epoch_cycles\": 256,\n  \"loads\": {", benchtime
+	    for (j = 1; j <= nl; j++) {
+	        l = loads[j]
+	        printf "%s\n    \"%s\": {", (j > 1 ? "," : ""), l
+	        printf "\n      \"off\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},", ns[l,"off"], bytes[l,"off"], allocs[l,"off"]
+	        printf "\n      \"on\":  {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s},", ns[l,"on"], bytes[l,"on"], allocs[l,"on"]
+	        printf "\n      \"overhead_pct\": %.2f", (ns[l,"on"] / ns[l,"off"] - 1) * 100
 	        printf "\n    }"
 	    }
 	    printf "\n  }\n}\n"

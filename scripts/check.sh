@@ -7,6 +7,9 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
+# Documentation gate: package comments, exported-identifier docs in
+# public packages, and live relative markdown links.
+sh scripts/doccheck.sh
 go test -race ./internal/network ./internal/router/... ./internal/core
 # Smoke the kernel benchmarks: one iteration each, just to prove they run.
 go test -run '^$' -bench=. -benchtime=1x ./bench/...
@@ -15,11 +18,25 @@ go test -run '^$' -bench=. -benchtime=1x ./bench/...
 go run ./cmd/rocosim -json -reliable -rate 0.2 -warmup 200 -measure 2000 \
 	-faults-at 150 -faultclass noncritical -audit 64 \
 	| go run ./scripts/jsoncheck ResidualLoss Retransmissions GiveUps Watchdog FaultEvents
+# Telemetry smoke: an epoch-sampled run must emit the Telemetry series in
+# its JSON result, and the rocotrace exporter must produce a CSV with a
+# header plus at least one epoch row.
+go run ./cmd/rocosim -json -telemetry-every 128 -rate 0.2 -warmup 200 -measure 2000 \
+	| go run ./scripts/jsoncheck Telemetry AvgLatency Completion
+TELECSV="$(mktemp)"
+trap 'rm -f "$TELECSV"' EXIT
+go run ./cmd/rocotrace -telemetry -width 4 -height 4 -warmup 100 -measure 800 -every 64 -format csv >"$TELECSV"
+test "$(wc -l <"$TELECSV")" -gt 2
 # Shard-equivalence smoke: the same 4x4 run sharded and sequential must
-# emit byte-identical JSON.
+# emit byte-identical JSON — telemetry epochs included, since the sampled
+# stream is part of the kernel-independence contract.
 SHARD1="$(mktemp)"
 SHARD2="$(mktemp)"
-trap 'rm -f "$SHARD1" "$SHARD2"' EXIT
-go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -shards 1 >"$SHARD1"
-go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -shards 2 >"$SHARD2"
+trap 'rm -f "$TELECSV" "$SHARD1" "$SHARD2"' EXIT
+go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -telemetry-every 128 -shards 1 >"$SHARD1"
+go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -telemetry-every 128 -shards 2 >"$SHARD2"
 cmp "$SHARD1" "$SHARD2"
+# The examples are built and vetted by the ./... sweeps above; run the
+# observability example too, since it exercises the telemetry API (epoch
+# series, heatmap export, live /metrics scrape) end to end.
+go run ./examples/observability >/dev/null

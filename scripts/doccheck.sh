@@ -1,0 +1,8 @@
+#!/bin/sh
+# Documentation gate: every package needs a godoc package comment, every
+# exported identifier in a public package needs a doc comment, and every
+# relative link in a markdown file must resolve. Run from the repository
+# root (directly or via `make check`); see scripts/doccheck for the rules.
+set -eu
+
+go run ./scripts/doccheck

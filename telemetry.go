@@ -1,0 +1,325 @@
+package roco
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/rocosim/roco/internal/network"
+	"github.com/rocosim/roco/internal/power"
+	"github.com/rocosim/roco/internal/report"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/telemetry"
+)
+
+// VCClassNames lists the RoCo path-set class names in occupancy-index
+// order (routing.Turn order): the TelemetryEpoch and TelemetryNode
+// Occupancy slices are indexed by it. Baseline routers do not classify
+// their channels, so their whole occupancy reports under "dx".
+var VCClassNames = [...]string{"dx", "dy", "txy", "tyx", "Injxy", "Injyx"}
+
+// TelemetryEnergy is one interval's energy split by router module, nJ.
+type TelemetryEnergy struct {
+	BuffersNJ, CrossbarNJ, LinksNJ float64
+	ArbitrationNJ, RoutingNJ       float64
+	EjectionNJ, LeakageNJ          float64
+}
+
+// TotalNJ sums the modules.
+func (e TelemetryEnergy) TotalNJ() float64 {
+	return e.BuffersNJ + e.CrossbarNJ + e.LinksNJ + e.ArbitrationNJ + e.RoutingNJ + e.EjectionNJ + e.LeakageNJ
+}
+
+// TelemetryNode is one router's share of a telemetry epoch.
+type TelemetryNode struct {
+	// Event-count deltas over the epoch.
+	LinkFlits, CrossbarTraversals int64
+	SAGrants, CreditStalls        int64
+	Ejections, EarlyEjections     int64
+	// Occupancy is the flits buffered at the epoch's closing cycle by
+	// path-set class (indexed per VCClassNames); OccupancyTotal sums it.
+	Occupancy      []int64
+	OccupancyTotal int64
+	// LinkUtilization is the node's mean outgoing-link utilization over
+	// the epoch, flits/link/cycle.
+	LinkUtilization float64
+}
+
+// TelemetryEpoch is one closed sampling interval (StartCycle, EndCycle].
+type TelemetryEpoch struct {
+	// Index is the epoch's global sequence number (stable across ring
+	// eviction).
+	Index                         int64
+	StartCycle, EndCycle, Cycles  int64
+	Generated, Delivered, Dropped int64
+	// Reliable-delivery deltas (zero unless Config.Reliable).
+	Retransmissions, Recovered, GiveUps int64
+	// Network-wide event-count deltas.
+	LinkFlits, CrossbarFlits  int64
+	SAGrants, SAConflicts     int64
+	CreditStalls              int64
+	Ejections, EarlyEjections int64
+	// Occupancy snapshots buffered flits by class at the closing cycle
+	// (indexed per VCClassNames).
+	Occupancy      []int64
+	OccupancyTotal int64
+	// LinkUtilization and CrossbarUtilization are network means over
+	// the epoch (flits/link/cycle; traversals/node/cycle).
+	LinkUtilization, CrossbarUtilization float64
+	// Energy is the epoch's per-module split.
+	Energy TelemetryEnergy
+	// Nodes is the per-router split, indexed by node id.
+	Nodes []TelemetryNode
+}
+
+// TelemetryTotals accumulates every epoch ever sampled; it survives
+// epoch-ring eviction, so it always covers the whole telemetry span.
+type TelemetryTotals struct {
+	Epochs, Cycles                      int64
+	Generated, Delivered, Dropped       int64
+	Retransmissions, Recovered, GiveUps int64
+	LinkFlits, CrossbarFlits            int64
+	SAGrants, SAConflicts               int64
+	CreditStalls                        int64
+	Ejections, EarlyEjections           int64
+	Energy                              TelemetryEnergy
+}
+
+// Telemetry is the epoch time series of one run (Result.Telemetry, nil
+// unless Config.TelemetryEvery was set). Epochs are chronological; when
+// the ring capacity was exceeded the oldest were evicted
+// (EvictedEpochs), with their contribution preserved in Totals.
+type Telemetry struct {
+	// Every is the epoch length in cycles; Width/Height the mesh shape.
+	Every         int64
+	Width, Height int
+	// Links[i] is node i's live outgoing link count (utilization
+	// denominator).
+	Links         []int
+	EvictedEpochs int64
+	Totals        TelemetryTotals
+	Epochs        []TelemetryEpoch
+}
+
+// UtilizationGrid returns epoch e's per-node link utilization as a
+// Width x Height grid (row-major, index y*Width+x), the input to
+// heatmap rendering.
+func (t *Telemetry) UtilizationGrid(e *TelemetryEpoch) []float64 {
+	out := make([]float64, len(e.Nodes))
+	for i := range e.Nodes {
+		out[i] = e.Nodes[i].LinkUtilization
+	}
+	return out
+}
+
+// RenderHeatmap writes an ASCII per-node link-utilization heatmap of
+// one epoch.
+func (t *Telemetry) RenderHeatmap(w io.Writer, e *TelemetryEpoch) {
+	hm := &report.Heatmap{
+		Title: fmt.Sprintf("Epoch %d (cycles %d..%d) link utilization (flits/link/cycle), %dx%d mesh",
+			e.Index, e.StartCycle, e.EndCycle, t.Width, t.Height),
+		Width:  t.Width,
+		Height: t.Height,
+		Value:  t.UtilizationGrid(e),
+	}
+	hm.Render(w)
+}
+
+// WriteCSV writes the epoch-level series as CSV: one row per epoch with
+// the network-wide counters, utilizations, per-class occupancy, and the
+// per-module energy split.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := []string{
+		"epoch", "start_cycle", "end_cycle", "cycles",
+		"generated", "delivered", "dropped",
+		"retransmissions", "recovered", "giveups",
+		"link_flits", "crossbar_flits", "sa_grants", "sa_conflicts",
+		"credit_stalls", "ejections", "early_ejections",
+		"link_utilization", "crossbar_utilization",
+	}
+	for _, c := range VCClassNames {
+		head = append(head, "occ_"+c)
+	}
+	head = append(head, "buffers_nj", "crossbar_nj", "links_nj",
+		"arbitration_nj", "routing_nj", "ejection_nj", "leakage_nj")
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for i := range t.Epochs {
+		e := &t.Epochs[i]
+		row := []string{
+			itoa(e.Index), itoa(e.StartCycle), itoa(e.EndCycle), itoa(e.Cycles),
+			itoa(e.Generated), itoa(e.Delivered), itoa(e.Dropped),
+			itoa(e.Retransmissions), itoa(e.Recovered), itoa(e.GiveUps),
+			itoa(e.LinkFlits), itoa(e.CrossbarFlits), itoa(e.SAGrants), itoa(e.SAConflicts),
+			itoa(e.CreditStalls), itoa(e.Ejections), itoa(e.EarlyEjections),
+			ftoa(e.LinkUtilization), ftoa(e.CrossbarUtilization),
+		}
+		for _, occ := range e.Occupancy {
+			row = append(row, itoa(occ))
+		}
+		row = append(row,
+			ftoa(e.Energy.BuffersNJ), ftoa(e.Energy.CrossbarNJ), ftoa(e.Energy.LinksNJ),
+			ftoa(e.Energy.ArbitrationNJ), ftoa(e.Energy.RoutingNJ),
+			ftoa(e.Energy.EjectionNJ), ftoa(e.Energy.LeakageNJ))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteNodeCSV writes the per-node series as CSV: one row per (epoch,
+// node) with the node's event deltas, occupancy split, and utilization.
+func (t *Telemetry) WriteNodeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := []string{
+		"epoch", "node", "x", "y",
+		"link_flits", "crossbar_traversals", "sa_grants", "credit_stalls",
+		"ejections", "early_ejections", "occupancy", "link_utilization",
+	}
+	for _, c := range VCClassNames {
+		head = append(head, "occ_"+c)
+	}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for i := range t.Epochs {
+		e := &t.Epochs[i]
+		for id := range e.Nodes {
+			n := &e.Nodes[id]
+			row := []string{
+				itoa(e.Index), strconv.Itoa(id),
+				strconv.Itoa(id % t.Width), strconv.Itoa(id / t.Width),
+				itoa(n.LinkFlits), itoa(n.CrossbarTraversals), itoa(n.SAGrants), itoa(n.CreditStalls),
+				itoa(n.Ejections), itoa(n.EarlyEjections), itoa(n.OccupancyTotal),
+				ftoa(n.LinkUtilization),
+			}
+			for _, occ := range n.Occupancy {
+				row = append(row, itoa(occ))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int64) string   { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// convertTelemetry mirrors the internal telemetry series into the
+// public representation.
+func convertTelemetry(cfg Config, s *telemetry.Series) *Telemetry {
+	if s == nil {
+		return nil
+	}
+	t := &Telemetry{
+		Every:         s.Every,
+		Width:         cfg.Width,
+		Height:        cfg.Height,
+		Links:         s.Links,
+		EvictedEpochs: s.Evicted,
+		Totals: TelemetryTotals{
+			Epochs: s.Totals.Epochs, Cycles: s.Totals.Cycles,
+			Generated: s.Totals.Generated, Delivered: s.Totals.Delivered, Dropped: s.Totals.Dropped,
+			Retransmissions: s.Totals.Retransmissions, Recovered: s.Totals.Recovered, GiveUps: s.Totals.GiveUps,
+			LinkFlits: s.Totals.LinkFlits, CrossbarFlits: s.Totals.CrossbarFlits,
+			SAGrants: s.Totals.SAGrants, SAConflicts: s.Totals.SAConflicts,
+			CreditStalls: s.Totals.CreditStalls,
+			Ejections:    s.Totals.Ejections, EarlyEjections: s.Totals.EarlyEjections,
+			Energy: convertEnergy(s.Totals.Energy),
+		},
+		Epochs: make([]TelemetryEpoch, len(s.Epochs)),
+	}
+	for i := range s.Epochs {
+		src := &s.Epochs[i]
+		e := TelemetryEpoch{
+			Index: src.Index, StartCycle: src.StartCycle, EndCycle: src.EndCycle, Cycles: src.Cycles,
+			Generated: src.Generated, Delivered: src.Delivered, Dropped: src.Dropped,
+			Retransmissions: src.Retransmissions, Recovered: src.Recovered, GiveUps: src.GiveUps,
+			LinkFlits: src.LinkFlits, CrossbarFlits: src.CrossbarFlits,
+			SAGrants: src.SAGrants, SAConflicts: src.SAConflicts,
+			CreditStalls: src.CreditStalls,
+			Ejections:    src.Ejections, EarlyEjections: src.EarlyEjections,
+			Occupancy:           make([]int64, routing.NumClasses),
+			OccupancyTotal:      src.OccupancyTotal,
+			LinkUtilization:     s.LinkUtilization(src),
+			CrossbarUtilization: s.CrossbarUtilization(src),
+			Energy:              convertEnergy(src.Energy),
+			Nodes:               make([]TelemetryNode, len(src.Nodes)),
+		}
+		copy(e.Occupancy, src.Occupancy[:])
+		for id := range src.Nodes {
+			n := &src.Nodes[id]
+			pn := TelemetryNode{
+				LinkFlits: n.LinkFlits, CrossbarTraversals: n.CrossbarTraversals,
+				SAGrants: n.SAGrants, CreditStalls: n.CreditStalls,
+				Ejections: n.Ejections, EarlyEjections: n.EarlyEjections,
+				Occupancy:       make([]int64, routing.NumClasses),
+				OccupancyTotal:  int64(n.OccupancyTotal),
+				LinkUtilization: n.LinkUtilization(s.Links[id], src.Cycles),
+			}
+			for cl, occ := range n.Occupancy {
+				pn.Occupancy[cl] = int64(occ)
+			}
+			e.Nodes[id] = pn
+		}
+		t.Epochs[i] = e
+	}
+	return t
+}
+
+func convertEnergy(b power.Breakdown) TelemetryEnergy {
+	return TelemetryEnergy{
+		BuffersNJ: b.BuffersNJ, CrossbarNJ: b.CrossbarNJ, LinksNJ: b.LinksNJ,
+		ArbitrationNJ: b.ArbitrationNJ, RoutingNJ: b.RoutingNJ,
+		EjectionNJ: b.EjectionNJ, LeakageNJ: b.LeakageNJ,
+	}
+}
+
+// LiveRun is a simulation whose telemetry is observable while it
+// executes: build one with NewLiveRun, mount MetricsHandler on an HTTP
+// server, and call Run (typically in its own goroutine). The metrics
+// endpoint serves consistent epoch snapshots throughout — the collector
+// is sampled at kernel barriers and read under its own lock — and keeps
+// serving final values after Run returns. rocosim -serve is a thin
+// wrapper around this type.
+type LiveRun struct {
+	cfg     Config
+	net     *network.Network
+	profile power.Profile
+}
+
+// NewLiveRun builds a simulation for live observation. TelemetryEvery
+// defaults to 256 cycles when unset — a LiveRun without telemetry would
+// have nothing to serve. Panics on an invalid configuration, like Run.
+func NewLiveRun(cfg Config) *LiveRun {
+	cfg = cfg.withDefaults()
+	if cfg.TelemetryEvery <= 0 {
+		cfg.TelemetryEvery = 256
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("roco: invalid config: %v", err))
+	}
+	net, profile := buildNetwork(cfg, 0)
+	return &LiveRun{cfg: cfg, net: net, profile: profile}
+}
+
+// MetricsHandler returns the Prometheus text-format handler over the
+// run's live telemetry collector (stdlib only; mount it at /metrics).
+func (l *LiveRun) MetricsHandler() http.Handler {
+	return telemetry.Metrics(l.net.Telemetry())
+}
+
+// Run executes the simulation to termination and returns the public
+// Result (with Result.Telemetry populated). Call it at most once.
+func (l *LiveRun) Run() Result {
+	return summarize(l.cfg, l.net.Run(), l.profile)
+}
