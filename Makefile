@@ -1,8 +1,17 @@
-.PHONY: check test doccheck bench bench-paper fuzz soak
+.PHONY: check test doccheck bench bench-paper fuzz soak checkresume
 
-# The pre-merge gate: vet + build + tests + race detector + doc gate.
+# The pre-merge gate: vet + build + tests + race detector + doc gate +
+# the checkpoint-equivalence smoke.
 check:
 	sh scripts/check.sh
+	$(MAKE) checkresume
+
+# Checkpoint-equivalence smoke under the race detector: periodic
+# snapshots must not perturb a run, a resumed run must continue
+# bit-identically for every kernel, and parking/restarting the worker
+# pool around a save must be race-free.
+checkresume:
+	go test -race -count=1 -run 'TestCheckpointResumeEquivalence|TestCheckpointCrossKernelResume|TestRunCheckpointed' ./internal/network .
 
 test:
 	go test ./...

@@ -1,0 +1,212 @@
+// Checkpoint/resume: crash-safe snapshots of a running simulation with
+// bit-identical continuation. A Sim wraps a live network; Checkpoint
+// serializes its complete state behind a config fingerprint, Resume
+// restores it under the same configuration (kernel-selection knobs are
+// free to differ — snapshots are kernel-canonical), and RunCheckpointed
+// drives a run with periodic atomic snapshot files plus a final flush on
+// an external stop signal. A resumed run finishes with exactly the
+// Result, fault log, and telemetry series of one that never stopped.
+package roco
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/rocosim/roco/internal/network"
+	"github.com/rocosim/roco/internal/power"
+	"github.com/rocosim/roco/internal/snapshot"
+)
+
+// ErrCorruptSnapshot reports a snapshot that failed structural or
+// semantic validation: truncated at any byte, checksum mismatch, or
+// state inconsistent with the restoring configuration. Torn writes from
+// a killed process surface as this error, never as silently wrong state.
+var ErrCorruptSnapshot = snapshot.ErrCorrupt
+
+// ErrSnapshotVersion reports a structurally valid snapshot written by an
+// incompatible format version.
+var ErrSnapshotVersion = snapshot.ErrVersion
+
+// ErrNoSnapshot reports that a checkpoint directory holds no valid
+// snapshot to resume from.
+var ErrNoSnapshot = snapshot.ErrNoSnapshot
+
+// ErrConfigMismatch reports a resume attempted under a configuration
+// that differs from the one that wrote the snapshot (kernel-selection
+// fields excepted).
+var ErrConfigMismatch = errors.New("roco: configuration does not match snapshot")
+
+// snapshotPattern names checkpoint files; the zero-padded cycle number
+// makes lexical order temporal order, which Latest relies on.
+const snapshotPattern = "ckpt-*.rocosnap"
+
+// Sim is a simulation instance that can be checkpointed. Unlike Run,
+// which owns its network for the whole call, a Sim exposes the run's
+// lifecycle: step it to completion with Run or RunCheckpointed, snapshot
+// it at any cycle boundary with Checkpoint.
+type Sim struct {
+	cfg     Config
+	net     *network.Network
+	profile power.Profile
+}
+
+// NewSim builds a checkpoint-capable simulation. Panics on an invalid
+// configuration, like Run.
+func NewSim(cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("roco: invalid config: %v", err))
+	}
+	net, profile := buildNetwork(cfg, 0)
+	return &Sim{cfg: cfg, net: net, profile: profile}
+}
+
+// Cycle returns the current simulation time.
+func (s *Sim) Cycle() int64 { return s.net.Cycle() }
+
+// Run executes the simulation to termination and returns the
+// measurements. A resumed Sim continues from its snapshot and produces
+// a Result bit-identical to an uninterrupted run.
+func (s *Sim) Run() Result {
+	return summarize(s.cfg, s.net.Run(), s.profile)
+}
+
+// Checkpoint writes one snapshot frame — config fingerprint plus the
+// network's complete state — to w. It must be called at a cycle
+// boundary: before the first Run, or from a RunCheckpointed hook, or
+// after Run returned.
+func (s *Sim) Checkpoint(w io.Writer) error {
+	e := snapshot.NewEncoder()
+	e.U64(fingerprint(s.cfg))
+	s.net.SaveState(e)
+	_, err := e.WriteTo(w)
+	return err
+}
+
+// CheckpointFile writes a snapshot crash-safely into dir as
+// ckpt-<cycle>.rocosnap: temp file, fsync, atomic rename, directory
+// sync. A crash mid-write leaves the previous snapshot intact and the
+// torn temp file ignored by ResumeLatest.
+func (s *Sim) CheckpointFile(dir string) error {
+	e := snapshot.NewEncoder()
+	e.U64(fingerprint(s.cfg))
+	s.net.SaveState(e)
+	name := filepath.Join(dir, fmt.Sprintf("ckpt-%012d.rocosnap", s.net.Cycle()))
+	return snapshot.WriteFileAtomic(name, e)
+}
+
+// CheckpointOptions parameterizes RunCheckpointed.
+type CheckpointOptions struct {
+	// Every writes a snapshot into Dir every Every cycles (0 disables
+	// periodic snapshots).
+	Every int64
+	// Dir receives the snapshot files. Required when Every > 0 or Stop
+	// is set.
+	Dir string
+	// Stop, when it becomes receivable (or is closed), stops the run at
+	// the next cycle boundary after flushing a final snapshot — the hook
+	// signal handlers use to make an interrupt resumable.
+	Stop <-chan struct{}
+}
+
+// RunCheckpointed executes the simulation with periodic crash-safe
+// snapshots. It returns the Result (partial when interrupted), whether
+// the Stop channel ended the run early, and the first snapshot-write
+// error if any (a write failure on a Stop flush also ends the run; a
+// periodic write failure stops the run too, since a run that can no
+// longer checkpoint has lost the property the caller asked for).
+func (s *Sim) RunCheckpointed(opts CheckpointOptions) (Result, bool, error) {
+	if (opts.Every > 0 || opts.Stop != nil) && opts.Dir == "" {
+		return Result{}, false, errors.New("roco: CheckpointOptions.Dir is required")
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return Result{}, false, err
+		}
+	}
+	var werr error
+	res, interrupted := s.net.RunHooked(func() bool {
+		stop := false
+		if opts.Stop != nil {
+			select {
+			case <-opts.Stop:
+				stop = true
+			default:
+			}
+		}
+		if stop || (opts.Every > 0 && s.net.Cycle()%opts.Every == 0) {
+			if err := s.CheckpointFile(opts.Dir); err != nil {
+				if werr == nil {
+					werr = err
+				}
+				return true
+			}
+		}
+		return stop
+	})
+	return summarize(s.cfg, res, s.profile), interrupted, werr
+}
+
+// Resume restores a simulation from one snapshot frame. cfg must be the
+// configuration that wrote the snapshot — checked by fingerprint before
+// any state is decoded — except for ReferenceKernel, Shards and
+// Workers, which select execution strategy, not simulation semantics.
+// Returns ErrConfigMismatch, ErrCorruptSnapshot or ErrSnapshotVersion
+// as appropriate.
+func Resume(r io.Reader, cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	got := d.U64()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if want := fingerprint(cfg); got != want {
+		return nil, fmt.Errorf("%w: snapshot fingerprint %016x, configuration %016x", ErrConfigMismatch, got, want)
+	}
+	net, profile := buildNetwork(cfg, 0)
+	net.LoadState(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, net: net, profile: profile}, nil
+}
+
+// ResumeLatest resumes from the newest valid snapshot in dir, skipping
+// torn or truncated files (each candidate is fully checksum-verified
+// before it is chosen). Returns ErrNoSnapshot when none qualifies.
+func ResumeLatest(dir string, cfg Config) (*Sim, error) {
+	name, err := snapshot.Latest(dir, snapshotPattern)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Resume(f, cfg)
+}
+
+// fingerprint hashes the normalized configuration, excluding the fields
+// that pick an execution strategy: snapshots are kernel-canonical, so a
+// run checkpointed under the reference kernel legitimately resumes
+// sharded (and vice versa).
+func fingerprint(cfg Config) uint64 {
+	norm := cfg
+	norm.ReferenceKernel = false
+	norm.Shards = 0
+	norm.Workers = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", norm)
+	return h.Sum64()
+}

@@ -22,13 +22,21 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the -serve endpoint
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/rocosim/roco"
 )
+
+// Exit codes: 0 success, 2 usage or runtime error, 3 livelock watchdog
+// fired (the run terminated through the inactivity rule with traffic
+// wedged), 128+signum when a signal stopped a checkpointed run after the
+// final snapshot was flushed.
+const exitWatchdog = 3
 
 func main() {
 	var (
@@ -65,6 +73,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines executing shard ticks (0 = one per shard up to GOMAXPROCS)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		ckptEvery   = flag.Int64("checkpoint-every", 0, "write a crash-safe snapshot every this many cycles (needs -checkpoint-dir)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for snapshot files; SIGINT/SIGTERM flush a final snapshot there and exit 128+signum")
+		resumeRun   = flag.Bool("resume", false, "resume from the newest valid snapshot in -checkpoint-dir (config must match; kernel/shards/workers may differ)")
 	)
 	flag.Parse()
 
@@ -178,11 +189,18 @@ func main() {
 		}
 	}
 
+	checkpointing := *ckptEvery > 0 || *ckptDir != "" || *resumeRun
+
 	var res roco.Result
 	var detail roco.Detailed
 	var traces []roco.PacketTrace
-	needDetail := (*heatmap || *verbose) && *serveAddr == ""
+	needDetail := (*heatmap || *verbose) && *serveAddr == "" && !checkpointing
 	switch {
+	case checkpointing:
+		if *serveAddr != "" || *tracePkts > 0 || *heatmap {
+			fatalf("-checkpoint-every/-checkpoint-dir/-resume are incompatible with -serve, -trace and -heatmap")
+		}
+		res = runCheckpointed(cfg, *ckptDir, *ckptEvery, *resumeRun, *jsonOut)
 	case *serveAddr != "":
 		if *tracePkts > 0 || *heatmap {
 			fatalf("-serve is incompatible with -trace and -heatmap")
@@ -204,6 +222,7 @@ func main() {
 		if err := roco.WriteJSON(os.Stdout, res); err != nil {
 			fatalf("json: %v", err)
 		}
+		exitIfWatchdog(res)
 		lingerIfServing(*serveAddr)
 		return
 	}
@@ -267,7 +286,69 @@ func main() {
 			fmt.Println(t)
 		}
 	}
+	exitIfWatchdog(res)
 	lingerIfServing(*serveAddr)
+}
+
+// exitIfWatchdog turns a watchdog termination into a distinct failure
+// exit: the run produced a result, but the network wedged — scripts and
+// sweep harnesses must not mistake that for a healthy completion. The
+// structured report goes to stderr (stdout carries the result).
+func exitIfWatchdog(res roco.Result) {
+	if res.Watchdog == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rocosim: livelock watchdog fired; run terminated by the inactivity rule\n%s\n", res.Watchdog)
+	os.Exit(exitWatchdog)
+}
+
+// runCheckpointed executes (or resumes) the run with periodic crash-safe
+// snapshots in dir, flushing a final snapshot and exiting 128+signum on
+// SIGINT/SIGTERM so an interrupted run is resumable with -resume.
+func runCheckpointed(cfg roco.Config, dir string, every int64, resume, jsonOut bool) roco.Result {
+	if dir == "" {
+		fatalf("-checkpoint-every and -resume need -checkpoint-dir")
+	}
+	var sim *roco.Sim
+	if resume {
+		s, err := roco.ResumeLatest(dir, cfg)
+		if err != nil {
+			fatalf("resume: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "rocosim: resumed from %s at cycle %d\n", dir, s.Cycle())
+		sim = s
+	} else {
+		sim = roco.NewSim(cfg)
+	}
+
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var caught os.Signal
+	go func() {
+		caught = <-sigc
+		close(stop)
+	}()
+	res, interrupted, err := sim.RunCheckpointed(roco.CheckpointOptions{Every: every, Dir: dir, Stop: stop})
+	signal.Stop(sigc)
+	if err != nil {
+		fatalf("checkpoint: %v", err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "rocosim: %v at cycle %d; snapshot flushed to %s (resume with -resume)\n",
+			caught, sim.Cycle(), dir)
+		code := 128 + int(syscall.SIGINT)
+		if sg, ok := caught.(syscall.Signal); ok {
+			code = 128 + int(sg)
+		}
+		if jsonOut {
+			// Emit the partial result so a supervising harness still sees
+			// where the run stood when the signal landed.
+			_ = roco.WriteJSON(os.Stdout, res)
+		}
+		os.Exit(code)
+	}
+	return res
 }
 
 // runServed executes the simulation as a LiveRun with the telemetry HTTP

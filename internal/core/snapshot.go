@@ -1,0 +1,104 @@
+package core
+
+import (
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/snapshot"
+)
+
+// SaveState serializes the router's mutable state. Structure (VC shapes,
+// arbiter sizes, which outputs exist) is rebuilt from configuration on
+// resume; the per-tick scratch arrays (vaFailed, reqVec, setVec, byTarget)
+// are reset at the start of every allocation pass and carry nothing across
+// cycle boundaries, so they are not state.
+func (r *Router) SaveState(e *snapshot.Encoder, c *flit.Codec) {
+	for _, vc := range r.vcs {
+		vc.SaveState(e, c)
+	}
+	for d := 0; d < 5; d++ {
+		if r.books[d] == nil {
+			e.Bool(false)
+			continue
+		}
+		e.Bool(true)
+		r.books[d].SaveState(e)
+	}
+	for _, arbs := range r.vaArb {
+		for _, a := range arbs {
+			a.SaveState(e)
+		}
+	}
+	for m := 0; m < 2; m++ {
+		for p := 0; p < 2; p++ {
+			for d := 0; d < 2; d++ {
+				r.saArb[m][p][d].SaveState(e)
+			}
+			r.outArb[m][p].SaveState(e)
+			r.outSel[m][p].SaveState(e)
+		}
+		r.mirror[m].SaveState(e)
+	}
+	e.Int(r.injVC)
+	e.Bool(r.blocked[0])
+	e.Bool(r.blocked[1])
+	e.Bool(r.saShared[0])
+	e.Bool(r.saShared[1])
+	e.Bool(r.rcFault)
+	e.Bool(r.vaBusy[0])
+	e.Bool(r.vaBusy[1])
+	r.act.SaveState(e)
+	r.cont.SaveState(e)
+	r.SaveRecoveryState(e)
+}
+
+// LoadState restores state written by SaveState into a freshly built
+// router of the same configuration.
+func (r *Router) LoadState(d *snapshot.Decoder, c *flit.Codec) {
+	for _, vc := range r.vcs {
+		vc.LoadState(d, c)
+		if d.Err() != nil {
+			return
+		}
+	}
+	for dir := 0; dir < 5; dir++ {
+		present := d.Bool()
+		if d.Err() != nil {
+			return
+		}
+		if present != (r.books[dir] != nil) {
+			d.Corruptf("core router %d: output book %d presence mismatch", r.id, dir)
+			return
+		}
+		if present {
+			r.books[dir].LoadState(d)
+		}
+	}
+	for _, arbs := range r.vaArb {
+		for _, a := range arbs {
+			a.LoadState(d)
+		}
+	}
+	for m := 0; m < 2; m++ {
+		for p := 0; p < 2; p++ {
+			for dd := 0; dd < 2; dd++ {
+				r.saArb[m][p][dd].LoadState(d)
+			}
+			r.outArb[m][p].LoadState(d)
+			r.outSel[m][p].LoadState(d)
+		}
+		r.mirror[m].LoadState(d)
+	}
+	r.injVC = d.Int()
+	r.blocked[0] = d.Bool()
+	r.blocked[1] = d.Bool()
+	r.saShared[0] = d.Bool()
+	r.saShared[1] = d.Bool()
+	r.rcFault = d.Bool()
+	r.vaBusy[0] = d.Bool()
+	r.vaBusy[1] = d.Bool()
+	r.act.LoadState(d)
+	r.cont.LoadState(d)
+	r.LoadRecoveryState(d)
+	if d.Err() == nil && (r.injVC < -2 || r.injVC >= NumVCs) {
+		d.Corruptf("core router %d: injection vc %d out of range", r.id, r.injVC)
+	}
+}

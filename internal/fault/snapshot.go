@@ -1,0 +1,53 @@
+package fault
+
+import "github.com/rocosim/roco/internal/snapshot"
+
+// SaveState serializes one event (the network's fault log uses it too).
+func (ev Event) SaveState(e *snapshot.Encoder) {
+	e.I64(ev.Cycle)
+	e.Int(ev.Fault.Node)
+	e.U8(uint8(ev.Fault.Component))
+	e.U8(uint8(ev.Fault.Module))
+	e.Int(ev.Fault.VC)
+}
+
+// LoadEvent restores an event written by Event.SaveState.
+func LoadEvent(d *snapshot.Decoder) Event {
+	return Event{
+		Cycle: d.I64(),
+		Fault: Fault{
+			Node:      d.Int(),
+			Component: Component(d.U8()),
+			Module:    Module(d.U8()),
+			VC:        d.Int(),
+		},
+	}
+}
+
+// SaveState serializes the schedule's consumption cursor. The event list
+// itself is configuration (rebuilt from the run's Config on resume); only
+// the cursor is runtime state.
+func (s *Schedule) SaveState(e *snapshot.Encoder) {
+	e.Int(len(s.events))
+	e.Int(s.next)
+}
+
+// LoadState restores a cursor written by SaveState into a schedule rebuilt
+// from the same configuration; an event-count mismatch (a different
+// schedule) poisons the decoder.
+func (s *Schedule) LoadState(d *snapshot.Decoder) {
+	n := d.Int()
+	next := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if n != len(s.events) {
+		d.Corruptf("fault schedule has %d events, snapshot had %d", len(s.events), n)
+		return
+	}
+	if next < 0 || next > len(s.events) {
+		d.Corruptf("fault schedule cursor %d out of range", next)
+		return
+	}
+	s.next = next
+}

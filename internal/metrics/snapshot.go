@@ -1,0 +1,28 @@
+package metrics
+
+import "github.com/rocosim/roco/internal/snapshot"
+
+// SaveState serializes the latency accumulator and histogram.
+func (l *Latency) SaveState(e *snapshot.Encoder) {
+	l.run.SaveState(e)
+	l.hist.SaveState(e)
+}
+
+// LoadState restores state written by SaveState. The receiver must come
+// from NewLatency so the histogram shape matches.
+func (l *Latency) LoadState(d *snapshot.Decoder) {
+	l.run.LoadState(d)
+	l.hist.LoadState(d)
+}
+
+// SaveState serializes the completion counters.
+func (c *Completion) SaveState(e *snapshot.Encoder) {
+	e.I64(c.Generated)
+	e.I64(c.Delivered)
+}
+
+// LoadState restores counters written by SaveState.
+func (c *Completion) LoadState(d *snapshot.Decoder) {
+	c.Generated = d.I64()
+	c.Delivered = d.I64()
+}

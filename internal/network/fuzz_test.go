@@ -1,6 +1,7 @@
 package network
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"github.com/rocosim/roco/internal/protocol"
 	"github.com/rocosim/roco/internal/router"
 	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/snapshot"
 	"github.com/rocosim/roco/internal/stats"
 	"github.com/rocosim/roco/internal/topology"
 	"github.com/rocosim/roco/internal/traffic"
@@ -104,12 +106,16 @@ func TestRandomizedConfigurations(t *testing.T) {
 // rel-derived base timeout, checking its invariants too: no duplicate
 // deliveries, and residual loss exactly the give-up count when drained.
 // The shard count (1-4) is fuzzed alongside; every multi-shard run is
-// additionally replayed at Shards=1 and must match it bit for bit.
+// additionally replayed at Shards=1 and must match it bit for bit. Odd
+// ckpt bytes additionally replay the run with a snapshot taken mid-run
+// and a resume from it: both the snapshotting run and the resumed run
+// must reproduce the uninterrupted Result exactly, whatever fault
+// schedule the fuzzer strikes the network with.
 func FuzzDynamicFaults(f *testing.F) {
-	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3), uint8(0), uint8(0))
-	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0), uint8(1), uint8(1))
-	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5), uint8(3), uint8(2))
-	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2), uint8(129), uint8(3))
+	f.Add(uint64(1), uint8(0), uint16(300), uint8(27), uint8(3), uint8(0), uint8(0), uint8(1))
+	f.Add(uint64(7), uint8(2), uint16(50), uint8(5), uint8(0), uint8(1), uint8(1), uint8(0))
+	f.Add(uint64(42), uint8(1), uint16(900), uint8(0), uint8(5), uint8(3), uint8(2), uint8(3))
+	f.Add(uint64(99), uint8(3), uint16(1), uint8(15), uint8(2), uint8(129), uint8(3), uint8(255))
 
 	builders := []struct {
 		name  string
@@ -122,7 +128,7 @@ func FuzzDynamicFaults(f *testing.F) {
 		{"pdr", pdrBuilder, routing.XY},
 	}
 
-	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8, rel uint8, shards uint8) {
+	f.Fuzz(func(t *testing.T, seed uint64, builder uint8, faultCycle uint16, node uint8, comp uint8, rel uint8, shards uint8, ckpt uint8) {
 		b := builders[int(builder)%len(builders)]
 		const w, h = 4, 4
 		rng := stats.NewRNG(seed)
@@ -172,6 +178,42 @@ func FuzzDynamicFaults(f *testing.F) {
 			if want := New(serial).Run(); !reflect.DeepEqual(res, want) {
 				t.Fatalf("%s: Shards=%d diverged from Shards=1\n sharded: %+v\n  serial: %+v",
 					b.name, cfg.Shards, res.Summary, want.Summary)
+			}
+		}
+
+		if ckpt%2 == 1 {
+			// Replay with a snapshot taken mid-run (the fuzzer picks the
+			// cycle), then resume from it; neither may perturb the Result.
+			snapCycle := 25 + int64(ckpt)
+			n := New(cfg)
+			var frame bytes.Buffer
+			ckptRes, _ := n.RunHooked(func() bool {
+				if n.Cycle() == snapCycle {
+					e := snapshot.NewEncoder()
+					n.SaveState(e)
+					if _, err := e.WriteTo(&frame); err != nil {
+						t.Fatalf("%s: writing snapshot frame: %v", b.name, err)
+					}
+				}
+				return false
+			})
+			if !reflect.DeepEqual(ckptRes, res) {
+				t.Fatalf("%s: snapshotting at cycle %d perturbed the run\n got: %+v\nwant: %+v",
+					b.name, snapCycle, ckptRes.Summary, res.Summary)
+			}
+			if frame.Len() > 0 { // run may legitimately end before snapCycle
+				d, err := snapshot.Read(bytes.NewReader(frame.Bytes()))
+				if err != nil {
+					t.Fatalf("%s: reading snapshot frame: %v", b.name, err)
+				}
+				rn, err := Restore(cfg, d)
+				if err != nil {
+					t.Fatalf("%s: restoring snapshot: %v", b.name, err)
+				}
+				if resumed := rn.Run(); !reflect.DeepEqual(resumed, res) {
+					t.Fatalf("%s: run resumed from cycle %d diverged\n resumed: %+v\n    want: %+v",
+						b.name, snapCycle, resumed.Summary, res.Summary)
+				}
 			}
 		}
 

@@ -1065,13 +1065,28 @@ func (n *Network) drained() bool {
 // Run executes the configured simulation to termination and returns the
 // measurements.
 func (n *Network) Run() Result {
-	// Ensure measurement still starts when WarmupPackets is zero.
-	if n.cfg.WarmupPackets == 0 {
+	res, _ := n.RunHooked(nil)
+	return res
+}
+
+// RunHooked executes like Run but invokes hook at every cycle boundary
+// (after the Step completes, before termination checks). The hook may
+// snapshot the network — boundaries are the only valid snapshot points —
+// and returning true stops the run early; the second result reports such
+// an interruption. A nil hook degrades to Run exactly.
+func (n *Network) RunHooked(hook func() (stop bool)) (Result, bool) {
+	// Ensure measurement still starts when WarmupPackets is zero — but
+	// never restart it on a resumed network (measureStart and the activity
+	// counters carry over from the snapshot).
+	if n.cfg.WarmupPackets == 0 && !n.measuring {
 		n.beginMeasurement()
 	}
 	saturated := false
 	for {
 		n.Step()
+		if hook != nil && hook() {
+			return n.collect(false), true
+		}
 		if n.generated >= n.targetPackets() {
 			if n.drained() {
 				break
@@ -1094,7 +1109,7 @@ func (n *Network) Run() Result {
 			break
 		}
 	}
-	return n.collect(saturated)
+	return n.collect(saturated), false
 }
 
 // RunCycles advances exactly c cycles (tests and fixed-horizon experiments
@@ -1201,7 +1216,7 @@ func (n *Network) RunWindows(windowCycles int64) (Result, []WindowPoint) {
 	if windowCycles < 1 {
 		panic("network: window width must be >= 1")
 	}
-	if n.cfg.WarmupPackets == 0 {
+	if n.cfg.WarmupPackets == 0 && !n.measuring {
 		n.beginMeasurement()
 	}
 	var points []WindowPoint

@@ -4,6 +4,7 @@ import (
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
 	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/snapshot"
 	"github.com/rocosim/roco/internal/topology"
 	"github.com/rocosim/roco/internal/trace"
 )
@@ -151,4 +152,13 @@ type Router interface {
 	// results are identical either way, since the fast path only skips
 	// phases that are no-ops on an Idle router.
 	DisableTickFastPath()
+
+	// SaveState serializes the router's complete mutable state (channels,
+	// credit books, arbiter pointers, fault flags, counters) for a
+	// checkpoint, and LoadState restores it into a freshly built router of
+	// the same configuration. Both are called only at cycle boundaries,
+	// with every kernel worker parked. LoadState reports failures through
+	// the decoder's error state, never partially applied panics.
+	SaveState(e *snapshot.Encoder, c *flit.Codec)
+	LoadState(d *snapshot.Decoder, c *flit.Codec)
 }

@@ -1,0 +1,296 @@
+package router
+
+import (
+	"sort"
+
+	"github.com/rocosim/roco/internal/flit"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/snapshot"
+	"github.com/rocosim/roco/internal/topology"
+)
+
+// SaveState serializes the activity counters.
+func (a *Activity) SaveState(e *snapshot.Encoder) {
+	e.I64(a.BufferWrites)
+	e.I64(a.BufferReads)
+	e.I64(a.CrossbarTraversals)
+	e.I64(a.LinkFlits)
+	for _, v := range a.LinkFlitsByDir {
+		e.I64(v)
+	}
+	e.I64(a.VAOps)
+	e.I64(a.VAGrants)
+	e.I64(a.SAOps)
+	e.I64(a.SAGrants)
+	e.I64(a.RouteComputations)
+	e.I64(a.Ejections)
+	e.I64(a.EarlyEjections)
+	e.I64(a.DroppedFlits)
+	e.I64(a.CreditStalls)
+	e.I64(a.Cycles)
+}
+
+// LoadState restores counters written by SaveState.
+func (a *Activity) LoadState(d *snapshot.Decoder) {
+	a.BufferWrites = d.I64()
+	a.BufferReads = d.I64()
+	a.CrossbarTraversals = d.I64()
+	a.LinkFlits = d.I64()
+	for i := range a.LinkFlitsByDir {
+		a.LinkFlitsByDir[i] = d.I64()
+	}
+	a.VAOps = d.I64()
+	a.VAGrants = d.I64()
+	a.SAOps = d.I64()
+	a.SAGrants = d.I64()
+	a.RouteComputations = d.I64()
+	a.Ejections = d.I64()
+	a.EarlyEjections = d.I64()
+	a.DroppedFlits = d.I64()
+	a.CreditStalls = d.I64()
+	a.Cycles = d.I64()
+}
+
+// SaveState serializes the contention tallies.
+func (c *Contention) SaveState(e *snapshot.Encoder) {
+	e.I64(c.RowRequests)
+	e.I64(c.RowFailures)
+	e.I64(c.ColRequests)
+	e.I64(c.ColFailures)
+}
+
+// LoadState restores tallies written by SaveState.
+func (c *Contention) LoadState(d *snapshot.Decoder) {
+	c.RowRequests = d.I64()
+	c.RowFailures = d.I64()
+	c.ColRequests = d.I64()
+	c.ColFailures = d.I64()
+}
+
+// SaveState serializes one channel: its fault state, admission bookkeeping,
+// per-packet routing states, and buffered flits (via the codec). Index,
+// Class and physical Depth are structural — written for validation only.
+func (v *VC) SaveState(e *snapshot.Encoder, c *flit.Codec) {
+	e.Int(v.Index)
+	e.U8(uint8(v.Class))
+	e.Int(v.Depth)
+	e.Bool(v.Faulty)
+	e.I64(v.FaultPenalty)
+	e.Bool(v.condemned)
+	e.Int(v.claims)
+	e.U8(uint8(v.claimFeeder))
+	e.Int(len(v.states))
+	for _, s := range v.states {
+		e.U8(uint8(s.outPort))
+		e.U8(uint8(s.nextOut))
+		e.Int(s.outVC)
+		e.Bool(s.ejectNext)
+		e.Bool(s.doomed)
+		e.U8(uint8(s.feeder))
+		e.U64(s.packetID)
+		e.Bool(s.streamed)
+		e.Bool(s.cancelled)
+	}
+	e.Int(len(v.queue))
+	for _, f := range v.queue {
+		c.Encode(e, f)
+	}
+}
+
+// LoadState restores a channel written by SaveState into a freshly built
+// channel of the same shape; a structural mismatch poisons the decoder.
+func (v *VC) LoadState(d *snapshot.Decoder, c *flit.Codec) {
+	if idx := d.Int(); d.Err() == nil && idx != v.Index {
+		d.Corruptf("vc index %d, snapshot had %d", v.Index, idx)
+		return
+	}
+	if cl := routing.Turn(d.U8()); d.Err() == nil && cl != v.Class {
+		d.Corruptf("vc %d class %v, snapshot had %v", v.Index, v.Class, cl)
+		return
+	}
+	if depth := d.Int(); d.Err() == nil && depth != v.Depth {
+		d.Corruptf("vc %d depth %d, snapshot had %d", v.Index, v.Depth, depth)
+		return
+	}
+	v.Faulty = d.Bool()
+	v.FaultPenalty = d.I64()
+	v.condemned = d.Bool()
+	v.claims = d.Int()
+	v.claimFeeder = topology.Direction(d.U8())
+	ns := d.SliceLen(8)
+	if d.Err() == nil && (ns > MaxPacketsPerChannel || v.claims < ns || v.claims > MaxPacketsPerChannel) {
+		d.Corruptf("vc %d has %d states under %d claims", v.Index, ns, v.claims)
+		return
+	}
+	v.states = v.states[:0]
+	for i := 0; i < ns; i++ {
+		v.states = append(v.states, pktState{
+			outPort:   topology.Direction(d.U8()),
+			nextOut:   topology.Direction(d.U8()),
+			outVC:     d.Int(),
+			ejectNext: d.Bool(),
+			doomed:    d.Bool(),
+			feeder:    topology.Direction(d.U8()),
+			packetID:  d.U64(),
+			streamed:  d.Bool(),
+			cancelled: d.Bool(),
+		})
+	}
+	nq := d.SliceLen(16)
+	if d.Err() == nil && nq > v.Depth {
+		d.Corruptf("vc %d holds %d flits over depth %d", v.Index, nq, v.Depth)
+		return
+	}
+	v.queue = v.queue[:0]
+	for i := 0; i < nq; i++ {
+		if d.Err() != nil {
+			return
+		}
+		v.queue = append(v.queue, c.Decode(d))
+	}
+}
+
+// SaveState serializes the output book's credit and grant-order state.
+// Depths are runtime state too: fault handshakes rewrite them live.
+func (b *OutVCBook) SaveState(e *snapshot.Encoder) {
+	e.Int(len(b.depths))
+	for vc := range b.depths {
+		e.Int(b.depths[vc])
+		e.Int(b.inflight[vc])
+		e.Int(len(b.order[vc]))
+		for _, g := range b.order[vc] {
+			e.Int(g)
+		}
+	}
+}
+
+// LoadState restores a book written by SaveState; a size mismatch poisons
+// the decoder.
+func (b *OutVCBook) LoadState(d *snapshot.Decoder) {
+	if n := d.SliceLen(16); d.Err() == nil && n != len(b.depths) {
+		d.Corruptf("output book tracks %d VCs, snapshot had %d", len(b.depths), n)
+		return
+	}
+	for vc := range b.depths {
+		b.depths[vc] = d.Int()
+		b.inflight[vc] = d.Int()
+		k := d.SliceLen(8)
+		if d.Err() != nil {
+			return
+		}
+		b.order[vc] = b.order[vc][:0]
+		for j := 0; j < k; j++ {
+			b.order[vc] = append(b.order[vc], d.Int())
+		}
+	}
+}
+
+// SaveState serializes the link latch. Snapshots are taken at cycle
+// boundaries, after Advance and before any Tick: the staged slot is
+// provably empty, so only the readable flit is written.
+func (p *FlitPipe) SaveState(e *snapshot.Encoder, c *flit.Codec) {
+	if p.next != nil {
+		panic("router: flit pipe snapshot taken mid-cycle")
+	}
+	if p.cur != nil {
+		e.Bool(true)
+		c.Encode(e, p.cur)
+	} else {
+		e.Bool(false)
+	}
+}
+
+// LoadState restores a latch written by SaveState.
+func (p *FlitPipe) LoadState(d *snapshot.Decoder, c *flit.Codec) {
+	p.next = nil
+	p.cur = nil
+	if d.Bool() && d.Err() == nil {
+		p.cur = c.Decode(d)
+	}
+}
+
+// SaveState serializes the credit latch: this cycle's readable credits.
+// Like the flit pipe, the staged side must be empty at a cycle boundary.
+func (p *CreditPipe) SaveState(e *snapshot.Encoder) {
+	if len(p.next) != 0 {
+		panic("router: credit pipe snapshot taken mid-cycle")
+	}
+	e.Bool(p.readable)
+	e.Int(len(p.cur))
+	for _, vc := range p.cur {
+		e.Int(vc)
+	}
+}
+
+// LoadState restores a latch written by SaveState.
+func (p *CreditPipe) LoadState(d *snapshot.Decoder) {
+	p.next = p.next[:0]
+	p.readable = d.Bool()
+	n := d.SliceLen(8)
+	p.cur = p.cur[:0]
+	for i := 0; i < n; i++ {
+		p.cur = append(p.cur, d.Int())
+	}
+}
+
+// SaveState serializes both half-channels of the link.
+func (c *Conn) SaveState(e *snapshot.Encoder, fc *flit.Codec) {
+	c.Flit.SaveState(e, fc)
+	c.Credit.SaveState(e)
+}
+
+// LoadState restores a link written by SaveState.
+func (c *Conn) LoadState(d *snapshot.Decoder, fc *flit.Codec) {
+	c.Flit.LoadState(d, fc)
+	c.Credit.LoadState(d)
+}
+
+// SaveState serializes the broken-packet registry, IDs in ascending order
+// so the byte stream is deterministic.
+func (b *BrokenSet) SaveState(e *snapshot.Encoder) {
+	e.Bool(b.faulty)
+	ids := make([]uint64, 0, len(b.ids))
+	for id := range b.ids {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.Int(len(ids))
+	for _, id := range ids {
+		e.U64(id)
+		e.I64(b.ids[id])
+	}
+}
+
+// LoadState restores a registry written by SaveState.
+func (b *BrokenSet) LoadState(d *snapshot.Decoder) {
+	b.faulty = d.Bool()
+	n := d.SliceLen(16)
+	for i := 0; i < n; i++ {
+		id := d.U64()
+		cycle := d.I64()
+		if d.Err() != nil {
+			return
+		}
+		b.ids[id] = cycle
+	}
+}
+
+// SaveRecoveryState serializes the orphan-reap timers (the only mutable
+// recovery state; the wiring is rebuilt at construction).
+func (rc *Recovery) SaveRecoveryState(e *snapshot.Encoder) {
+	e.Int(len(rc.emptySince))
+	for _, s := range rc.emptySince {
+		e.I64(s)
+	}
+}
+
+// LoadRecoveryState restores timers written by SaveRecoveryState.
+func (rc *Recovery) LoadRecoveryState(d *snapshot.Decoder) {
+	if n := d.SliceLen(8); d.Err() == nil && n != len(rc.emptySince) {
+		d.Corruptf("recovery tracks %d VCs, snapshot had %d", len(rc.emptySince), n)
+		return
+	}
+	for i := range rc.emptySince {
+		rc.emptySince[i] = d.I64()
+	}
+}

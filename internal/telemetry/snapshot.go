@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"github.com/rocosim/roco/internal/snapshot"
+)
+
+func saveNodeSample(e *snapshot.Encoder, s *NodeSample) {
+	e.I64(s.LinkFlits)
+	e.I64(s.CrossbarTraversals)
+	e.I64(s.BufferWrites)
+	e.I64(s.BufferReads)
+	e.I64(s.VAOps)
+	e.I64(s.VAGrants)
+	e.I64(s.SAOps)
+	e.I64(s.SAGrants)
+	e.I64(s.RouteComputations)
+	e.I64(s.Ejections)
+	e.I64(s.EarlyEjections)
+	e.I64(s.DroppedFlits)
+	e.I64(s.CreditStalls)
+	for _, o := range s.Occupancy {
+		e.U32(uint32(o))
+	}
+	e.U32(uint32(s.OccupancyTotal))
+}
+
+func loadNodeSample(d *snapshot.Decoder, s *NodeSample) {
+	s.LinkFlits = d.I64()
+	s.CrossbarTraversals = d.I64()
+	s.BufferWrites = d.I64()
+	s.BufferReads = d.I64()
+	s.VAOps = d.I64()
+	s.VAGrants = d.I64()
+	s.SAOps = d.I64()
+	s.SAGrants = d.I64()
+	s.RouteComputations = d.I64()
+	s.Ejections = d.I64()
+	s.EarlyEjections = d.I64()
+	s.DroppedFlits = d.I64()
+	s.CreditStalls = d.I64()
+	for i := range s.Occupancy {
+		s.Occupancy[i] = int32(d.U32())
+	}
+	s.OccupancyTotal = int32(d.U32())
+}
+
+func saveEpoch(e *snapshot.Encoder, ep *Epoch) {
+	e.I64(ep.Index)
+	e.I64(ep.StartCycle)
+	e.I64(ep.EndCycle)
+	e.I64(ep.Cycles)
+	e.I64(ep.Generated)
+	e.I64(ep.Delivered)
+	e.I64(ep.Dropped)
+	e.I64(ep.Retransmissions)
+	e.I64(ep.Recovered)
+	e.I64(ep.GiveUps)
+	e.I64(ep.LinkFlits)
+	e.I64(ep.CrossbarFlits)
+	e.I64(ep.SAGrants)
+	e.I64(ep.SAConflicts)
+	e.I64(ep.CreditStalls)
+	e.I64(ep.Ejections)
+	e.I64(ep.EarlyEjections)
+	for _, o := range ep.Occupancy {
+		e.I64(o)
+	}
+	e.I64(ep.OccupancyTotal)
+	ep.Energy.SaveState(e)
+	e.Int(len(ep.Nodes))
+	for i := range ep.Nodes {
+		saveNodeSample(e, &ep.Nodes[i])
+	}
+}
+
+// loadEpoch fills ep in place, preserving its preallocated Nodes slice.
+func loadEpoch(d *snapshot.Decoder, ep *Epoch) {
+	ep.Index = d.I64()
+	ep.StartCycle = d.I64()
+	ep.EndCycle = d.I64()
+	ep.Cycles = d.I64()
+	ep.Generated = d.I64()
+	ep.Delivered = d.I64()
+	ep.Dropped = d.I64()
+	ep.Retransmissions = d.I64()
+	ep.Recovered = d.I64()
+	ep.GiveUps = d.I64()
+	ep.LinkFlits = d.I64()
+	ep.CrossbarFlits = d.I64()
+	ep.SAGrants = d.I64()
+	ep.SAConflicts = d.I64()
+	ep.CreditStalls = d.I64()
+	ep.Ejections = d.I64()
+	ep.EarlyEjections = d.I64()
+	for i := range ep.Occupancy {
+		ep.Occupancy[i] = d.I64()
+	}
+	ep.OccupancyTotal = d.I64()
+	ep.Energy.LoadState(d)
+	if n := d.SliceLen(8); d.Err() == nil && n != len(ep.Nodes) {
+		d.Corruptf("epoch has %d node samples, collector is sized for %d", n, len(ep.Nodes))
+		return
+	}
+	for i := range ep.Nodes {
+		loadNodeSample(d, &ep.Nodes[i])
+	}
+}
+
+func saveTotals(e *snapshot.Encoder, t *Totals) {
+	e.I64(t.Epochs)
+	e.I64(t.Cycles)
+	e.I64(t.Generated)
+	e.I64(t.Delivered)
+	e.I64(t.Dropped)
+	e.I64(t.Retransmissions)
+	e.I64(t.Recovered)
+	e.I64(t.GiveUps)
+	e.I64(t.LinkFlits)
+	e.I64(t.CrossbarFlits)
+	e.I64(t.SAGrants)
+	e.I64(t.SAConflicts)
+	e.I64(t.CreditStalls)
+	e.I64(t.Ejections)
+	e.I64(t.EarlyEjections)
+	t.Energy.SaveState(e)
+}
+
+func loadTotals(d *snapshot.Decoder, t *Totals) {
+	t.Epochs = d.I64()
+	t.Cycles = d.I64()
+	t.Generated = d.I64()
+	t.Delivered = d.I64()
+	t.Dropped = d.I64()
+	t.Retransmissions = d.I64()
+	t.Recovered = d.I64()
+	t.GiveUps = d.I64()
+	t.LinkFlits = d.I64()
+	t.CrossbarFlits = d.I64()
+	t.SAGrants = d.I64()
+	t.SAConflicts = d.I64()
+	t.CreditStalls = d.I64()
+	t.Ejections = d.I64()
+	t.EarlyEjections = d.I64()
+	t.Energy.LoadState(d)
+}
+
+// SaveState serializes the collector: the retained epochs in logical
+// (oldest-first) order, eviction count, the previous-epoch baselines, and
+// the cumulative totals. The ring's physical rotation is not preserved —
+// only its logical content matters (eviction order and Snapshot output are
+// functions of the logical sequence alone).
+func (c *Collector) SaveState(e *snapshot.Encoder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.I64(c.cfg.Every)
+	e.Int(len(c.ring))
+	e.Int(c.cfg.Nodes)
+	e.Int(c.count)
+	for i := 0; i < c.count; i++ {
+		saveEpoch(e, &c.ring[(c.start+i)%len(c.ring)])
+	}
+	e.I64(c.evicted)
+	e.I64(c.lastCycle)
+	for i := range c.prevAct {
+		c.prevAct[i].SaveState(e)
+	}
+	c.prevCont.SaveState(e)
+	e.I64(c.prevNet.GenFlits)
+	e.I64(c.prevNet.DelFlits)
+	e.I64(c.prevNet.DropFlits)
+	e.I64(c.prevNet.Retransmissions)
+	e.I64(c.prevNet.Recovered)
+	e.I64(c.prevNet.GiveUps)
+	saveTotals(e, &c.totals)
+}
+
+// LoadState restores a collector written by SaveState into a freshly built
+// collector with the same configuration; a shape mismatch poisons the
+// decoder. Retained epochs land at ring positions 0..count-1 (start = 0),
+// which is logically identical to any rotation of the live ring.
+func (c *Collector) LoadState(d *snapshot.Decoder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if every := d.I64(); d.Err() == nil && every != c.cfg.Every {
+		d.Corruptf("telemetry epoch length %d, snapshot had %d", c.cfg.Every, every)
+		return
+	}
+	if capEp := d.Int(); d.Err() == nil && capEp != len(c.ring) {
+		d.Corruptf("telemetry ring capacity %d, snapshot had %d", len(c.ring), capEp)
+		return
+	}
+	if nodes := d.Int(); d.Err() == nil && nodes != c.cfg.Nodes {
+		d.Corruptf("telemetry node count %d, snapshot had %d", c.cfg.Nodes, nodes)
+		return
+	}
+	count := d.Int()
+	if d.Err() != nil {
+		return
+	}
+	if count < 0 || count > len(c.ring) {
+		d.Corruptf("telemetry ring holds %d epochs over capacity %d", count, len(c.ring))
+		return
+	}
+	c.start = 0
+	c.count = count
+	for i := 0; i < count; i++ {
+		loadEpoch(d, &c.ring[i])
+		if d.Err() != nil {
+			return
+		}
+	}
+	c.evicted = d.I64()
+	c.lastCycle = d.I64()
+	for i := range c.prevAct {
+		c.prevAct[i].LoadState(d)
+	}
+	c.prevCont.LoadState(d)
+	c.prevNet.GenFlits = d.I64()
+	c.prevNet.DelFlits = d.I64()
+	c.prevNet.DropFlits = d.I64()
+	c.prevNet.Retransmissions = d.I64()
+	c.prevNet.Recovered = d.I64()
+	c.prevNet.GiveUps = d.I64()
+	loadTotals(d, &c.totals)
+}

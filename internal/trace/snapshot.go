@@ -1,0 +1,63 @@
+package trace
+
+import "github.com/rocosim/roco/internal/snapshot"
+
+// SaveState serializes every record in insertion order.
+func (c *Collector) SaveState(e *snapshot.Encoder) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.Int(len(c.records))
+	for _, r := range c.records {
+		e.U64(r.PacketID)
+		e.Int(r.Src)
+		e.Int(r.Dst)
+		e.I64(r.CreatedAt)
+		e.Int(len(r.Visits))
+		for _, v := range r.Visits {
+			e.Int(v.Node)
+			e.I64(v.Cycle)
+			e.U8(uint8(v.Kind))
+			e.U8(uint8(v.Reason))
+		}
+	}
+}
+
+// LoadState restores a collector written by SaveState into an empty
+// collector and returns the records keyed by packet ID, for relinking the
+// Rec pointers of in-flight flits (decode the collector before any flit).
+func (c *Collector) LoadState(d *snapshot.Decoder) map[uint64]*Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.records) != 0 {
+		d.Corruptf("loading trace state into a non-empty collector")
+		return nil
+	}
+	n := d.SliceLen(8)
+	byID := make(map[uint64]*Record, n)
+	for i := 0; i < n; i++ {
+		r := &Record{
+			PacketID:  d.U64(),
+			Src:       d.Int(),
+			Dst:       d.Int(),
+			CreatedAt: d.I64(),
+		}
+		k := d.SliceLen(8)
+		// Mirror NewRecord's preallocation so resumed records grow the
+		// same way live ones do.
+		r.Visits = make([]Visit, 0, max(16, k))
+		for j := 0; j < k; j++ {
+			r.Visits = append(r.Visits, Visit{
+				Node:   d.Int(),
+				Cycle:  d.I64(),
+				Kind:   VisitKind(d.U8()),
+				Reason: DropReason(d.U8()),
+			})
+		}
+		if d.Err() != nil {
+			return nil
+		}
+		c.records = append(c.records, r)
+		byID[r.PacketID] = r
+	}
+	return byID
+}
