@@ -23,12 +23,16 @@ doccheck:
 
 # Kernel benchmarks (gated vs reference, three router kinds, three
 # loads), shard-scaling benchmarks (RoCo, three mesh sizes, 1-8 shards),
-# and the telemetry-overhead benchmarks (epoch sampling off vs on);
-# writes BENCH_kernel.json, BENCH_shard.json and BENCH_telemetry.json.
+# the telemetry-overhead benchmarks (epoch sampling off vs on), and the
+# data-layout benchmarks (gated vs struct-of-arrays kernel on big
+# meshes); writes BENCH_kernel.json, BENCH_shard.json,
+# BENCH_telemetry.json and BENCH_layout.json, with raw output under
+# bench/out/.
 bench:
 	sh scripts/bench.sh kernel
 	sh scripts/bench.sh shard
 	sh scripts/bench.sh telemetry
+	sh scripts/bench.sh layout
 
 # The paper-table benchmarks at the repository root.
 bench-paper:

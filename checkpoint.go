@@ -153,8 +153,9 @@ func (s *Sim) RunCheckpointed(opts CheckpointOptions) (Result, bool, error) {
 
 // Resume restores a simulation from one snapshot frame. cfg must be the
 // configuration that wrote the snapshot — checked by fingerprint before
-// any state is decoded — except for ReferenceKernel, Shards and
-// Workers, which select execution strategy, not simulation semantics.
+// any state is decoded — except for ReferenceKernel, SoAKernel, Shards
+// and Workers, which select execution strategy, not simulation
+// semantics.
 // Returns ErrConfigMismatch, ErrCorruptSnapshot or ErrSnapshotVersion
 // as appropriate.
 func Resume(r io.Reader, cfg Config) (*Sim, error) {
@@ -204,6 +205,7 @@ func ResumeLatest(dir string, cfg Config) (*Sim, error) {
 func fingerprint(cfg Config) uint64 {
 	norm := cfg
 	norm.ReferenceKernel = false
+	norm.SoAKernel = false
 	norm.Shards = 0
 	norm.Workers = 0
 	h := fnv.New64a()

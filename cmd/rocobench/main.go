@@ -51,18 +51,20 @@ func main() {
 		shards   = flag.Int("shards", 1, "split every simulation across this many mesh shards (bit-identical results for any value)")
 		mcSample = flag.Int("mc", 1_000_000, "Monte-Carlo samples for table 2")
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
-		kernel   = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default) or reference (tick everything)")
+		kernel   = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default), soa (struct-of-arrays) or reference (tick everything)")
 		reliable = flag.Bool("reliable", false, "arm end-to-end reliable delivery in the fault-injecting experiments (degradation)")
 	)
 	flag.Parse()
 
-	reference := false
+	reference, soa := false, false
 	switch strings.ToLower(*kernel) {
 	case "gated":
+	case "soa":
+		soa = true
 	case "reference":
 		reference = true
 	default:
-		fmt.Fprintf(os.Stderr, "unknown kernel %q (want gated, reference)\n", *kernel)
+		fmt.Fprintf(os.Stderr, "unknown kernel %q (want gated, soa, reference)\n", *kernel)
 		os.Exit(1)
 	}
 
@@ -84,6 +86,7 @@ func main() {
 		Workers:         budget,
 		Shards:          *shards,
 		ReferenceKernel: reference,
+		SoAKernel:       soa,
 		Reliable:        *reliable,
 	}
 

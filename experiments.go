@@ -48,6 +48,9 @@ type Options struct {
 	// ReferenceKernel runs every simulation on the ungated cycle loop
 	// instead of the activity-gated kernel (see Config.ReferenceKernel).
 	ReferenceKernel bool
+	// SoAKernel runs every simulation on the struct-of-arrays kernel
+	// (see Config.SoAKernel). Bit-identical results, lower footprint.
+	SoAKernel bool
 	// Reliable arms the end-to-end reliable-delivery protocol in the
 	// experiments that inject faults into live traffic (currently the
 	// degradation experiment), surfacing goodput and recovery counters.
@@ -162,6 +165,7 @@ func (o Options) baseConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate
 		MeasurePackets:  o.Measure,
 		Seed:            o.Seed,
 		ReferenceKernel: o.ReferenceKernel,
+		SoAKernel:       o.SoAKernel,
 		Shards:          o.Shards,
 	}
 }

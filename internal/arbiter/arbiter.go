@@ -22,6 +22,22 @@ func NewRoundRobin(n int) *RoundRobin {
 	return &RoundRobin{n: n}
 }
 
+// NewRoundRobinSlice returns count independent n-input arbiters backed by
+// a single allocation; &s[i] behaves exactly like NewRoundRobin(n).
+// Routers with many arbiters of one shape (e.g. one per (output port,
+// downstream VC) pair) use it to avoid boxing each 16-byte arbiter in its
+// own heap object on big meshes.
+func NewRoundRobinSlice(count, n int) []RoundRobin {
+	if n < 1 {
+		panic("arbiter: round-robin needs at least one input")
+	}
+	s := make([]RoundRobin, count)
+	for i := range s {
+		s[i].n = n
+	}
+	return s
+}
+
 // Size returns the number of request lines.
 func (a *RoundRobin) Size() int { return a.n }
 

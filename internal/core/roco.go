@@ -29,7 +29,8 @@ type Router struct {
 	vcs [NumVCs]*router.VC
 
 	// Per-module allocation hardware.
-	vaArb  [5][]*arbiter.RoundRobin // per (output dir, downstream vc id)
+	vaArb [5][]arbiter.RoundRobin // per (output dir, downstream vc id); value slab, not boxed
+
 	saArb  [2][2][2]*arbiter.RoundRobin
 	mirror [2]*arbiter.Mirror
 	outArb [2][2]*arbiter.RoundRobin // separable fallback: per (module, port) nomination
@@ -65,16 +66,12 @@ type Router struct {
 func New(id int, engine *router.RouteEngine) *Router {
 	r := &Router{id: id, engine: engine, cfg: ConfigFor(engine.Algorithm()), injVC: -1}
 	for v := 0; v < NumVCs; v++ {
-		vc := router.NewVC(v, BufferDepth)
+		vc := engine.NewVC(v, BufferDepth)
 		vc.Class = r.cfg.Class[v]
 		r.vcs[v] = vc
 	}
 	for _, d := range topology.CardinalDirections {
-		arbs := make([]*arbiter.RoundRobin, NumVCs)
-		for i := range arbs {
-			arbs[i] = arbiter.NewRoundRobin(NumVCs)
-		}
-		r.vaArb[d] = arbs
+		r.vaArb[d] = arbiter.NewRoundRobinSlice(NumVCs, NumVCs)
 	}
 	for m := 0; m < 2; m++ {
 		for p := 0; p < 2; p++ {

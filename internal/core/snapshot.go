@@ -23,8 +23,8 @@ func (r *Router) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 		r.books[d].SaveState(e)
 	}
 	for _, arbs := range r.vaArb {
-		for _, a := range arbs {
-			a.SaveState(e)
+		for i := range arbs {
+			arbs[i].SaveState(e)
 		}
 	}
 	for m := 0; m < 2; m++ {
@@ -73,8 +73,8 @@ func (r *Router) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 		}
 	}
 	for _, arbs := range r.vaArb {
-		for _, a := range arbs {
-			a.LoadState(d)
+		for i := range arbs {
+			arbs[i].LoadState(d)
 		}
 	}
 	for m := 0; m < 2; m++ {

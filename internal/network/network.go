@@ -72,6 +72,17 @@ type Config struct {
 	// the determinism oracle and benchmark baseline for the activity-gated
 	// kernel (the default); results are bit-identical either way.
 	ReferenceKernel bool
+	// SoAKernel selects the struct-of-arrays variant of the activity-gated
+	// loop: per-channel hot state (occupancy, path-set class, dormancy) is
+	// mirrored into packed parallel arrays indexed by a dense (router,
+	// port, vc) slot, the active/dormant and broken sets become uint64
+	// bitsets, channels are slab-allocated with lazy buffer backing, and
+	// the per-color tick scan walks words of activeBits∧colorMask instead
+	// of testing a bool per router. Results are bit-identical to the
+	// reference and gated kernels for every router kind, algorithm, fault
+	// schedule, and Reliable mode; snapshots remain kernel-canonical.
+	// Ignored when ReferenceKernel is set. See DESIGN.md "SoA kernel".
+	SoAKernel bool
 	// Shards partitions the mesh into spatially contiguous shards (by
 	// ascending node id) that tick in parallel inside each color phase of
 	// the canonical schedule (see DESIGN.md "Parallel kernel"). The shard
@@ -323,9 +334,26 @@ type Network struct {
 	nextActive  []bool       // wakes accumulated for next cycle
 	lastRun     []int64      // last cycle each router ticked; -1 = never
 	shardTicked [][]int      // scratch: routers ticked this Step, per shard
-	adjConns    [][]int      // conn indexes touching each node
+	adjConns    [][]int      // conn indexes touching each node (gated bool kernel)
 	advance     []int        // scratch: conns with staged traffic this Step
 	connMark    []int64      // last cycle each conn was marked for advance
+
+	// SoA kernel state (Config.SoAKernel; see soa.go and DESIGN.md "SoA
+	// kernel"). The bool-array fields above (active, nextActive, adjConns)
+	// stay nil in this mode; everything else gated is shared. hot is the
+	// struct-of-arrays mirror of every channel's occupancy and dormancy;
+	// activeBits/nextActiveBits replace the bool active sets; brokenBits
+	// marks routers with at least one installed fault; colorMask and
+	// shardLo turn the canonical schedule into word-wise bitset sweeps;
+	// adjOff/adjList is the CSR form of adjConns.
+	hot            *router.HotState
+	activeBits     router.Bitset
+	nextActiveBits router.Bitset
+	brokenBits     router.Bitset
+	colorMask      []router.Bitset
+	shardLo        []int
+	adjOff         []int32
+	adjList        []int32
 
 	// Canonical tick schedule and sharding state (see DESIGN.md "Parallel
 	// kernel"). Both kernels tick through sched — colors ascending, router
@@ -359,6 +387,11 @@ func New(cfg Config) *Network {
 	if cfg.InactivityLimit == 0 {
 		cfg.InactivityLimit = 8192
 	}
+	if cfg.ReferenceKernel {
+		// The reference kernel is the ungated oracle; a simultaneous SoA
+		// request is normalized away (mirroring how it forces Shards=1).
+		cfg.SoAKernel = false
+	}
 
 	n := &Network{
 		cfg:      cfg,
@@ -386,6 +419,12 @@ func New(cfg Config) *Network {
 	nodes := cfg.Topo.Nodes()
 	n.routers = make([]router.Router, nodes)
 	n.engine = router.NewRouteEngine(cfg.Topo, cfg.Algorithm, func(id int) router.Router { return n.routers[id] })
+	if cfg.SoAKernel {
+		// Must precede the builders: every router allocates its channels
+		// through the engine, and the arena makes them slab-resident with
+		// lazy buffer backing (the memory diet).
+		n.engine.EnableVCArena()
+	}
 	if n.rel != nil {
 		n.oracle = protocol.NewOracle(n.engine)
 	}
@@ -526,20 +565,24 @@ func New(cfg Config) *Network {
 			n.pools[i] = &flit.Pool{}
 		}
 		n.shardTicked = make([][]int, shards)
-		n.active = make([]bool, nodes)
-		n.nextActive = make([]bool, nodes)
 		n.lastRun = make([]int64, nodes)
 		for id := range n.lastRun {
 			n.lastRun[id] = -1
 		}
-		n.adjConns = make([][]int, nodes)
-		for i, l := range n.links {
-			n.adjConns[l.up] = append(n.adjConns[l.up], i)
-			n.adjConns[l.down] = append(n.adjConns[l.down], i)
-		}
 		n.connMark = make([]int64, len(n.conns))
 		for i := range n.connMark {
 			n.connMark[i] = -1
+		}
+		if cfg.SoAKernel {
+			n.initSoA(nodes)
+		} else {
+			n.active = make([]bool, nodes)
+			n.nextActive = make([]bool, nodes)
+			n.adjConns = make([][]int, nodes)
+			for i, l := range n.links {
+				n.adjConns[l.up] = append(n.adjConns[l.up], i)
+				n.adjConns[l.down] = append(n.adjConns[l.down], i)
+			}
 		}
 	}
 	return n
@@ -774,10 +817,8 @@ func (n *Network) inject() {
 			}
 			p.consumeFront()
 			n.backlogFlits--
-			if n.nextActive != nil {
-				// The accepted flit needs the router's allocators next cycle.
-				n.nextActive[p.id] = true
-			}
+			// The accepted flit needs the router's allocators next cycle.
+			n.wakeNext(p.id)
 		}
 	}
 }
@@ -818,11 +859,9 @@ func (n *Network) retransmitDue() {
 			// logical packets: generated/completion counts stay untouched.
 			n.genFlits += int64(fpp)
 			n.backlogFlits += int64(fpp)
-			if n.nextActive != nil {
-				// Wake the source router so the backlogged copy injects
-				// promptly even if the node was asleep.
-				n.nextActive[e.Src] = true
-			}
+			// Wake the source router so the backlogged copy injects
+			// promptly even if the node was asleep.
+			n.wakeNext(e.Src)
 			return id
 		},
 	})
@@ -836,9 +875,12 @@ func (n *Network) retransmitDue() {
 
 // Step advances the simulation one cycle.
 func (n *Network) Step() {
-	if n.cfg.ReferenceKernel {
+	switch {
+	case n.cfg.ReferenceKernel:
 		n.stepReference()
-	} else {
+	case n.activeBits != nil:
+		n.stepSoA()
+	default:
 		n.stepGated()
 	}
 }
@@ -984,21 +1026,24 @@ func (n *Network) settleTo(id int, upTo int64) {
 func (n *Network) installDueFaults() {
 	for _, ev := range n.schedule.Due(n.cycle) {
 		node := ev.Fault.Node
-		if n.active != nil {
+		if n.gatedKernel() {
 			// Replay the node's sleep under pre-fault rules before the
 			// fault changes them, then wake it and its upstream neighbors
 			// for this very cycle so reactions are not delayed.
 			n.settleTo(node, n.cycle-1)
-			n.active[node] = true
+			n.wakeNow(node)
 			for _, l := range n.links {
 				if l.down == node {
 					// propagateHandshake is about to mutate the upstream
 					// credit book; replay that router's sleep first so the
 					// replayed ticks happen under pre-fault state.
 					n.settleTo(l.up, n.cycle-1)
-					n.active[l.up] = true
+					n.wakeNow(l.up)
 				}
 			}
+		}
+		if n.brokenBits != nil {
+			n.brokenBits.Set(node)
 		}
 		n.broken.MarkFaulty()
 		n.routers[node].ApplyFault(ev.Fault)
@@ -1036,8 +1081,14 @@ func (n *Network) propagateHandshake(node int) {
 // lost or double-counted) and panics with the breakdown.
 func (n *Network) audit() {
 	var buffered, inPipes int64
-	for _, r := range n.routers {
-		buffered += int64(r.BufferedFlits())
+	if n.hot != nil {
+		// One linear sweep over the packed occupancy array; equal to the
+		// per-router virtual sweep by the hot-state maintenance invariant.
+		buffered = n.hot.TotalBuffered()
+	} else {
+		for _, r := range n.routers {
+			buffered += int64(r.BufferedFlits())
+		}
 	}
 	for _, c := range n.conns {
 		inPipes += int64(c.Flit.Occupancy())

@@ -163,6 +163,10 @@ func (n *Network) tickShardColor(c, s int, t int64) {
 		}
 		return
 	}
+	if n.activeBits != nil {
+		n.tickShardColorSoA(c, s, t)
+		return
+	}
 	ticked := n.shardTicked[s]
 	for _, id := range ids {
 		if !n.active[id] {

@@ -96,6 +96,8 @@ func TestCheckpointResumeEquivalence(t *testing.T) {
 		{"reference", func(c *Config) { c.ReferenceKernel = true }},
 		{"gated", func(c *Config) { c.Shards = 1 }},
 		{"sharded", func(c *Config) { c.Shards = 4; c.Workers = 4 }},
+		{"soa", func(c *Config) { c.SoAKernel = true }},
+		{"soa-sharded", func(c *Config) { c.SoAKernel = true; c.Shards = 4; c.Workers = 4 }},
 	}
 	for _, reliable := range []bool{false, true} {
 		for _, k := range kernels {
@@ -159,6 +161,7 @@ func TestCheckpointCrossKernelResume(t *testing.T) {
 	}{
 		{"gated", func(c *Config) { c.ReferenceKernel = false; c.Shards = 1 }},
 		{"sharded", func(c *Config) { c.ReferenceKernel = false; c.Shards = 4; c.Workers = 4 }},
+		{"soa", func(c *Config) { c.ReferenceKernel = false; c.SoAKernel = true }},
 	} {
 		cfg := ckptConfig(rocoBuilder, seed, true)
 		k.apply(&cfg)
@@ -177,6 +180,18 @@ func TestCheckpointCrossKernelResume(t *testing.T) {
 	resumed, _ := resume(t, ref, frame)
 	if !reflect.DeepEqual(resumed, want) {
 		t.Fatalf("reference resume of a sharded snapshot diverged\n resumed: %+v\n    want: %+v",
+			resumed.Summary, want.Summary)
+	}
+
+	// SoA snapshot, reference resume: the settle-before-save plus the
+	// derived (never serialized) hot state keep the byte stream identical
+	// to the other kernels'.
+	so := ckptConfig(rocoBuilder, seed, true)
+	so.SoAKernel = true
+	_, _, frame = runCheckpointed(t, so)
+	resumed, _ = resume(t, ref, frame)
+	if !reflect.DeepEqual(resumed, want) {
+		t.Fatalf("reference resume of an SoA snapshot diverged\n resumed: %+v\n    want: %+v",
 			resumed.Summary, want.Summary)
 	}
 }

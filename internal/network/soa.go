@@ -1,0 +1,234 @@
+// Struct-of-arrays kernel: the activity-gated cycle loop re-driven by
+// packed hot state. The gated kernel (network.go) keeps its per-router
+// bool active sets and per-router virtual Idle() scans; this variant
+// mirrors every channel's occupancy and dormancy into the shared
+// router.HotState arrays and keeps the active/dormant and broken sets as
+// uint64 bitsets, so the per-color tick scan is a word-wise sweep of
+// activeBits∧colorMask and the post-tick wake scan reads one packed
+// int32 per router instead of virtually dispatching into its channel
+// objects.
+//
+// Bit-identity with the gated kernel (and hence the reference kernel)
+// holds because the SoA structures are pure mirrors, never sources of
+// truth that diverge:
+//
+//   - The tick set each cycle is the same: activeBits holds exactly the
+//     ids the gated kernel's active[] holds, since both are written from
+//     the same wake events (staged link/credit traffic, accepted
+//     injections, retransmission launches, fault installation) at the
+//     same points of Step.
+//   - The tick order is the same: within a color phase the bitset sweep
+//     visits ids ascending, which is precisely the order sched[c][s]
+//     lists them in.
+//   - The sleep decision is the same: HotState.RouterBusy(id) mirrors
+//     !router.Idle() exactly, because every router kind defines Idle as
+//     "all channels dormant" and every channel queue/states mutation
+//     updates the mirror inline (router.VC.syncHot).
+//
+// Snapshots stay kernel-canonical: the hot state is derived, never
+// serialized, and LoadState rebuilds it with HotState.Resync after the
+// routers restore (see snapshot.go).
+package network
+
+import (
+	"math/bits"
+
+	"github.com/rocosim/roco/internal/router"
+)
+
+// initSoA builds the SoA kernel's packed state after the mesh is wired:
+// the channel hot-state mirror, the activity and broken bitsets, the
+// per-color schedule masks, the shard id ranges, and the CSR adjacency.
+func (n *Network) initSoA(nodes int) {
+	n.activeBits = router.NewBitset(nodes)
+	n.nextActiveBits = router.NewBitset(nodes)
+	n.brokenBits = router.NewBitset(nodes)
+	for _, flt := range n.cfg.Faults {
+		n.brokenBits.Set(flt.Node)
+	}
+
+	n.hot = router.NewHotState(nodes)
+	for _, r := range n.routers {
+		r.BindHot(n.hot)
+	}
+
+	// CSR adjacency: conn indexes touching each node, flattened. Same
+	// per-node visit order as the gated kernel's adjConns (ascending conn
+	// index), two flat arrays instead of nodes slice headers.
+	n.adjOff = make([]int32, nodes+1)
+	for _, l := range n.links {
+		n.adjOff[l.up+1]++
+		n.adjOff[l.down+1]++
+	}
+	for id := 0; id < nodes; id++ {
+		n.adjOff[id+1] += n.adjOff[id]
+	}
+	n.adjList = make([]int32, n.adjOff[nodes])
+	fill := make([]int32, nodes)
+	copy(fill, n.adjOff[:nodes])
+	for i, l := range n.links {
+		n.adjList[fill[l.up]] = int32(i)
+		fill[l.up]++
+		n.adjList[fill[l.down]] = int32(i)
+		fill[l.down]++
+	}
+
+	// colorMask[c] holds every router of color c; shards are contiguous
+	// ascending-id ranges, so masking a color against [shardLo[s],
+	// shardLo[s+1]) reproduces sched[c][s] exactly.
+	n.colorMask = make([]router.Bitset, len(n.sched))
+	for c := range n.sched {
+		m := router.NewBitset(nodes)
+		for s := range n.sched[c] {
+			for _, id := range n.sched[c][s] {
+				m.Set(id)
+			}
+		}
+		n.colorMask[c] = m
+	}
+	n.shardLo = make([]int, n.shards+1)
+	n.shardLo[n.shards] = nodes
+	for v := nodes - 1; v >= 0; v-- {
+		n.shardLo[n.shardOf[v]] = v
+	}
+}
+
+// gatedKernel reports whether this network runs an activity-gated loop
+// (bool-array or bitset variant) rather than the reference loop.
+func (n *Network) gatedKernel() bool { return n.active != nil || n.activeBits != nil }
+
+// wakeNext marks router id active for the next cycle, in whichever
+// representation the kernel keeps. No-op under the reference kernel.
+func (n *Network) wakeNext(id int) {
+	if n.nextActive != nil {
+		n.nextActive[id] = true
+	} else if n.nextActiveBits != nil {
+		n.nextActiveBits.Set(id)
+	}
+}
+
+// wakeNow marks router id active for the current cycle (fault
+// installation wakes routers mid-Step, before the tick phases).
+func (n *Network) wakeNow(id int) {
+	if n.active != nil {
+		n.active[id] = true
+	} else if n.activeBits != nil {
+		n.activeBits.Set(id)
+	}
+}
+
+// HotState exposes the SoA mirror (nil unless Config.SoAKernel); tests
+// assert its transition invariants against the routers' virtual state.
+func (n *Network) HotState() *router.HotState { return n.hot }
+
+// ActiveMask returns the SoA kernel's current active set (nil otherwise);
+// read-only for tests.
+func (n *Network) ActiveMask() router.Bitset { return n.activeBits }
+
+// BrokenMask returns the SoA kernel's fault mask: routers with at least
+// one installed fault (nil unless Config.SoAKernel). Diagnostics and
+// tests read it; recovery correctness never depends on it (the broken
+// registry and per-router fault state remain authoritative).
+func (n *Network) BrokenMask() router.Bitset { return n.brokenBits }
+
+// stepSoA is the SoA cycle loop. Phase order is identical to stepGated —
+// faults, generation, retransmission, color-phased ticks, injection,
+// conn wake scan, active-set swap, graveyard recycling, cycle close —
+// only the representations differ.
+func (n *Network) stepSoA() {
+	n.installDueFaults()
+	n.generate()
+	n.retransmitDue()
+	t := n.cycle
+
+	n.tickColors(t)
+
+	n.inject()
+
+	// Wake scan: a ticked router stays active while any of its channels
+	// is non-dormant (one packed counter read), and staged traffic on an
+	// adjacent conn advances the pipe and wakes the reader half.
+	for s := range n.shardTicked {
+		ticked := n.shardTicked[s]
+		for _, id := range ticked {
+			if n.hot.RouterBusy(id) {
+				n.nextActiveBits.Set(id)
+			}
+			for k := n.adjOff[id]; k < n.adjOff[id+1]; k++ {
+				c := int(n.adjList[k])
+				if n.connMark[c] == t {
+					continue
+				}
+				conn := n.conns[c]
+				busy, pending := conn.Flit.Busy(), conn.Credit.Pending()
+				if !busy && !pending {
+					continue
+				}
+				n.connMark[c] = t
+				n.advance = append(n.advance, c)
+				if busy {
+					n.nextActiveBits.Set(n.links[c].down)
+				}
+				if pending {
+					n.nextActiveBits.Set(n.links[c].up)
+				}
+			}
+		}
+		n.shardTicked[s] = ticked[:0]
+	}
+	for _, c := range n.advance {
+		n.conns[c].Advance()
+	}
+	n.advance = n.advance[:0]
+
+	// Active-set swap: two word-wise array passes instead of a per-router
+	// bool loop.
+	n.activeBits.CopyFrom(n.nextActiveBits)
+	n.nextActiveBits.ClearAll()
+
+	for i, f := range n.graveyard {
+		n.pools[n.shardOf[f.Src]].Put(f)
+		n.graveyard[i] = nil
+	}
+	n.graveyard = n.graveyard[:0]
+
+	n.finishCycle()
+}
+
+// tickShardColorSoA ticks the active routers of one (color, shard) cell
+// by sweeping the words of activeBits∧colorMask clipped to the shard's
+// contiguous id range. Set bits come out in ascending id order — exactly
+// the order sched[c][s] lists — so the tick sequence matches the gated
+// kernel's bit for bit. activeBits is read-only during the tick phases
+// (wakes for the next cycle go to nextActiveBits on the coordinator), so
+// concurrent shard sweeps of one color never race.
+func (n *Network) tickShardColorSoA(c, s int, t int64) {
+	lo, hi := n.shardLo[s], n.shardLo[s+1]
+	if lo >= hi {
+		return
+	}
+	mask := n.colorMask[c]
+	act := n.activeBits
+	ticked := n.shardTicked[s]
+	loW, hiW := lo>>6, (hi-1)>>6
+	for w := loW; w <= hiW; w++ {
+		word := act[w] & mask[w]
+		if w == loW {
+			word &^= (1 << uint(lo&63)) - 1
+		}
+		if w == hiW {
+			if rem := hi & 63; rem != 0 {
+				word &= (1 << uint(rem)) - 1
+			}
+		}
+		for word != 0 {
+			id := w<<6 | bits.TrailingZeros64(word)
+			word &= word - 1
+			n.settleTo(id, t-1)
+			n.routers[id].Tick(t)
+			n.lastRun[id] = t
+			ticked = append(ticked, id)
+		}
+	}
+	n.shardTicked[s] = ticked
+}

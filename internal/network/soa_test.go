@@ -1,0 +1,270 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/fault"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// TestSoAKernelMatchesReference is the correctness contract of the SoA
+// kernel: for every router kind and seed, the struct-of-arrays run and
+// the tick-everything reference run must produce bit-identical Results.
+// Any divergence means the hot-state mirror drifted from the routers'
+// own state (a missed syncHot path) or the bitset sweep ticked a
+// different set or order than the canonical schedule.
+func TestSoAKernelMatchesReference(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+	}{
+		{"generic", genericBuilder},
+		{"pathsensitive", psBuilder},
+		{"roco", rocoBuilder},
+		{"pdr", pdrBuilder},
+	}
+	for _, b := range builders {
+		b := b
+		for _, seed := range []uint64{1, 42, 99} {
+			seed := seed
+			t.Run(b.name, func(t *testing.T) {
+				t.Parallel()
+				ref := kernelConfig(b.build, seed)
+				ref.ReferenceKernel = true
+				soa := kernelConfig(b.build, seed)
+				soa.SoAKernel = true
+
+				want := New(ref).Run()
+				got := New(soa).Run()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: SoA kernel diverged from reference\n soa: %+v\n ref: %+v",
+						seed, got.Summary, want.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestSoAKernelMatchesReferenceAlgorithms covers the remaining routing
+// disciplines (XY is exercised above): the adaptive cost scan and the
+// XY-YX mode flip read neighbor state mid-tick, so they are the paths
+// most likely to expose an order divergence in the bitset sweep.
+func TestSoAKernelMatchesReferenceAlgorithms(t *testing.T) {
+	for _, alg := range []routing.Algorithm{routing.XYYX, routing.Adaptive} {
+		alg := alg
+		for _, b := range []struct {
+			name  string
+			build func(int, *router.RouteEngine) router.Router
+		}{
+			{"generic", genericBuilder},
+			{"roco", rocoBuilder},
+		} {
+			b := b
+			t.Run(b.name+"/"+alg.String(), func(t *testing.T) {
+				t.Parallel()
+				ref := kernelConfig(b.build, 5)
+				ref.Algorithm = alg
+				ref.ReferenceKernel = true
+				soa := kernelConfig(b.build, 5)
+				soa.Algorithm = alg
+				soa.SoAKernel = true
+
+				want := New(ref).Run()
+				got := New(soa).Run()
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v: SoA kernel diverged from reference\n soa: %+v\n ref: %+v",
+						alg, got.Summary, want.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestSoAKernelMatchesReferenceUnderFaults repeats the bit-identity check
+// with a Poisson runtime-fault schedule striking mid-run: fault wakes,
+// the broken-mask updates, condemned-channel drains, and recovery scans
+// all happen while routers sleep and wake through the bitsets.
+func TestSoAKernelMatchesReferenceUnderFaults(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(int, *router.RouteEngine) router.Router
+	}{
+		{"generic", genericBuilder},
+		{"pathsensitive", psBuilder},
+		{"roco", rocoBuilder},
+	}
+	for _, b := range builders {
+		b := b
+		for _, seed := range []uint64{7, 1234} {
+			seed := seed
+			t.Run(b.name, func(t *testing.T) {
+				t.Parallel()
+				sched := fault.PoissonSchedule(fault.NonCritical, 120, 600, 64, core.NumVCs, stats.NewRNG(seed^0xfa17))
+
+				ref := kernelConfig(b.build, seed)
+				ref.Schedule = sched
+				ref.ReferenceKernel = true
+				soa := kernelConfig(b.build, seed)
+				soa.Schedule = sched
+				soa.SoAKernel = true
+
+				want := New(ref).Run()
+				got := New(soa).Run()
+				if len(want.FaultLog) == 0 {
+					t.Fatalf("seed %d: fault schedule installed no faults; test is vacuous", seed)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: SoA kernel diverged from reference under faults\n soa: %+v\n ref: %+v",
+						seed, got.Summary, want.Summary)
+				}
+			})
+		}
+	}
+}
+
+// TestSoAKernelMatchesReferenceReliable closes the equivalence matrix:
+// the retransmission protocol's wake path (wakeNext on launch) and the
+// duplicate-suppressing delivery accounting under the SoA loop.
+func TestSoAKernelMatchesReferenceReliable(t *testing.T) {
+	const seed = 21
+	sched := fault.PoissonSchedule(fault.NonCritical, 100, 500, 64, core.NumVCs, stats.NewRNG(seed^0xfa17))
+
+	ref := kernelConfig(rocoBuilder, seed)
+	ref.Schedule = sched
+	ref.Reliable = true
+	ref.ReferenceKernel = true
+	soa := kernelConfig(rocoBuilder, seed)
+	soa.Schedule = sched
+	soa.Reliable = true
+	soa.SoAKernel = true
+
+	want := New(ref).Run()
+	got := New(soa).Run()
+	if len(want.FaultLog) == 0 {
+		t.Fatal("fault schedule installed no faults; test is vacuous")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SoA kernel diverged from reference under the reliability protocol\n soa: %+v\n ref: %+v",
+			got.Summary, want.Summary)
+	}
+}
+
+// TestSoAKernelSharded pins that the SoA bitset sweep composes with the
+// parallel color-phased schedule: Shards=4/Workers=2 must match the
+// sequential SoA run (and, transitively, the reference kernel).
+func TestSoAKernelSharded(t *testing.T) {
+	const seed = 11
+	seq := kernelConfig(rocoBuilder, seed)
+	seq.SoAKernel = true
+	par := kernelConfig(rocoBuilder, seed)
+	par.SoAKernel = true
+	par.Shards = 4
+	par.Workers = 2
+
+	want := New(seq).Run()
+	got := New(par).Run()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded SoA kernel diverged from sequential SoA\n sharded: %+v\n     seq: %+v",
+			got.Summary, want.Summary)
+	}
+}
+
+// TestSoAHotStateMirrorsRouters is the transition-invariant probe behind
+// the bitset design: at every cycle boundary of a faulty mid-load run,
+// the packed hot state must agree with the routers' own virtual answers
+// — RouterBusy(id) == !Idle(id) (dormant→active on injection or fault
+// strike, active→dormant on drain, with no missed edge in either
+// direction) and BufferedFlits from the occupancy array equal to the
+// router's channel sweep. The broken mask must cover exactly the nodes
+// the fault log has struck.
+func TestSoAHotStateMirrorsRouters(t *testing.T) {
+	cfg := kernelConfig(rocoBuilder, 13)
+	cfg.SoAKernel = true
+	cfg.Schedule = fault.NewSchedule([]fault.Event{
+		{Cycle: 120, Fault: fault.Fault{Node: 27, Component: fault.Crossbar, Module: fault.RowModule}},
+		{Cycle: 240, Fault: fault.Fault{Node: 36, Component: fault.Buffer, Module: fault.ColumnModule, VC: 1}},
+	})
+	n := New(cfg)
+	hs := n.HotState()
+	if hs == nil {
+		t.Fatal("SoA network has no hot state")
+	}
+	nodes := cfg.Topo.Nodes()
+	sawBusy, sawDrained := false, false
+	faulted := map[int]bool{}
+	for step := 0; step < 600; step++ {
+		n.Step()
+		for id := 0; id < nodes; id++ {
+			busy := hs.RouterBusy(id)
+			if idle := n.Router(id).Idle(); busy == idle {
+				t.Fatalf("cycle %d: hot state says router %d busy=%v but Idle()=%v", n.Cycle(), id, busy, idle)
+			}
+			if got, want := hs.BufferedFlits(id), n.Router(id).BufferedFlits(); got != want {
+				t.Fatalf("cycle %d: hot occupancy of router %d is %d, router says %d", n.Cycle(), id, got, want)
+			}
+			if busy {
+				sawBusy = true
+			} else if sawBusy {
+				sawDrained = true
+			}
+		}
+		if n.Cycle() > 120 {
+			faulted[27] = true
+		}
+		if n.Cycle() > 240 {
+			faulted[36] = true
+		}
+		for id := 0; id < nodes; id++ {
+			if got, want := n.BrokenMask().Test(id), faulted[id]; got != want {
+				t.Fatalf("cycle %d: broken mask of router %d is %v, want %v", n.Cycle(), id, got, want)
+			}
+		}
+	}
+	if !sawBusy || !sawDrained {
+		t.Fatalf("probe saw no dormant→active→dormant transition (busy=%v drained=%v); workload too idle", sawBusy, sawDrained)
+	}
+	if n.BrokenMask().Count() != 2 {
+		t.Fatalf("broken mask holds %d routers after 2 faults", n.BrokenMask().Count())
+	}
+}
+
+// TestSoAStepZeroAllocsWhenIdle pins the SoA kernel's idle cost: bitset
+// sweeps over an empty active set must not touch the heap.
+func TestSoAStepZeroAllocsWhenIdle(t *testing.T) {
+	cfg := smokeConfig(routing.XY, traffic.Uniform, 0, 5)
+	cfg.Traffic.Rate = 0
+	cfg.SoAKernel = true
+	n := New(cfg)
+	for i := 0; i < 8; i++ {
+		n.Step()
+	}
+	allocs := testing.AllocsPerRun(200, func() { n.Step() })
+	if allocs != 0 {
+		t.Fatalf("idle SoA Step allocates %v objects per cycle, want 0", allocs)
+	}
+}
+
+// TestSoAStepZeroAllocsUnderLoad asserts the loaded steady state of the
+// SoA kernel is allocation-free: lazy channel buffers were all faulted
+// in during warm-up (each allocates exactly once, at full capacity),
+// flits recycle through the pools, and the hot-state updates are pure
+// array writes. Rare amortized slice regrowth (delivery buckets) stays
+// well under one object per cycle and truncates to zero.
+func TestSoAStepZeroAllocsUnderLoad(t *testing.T) {
+	cfg := kernelConfig(genericBuilder, 3)
+	cfg.SoAKernel = true
+	cfg.MeasurePackets = 1_000_000 // never stop generating during the probe
+	n := New(cfg)
+	for i := 0; i < 2000; i++ { // warm pools, worklists, and lazy VC buffers
+		n.Step()
+	}
+	allocs := testing.AllocsPerRun(500, func() { n.Step() })
+	if allocs != 0 {
+		t.Fatalf("loaded SoA Step allocates %v objects per cycle, want 0", allocs)
+	}
+}

@@ -52,7 +52,7 @@ type Router struct {
 
 	inArb  [numPorts]*arbiter.RoundRobin
 	outArb [numPorts]*arbiter.RoundRobin
-	vaArb  [numPorts][]*arbiter.RoundRobin
+	vaArb  [numPorts][]arbiter.RoundRobin // value slab, not boxed
 
 	injVC int // Local-port VC owned by the packet being injected, or -1
 
@@ -94,14 +94,11 @@ func New(id int, engine *router.RouteEngine) *Router {
 	for p := 0; p < numPorts; p++ {
 		r.ports[p] = make([]*router.VC, VCsPerPort)
 		for v := 0; v < VCsPerPort; v++ {
-			r.ports[p][v] = router.NewVC(v, BufferDepth)
+			r.ports[p][v] = engine.NewVC(v, BufferDepth)
 		}
 		r.inArb[p] = arbiter.NewRoundRobin(VCsPerPort)
 		r.outArb[p] = arbiter.NewRoundRobin(numPorts)
-		r.vaArb[p] = make([]*arbiter.RoundRobin, VCsPerPort)
-		for v := range r.vaArb[p] {
-			r.vaArb[p][v] = arbiter.NewRoundRobin(numReqs)
-		}
+		r.vaArb[p] = arbiter.NewRoundRobinSlice(VCsPerPort, numReqs)
 	}
 	// Recovery indexes channels in port-major order, matching the flat
 	// grantee IDs used in the output books.

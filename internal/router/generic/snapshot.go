@@ -26,8 +26,8 @@ func (r *Router) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 	for p := 0; p < numPorts; p++ {
 		r.inArb[p].SaveState(e)
 		r.outArb[p].SaveState(e)
-		for _, a := range r.vaArb[p] {
-			a.SaveState(e)
+		for v := range r.vaArb[p] {
+			r.vaArb[p][v].SaveState(e)
 		}
 	}
 	e.Int(r.injVC)
@@ -69,8 +69,8 @@ func (r *Router) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 	for p := 0; p < numPorts; p++ {
 		r.inArb[p].LoadState(d)
 		r.outArb[p].LoadState(d)
-		for _, a := range r.vaArb[p] {
-			a.LoadState(d)
+		for v := range r.vaArb[p] {
+			r.vaArb[p][v].LoadState(d)
 		}
 	}
 	r.injVC = d.Int()

@@ -117,6 +117,13 @@ type Router interface {
 	// BufferedFlits counts the flits currently buffered in the router's
 	// channels (the conservation auditor's in-router term).
 	BufferedFlits() int
+	// BindHot mirrors the router's channels into the network-wide
+	// struct-of-arrays hot-state table (occupancy, class, dormancy). The
+	// SoA kernel calls it once per router, in ascending id order, after
+	// construction; kernels that never bind pay nothing. Implemented by
+	// the embedded Recovery, which already holds the canonical flat
+	// channel list in grantee-index order.
+	BindHot(hs *HotState)
 
 	// Activity exposes the per-component event counters for the energy
 	// model.

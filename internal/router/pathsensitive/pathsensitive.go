@@ -74,7 +74,7 @@ type Router struct {
 
 	setArb [numSets]*arbiter.RoundRobin // SA stage 1: one 3:1 arbiter per set
 	outArb [5]*arbiter.RoundRobin       // SA stage 2: 2:1 per output
-	vaArb  [5][]*arbiter.RoundRobin     // per (output, downstream vc)
+	vaArb  [5][]arbiter.RoundRobin      // per (output, downstream vc); value slab
 
 	injVC int
 
@@ -98,18 +98,14 @@ type Router struct {
 func New(id int, engine *router.RouteEngine) *Router {
 	r := &Router{id: id, engine: engine, injVC: -1}
 	for v := 0; v < NumVCs; v++ {
-		r.vcs[v] = router.NewVC(v, BufferDepth)
+		r.vcs[v] = engine.NewVC(v, BufferDepth)
 	}
 	for s := 0; s < numSets; s++ {
 		r.setArb[s] = arbiter.NewRoundRobin(VCsPerSet)
 	}
 	for _, d := range topology.CardinalDirections {
 		r.outArb[d] = arbiter.NewRoundRobin(numSets)
-		arbs := make([]*arbiter.RoundRobin, NumVCs)
-		for i := range arbs {
-			arbs[i] = arbiter.NewRoundRobin(NumVCs)
-		}
-		r.vaArb[d] = arbs
+		r.vaArb[d] = arbiter.NewRoundRobinSlice(NumVCs, NumVCs)
 	}
 	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
 	return r

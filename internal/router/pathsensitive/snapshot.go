@@ -26,8 +26,8 @@ func (r *Router) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 	}
 	for _, d := range topology.CardinalDirections {
 		r.outArb[d].SaveState(e)
-		for _, a := range r.vaArb[d] {
-			a.SaveState(e)
+		for i := range r.vaArb[d] {
+			r.vaArb[d][i].SaveState(e)
 		}
 	}
 	e.Int(r.injVC)
@@ -64,8 +64,8 @@ func (r *Router) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 	}
 	for _, dir := range topology.CardinalDirections {
 		r.outArb[dir].LoadState(d)
-		for _, a := range r.vaArb[dir] {
-			a.LoadState(d)
+		for i := range r.vaArb[dir] {
+			r.vaArb[dir][i].LoadState(d)
 		}
 	}
 	r.injVC = d.Int()

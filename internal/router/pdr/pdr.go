@@ -91,7 +91,7 @@ type Router struct {
 
 	inArb  [numPorts]*arbiter.RoundRobin         // per input port (2:1)
 	outArb [2][numOutsPerMod]*arbiter.RoundRobin // per module output (3:1)
-	vaArb  [6][]*arbiter.RoundRobin              // per (external dir or internal) x downstream vc
+	vaArb  [6][]arbiter.RoundRobin               // per (external dir or internal) x downstream vc; value slab
 
 	injVC int
 
@@ -118,7 +118,7 @@ func New(id int, engine *router.RouteEngine) *Router {
 	}
 	r := &Router{id: id, engine: engine, injVC: -1}
 	for v := 0; v < NumVCs; v++ {
-		r.vcs[v] = router.NewVC(v, BufferDepth)
+		r.vcs[v] = engine.NewVC(v, BufferDepth)
 	}
 	r.transferBook = router.NewOutVCBook(NumVCs, BufferDepth)
 	for v := 0; v < NumVCs; v++ {
@@ -135,11 +135,7 @@ func New(id int, engine *router.RouteEngine) *Router {
 		}
 	}
 	for i := range r.vaArb {
-		arbs := make([]*arbiter.RoundRobin, NumVCs)
-		for j := range arbs {
-			arbs[j] = arbiter.NewRoundRobin(NumVCs)
-		}
-		r.vaArb[i] = arbs
+		r.vaArb[i] = arbiter.NewRoundRobinSlice(NumVCs, NumVCs)
 	}
 	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
 	return r

@@ -30,8 +30,8 @@ func (r *Router) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 		}
 	}
 	for i := range r.vaArb {
-		for _, a := range r.vaArb[i] {
-			a.SaveState(e)
+		for j := range r.vaArb[i] {
+			r.vaArb[i][j].SaveState(e)
 		}
 	}
 	e.Int(r.injVC)
@@ -73,8 +73,8 @@ func (r *Router) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 		}
 	}
 	for i := range r.vaArb {
-		for _, a := range r.vaArb[i] {
-			a.LoadState(d)
+		for j := range r.vaArb[i] {
+			r.vaArb[i][j].LoadState(d)
 		}
 	}
 	r.injVC = d.Int()

@@ -126,6 +126,11 @@ func (rc *Recovery) InitRecovery(node int, vcs []*VC, grantRef func(int) (GrantR
 // SetDropSink installs the network's drop-accounting callback.
 func (rc *Recovery) SetDropSink(s DropSink) { rc.dropSink = s }
 
+// BindHot mirrors the router's channels into the shared struct-of-arrays
+// table. rc.vcs is exactly the router's grantee-index channel order, so
+// the slot layout matches the order every other per-VC structure uses.
+func (rc *Recovery) BindHot(hs *HotState) { hs.BindRouter(rc.node, rc.vcs) }
+
 // SetBroken shares the network-wide broken-packet registry.
 func (rc *Recovery) SetBroken(b *BrokenSet) { rc.broken = b }
 

@@ -122,6 +122,11 @@ func (v *VC) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 		d.Corruptf("vc %d has %d states under %d claims", v.Index, ns, v.claims)
 		return
 	}
+	// A lazily built channel allocates its full-capacity backing here, so
+	// the resumed run keeps the allocate-once steady state. The hot-state
+	// mirror is NOT updated incrementally on this path; the network calls
+	// HotState.Resync once after all routers load.
+	v.ensureBuffers()
 	v.states = v.states[:0]
 	for i := 0; i < ns; i++ {
 		v.states = append(v.states, pktState{
@@ -155,8 +160,8 @@ func (v *VC) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 func (b *OutVCBook) SaveState(e *snapshot.Encoder) {
 	e.Int(len(b.depths))
 	for vc := range b.depths {
-		e.Int(b.depths[vc])
-		e.Int(b.inflight[vc])
+		e.Int(int(b.depths[vc]))
+		e.Int(int(b.inflight[vc]))
 		e.Int(len(b.order[vc]))
 		for _, g := range b.order[vc] {
 			e.Int(g)
@@ -172,8 +177,8 @@ func (b *OutVCBook) LoadState(d *snapshot.Decoder) {
 		return
 	}
 	for vc := range b.depths {
-		b.depths[vc] = d.Int()
-		b.inflight[vc] = d.Int()
+		b.depths[vc] = int32(d.Int())
+		b.inflight[vc] = int32(d.Int())
 		k := d.SliceLen(8)
 		if d.Err() != nil {
 			return

@@ -73,6 +73,12 @@ type VC struct {
 	claimFeeder topology.Direction
 	states      []pktState
 	queue       []*flit.Flit
+
+	// hot/slot bind the channel into the network-wide struct-of-arrays
+	// mirror (see HotState); nil/0 for unbound channels. Every queue or
+	// states mutation funnels through syncHot so the mirror stays exact.
+	hot  *HotState
+	slot int32
 }
 
 // NewVC returns an idle channel of the given index and depth.
@@ -86,6 +92,48 @@ func NewVC(index, depth int) *VC {
 		claimFeeder: topology.Invalid,
 		states:      make([]pktState, 0, MaxPacketsPerChannel),
 		queue:       make([]*flit.Flit, 0, depth),
+	}
+}
+
+// lazyStateCap is the initial packet-state capacity of a lazily built
+// (arena) channel. Most channels hold one or two resident packets at a
+// time; starting small and letting append grow toward
+// MaxPacketsPerChannel (amortized, bounded) cuts the per-node footprint
+// on big meshes without affecting behavior — capacity is never observable.
+const lazyStateCap = 2
+
+// ensureBuffers allocates the queue and packet-state backing arrays of a
+// lazily built (arena) channel on first use. The flit queue is allocated
+// at full depth (it fills within a few cycles of any activity); the
+// packet-state array starts at lazyStateCap and grows on demand. Eagerly
+// built channels (NewVC) have non-nil backing from birth and skip this.
+func (v *VC) ensureBuffers() {
+	if v.queue == nil {
+		v.queue = make([]*flit.Flit, 0, v.Depth)
+	}
+	if v.states == nil {
+		v.states = make([]pktState, 0, lazyStateCap)
+	}
+}
+
+// syncHot propagates a queue/states mutation into the bound hot-state
+// arrays: the slot's occupancy mirror, and the owning router's dormancy
+// count when the channel crosses between dormant and non-dormant. before
+// is len(queue)+len(states) sampled at the mutator's entry. No-op for
+// unbound channels.
+func (v *VC) syncHot(before int) {
+	hs := v.hot
+	if hs == nil {
+		return
+	}
+	hs.occ[v.slot] = int32(len(v.queue))
+	after := len(v.queue) + len(v.states)
+	if before == 0 {
+		if after > 0 {
+			hs.vcWake(v.slot)
+		}
+	} else if after == 0 {
+		hs.vcSleep(v.slot)
 	}
 }
 
@@ -287,12 +335,14 @@ func (v *VC) AbortFront() {
 	if v.frontAligned() {
 		panic(fmt.Sprintf("router: abort of vc %d front packet with buffered flits", v.Index))
 	}
+	before := len(v.queue) + len(v.states)
 	copy(v.states, v.states[1:])
 	v.states = v.states[:len(v.states)-1]
 	v.claims--
 	if v.claims == 0 {
 		v.claimFeeder = topology.Invalid
 	}
+	v.syncHot(before)
 }
 
 // ReleaseClaim returns one claim slot taken with Claim before any flit of
@@ -341,6 +391,8 @@ func (v *VC) PushFrom(f *flit.Flit, from topology.Direction) {
 	if len(v.queue) >= v.Depth {
 		panic(fmt.Sprintf("router: overflow on vc %d: %v", v.Index, f))
 	}
+	v.ensureBuffers()
+	before := len(v.queue) + len(v.states)
 	if f.Type.IsHead() {
 		if len(v.states) >= v.claims {
 			panic(fmt.Sprintf("router: head %v pushed into vc %d without a claim", f, v.Index))
@@ -360,6 +412,7 @@ func (v *VC) PushFrom(f *flit.Flit, from topology.Direction) {
 		f.ReadyAt += v.FaultPenalty
 	}
 	v.queue = append(v.queue, f)
+	v.syncHot(before)
 }
 
 // Pop removes and returns the front flit. Popping a tail retires the front
@@ -369,6 +422,7 @@ func (v *VC) Pop() *flit.Flit {
 		panic(fmt.Sprintf("router: pop from empty vc %d", v.Index))
 	}
 	f := v.queue[0]
+	before := len(v.queue) + len(v.states)
 	copy(v.queue, v.queue[1:])
 	v.queue = v.queue[:len(v.queue)-1]
 	if f.Type.IsTail() {
@@ -379,6 +433,7 @@ func (v *VC) Pop() *flit.Flit {
 			v.claimFeeder = topology.Invalid
 		}
 	}
+	v.syncHot(before)
 	return f
 }
 
@@ -417,20 +472,23 @@ func (v *VC) SwitchReady(cycle int64) bool {
 // packets never interleave on the link and the shared downstream FIFO
 // stays in order.
 type OutVCBook struct {
-	depths   []int
-	inflight []int   // flits sent into the channel, credits not yet returned
+	// depths and inflight are int32: a book exists per output port per
+	// node, so halving the credit arrays is a measurable part of the
+	// big-mesh memory diet (values are flit counts, far below 2^31).
+	depths   []int32
+	inflight []int32 // flits sent into the channel, credits not yet returned
 	order    [][]int // per channel: FIFO of local grantee VC indexes
 }
 
 // NewOutVCBook returns a book for n downstream VCs of the given depth.
 func NewOutVCBook(n, depth int) *OutVCBook {
 	b := &OutVCBook{
-		depths:   make([]int, n),
-		inflight: make([]int, n),
+		depths:   make([]int32, n),
+		inflight: make([]int32, n),
 		order:    make([][]int, n),
 	}
 	for i := range b.depths {
-		b.depths[i] = depth
+		b.depths[i] = int32(depth)
 	}
 	return b
 }
@@ -445,7 +503,7 @@ func (b *OutVCBook) SetDepth(vc, depth int) {
 	if depth < 0 {
 		panic("router: negative VC depth")
 	}
-	b.depths[vc] = depth
+	b.depths[vc] = int32(depth)
 }
 
 // Size returns the number of downstream VCs tracked.
@@ -480,7 +538,7 @@ func (b *OutVCBook) Credits(vc int) int {
 	if c < 0 {
 		return 0
 	}
-	return c
+	return int(c)
 }
 
 // CancelGrant withdraws grantee's oldest outstanding grant of vc, letting

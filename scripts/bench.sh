@@ -1,5 +1,5 @@
 #!/bin/sh
-# Benchmark driver with two modes:
+# Benchmark driver with four modes:
 #
 #   sh scripts/bench.sh [kernel] [benchtime]  — the simulation-kernel
 #     micro-benchmarks in bench/ (gated vs reference kernel, three router
@@ -16,32 +16,40 @@
 #     benchmarks (gated kernel, RoCo router, 8x8 mesh, three loads, epoch
 #     sampling off vs every 256 cycles), distilled into
 #     BENCH_telemetry.json: ns/op and allocs/op per point plus the
-#     per-load overhead percentage of enabling telemetry. This mode
-#     defaults to a fixed iteration count (60000x) instead of a duration:
-#     per-cycle cost drifts with simulated time (queues deepen toward
-#     saturation), so the off/on runs must simulate the same horizon for
-#     the overhead division to be meaningful.
+#     per-load overhead percentage of enabling telemetry.
 #
-# A bare first argument that is not a mode name is taken as the benchtime
-# for the kernel mode (back-compat). Default benchtime 2s; pass e.g. 5s
-# for steadier numbers. Run from the repository root (directly or via
-# `make bench`, which runs the kernel and shard modes).
+#   sh scripts/bench.sh layout [benchtime]    — the data-layout benchmarks
+#     (gated vs struct-of-arrays kernel, RoCo router, 64x64 and 256x256
+#     meshes), distilled into BENCH_layout.json: ns/op and steady-state
+#     live-heap bytes/node per point, plus the SoA speedup and per-node
+#     footprint reduction.
+#
+# Every mode defaults to a fixed iteration count (-benchtime=Nx) rather
+# than a duration: per-cycle cost drifts with simulated time (queues
+# deepen toward saturation), so two kernels — or the telemetry off/on
+# pair — must simulate the same horizon for their ratio to mean anything,
+# and fixed counts also make BENCH_*.json numbers comparable across
+# commits. Pass an explicit benchtime (e.g. 5x larger) for steadier
+# numbers. Raw `go test -bench` output lands in bench/out/<mode>.txt
+# (ignored by git); the distilled JSON lands at the repository root. Run
+# from the repository root (directly or via `make bench`).
 set -eu
 
 MODE="kernel"
 case "${1:-}" in
-kernel | shard | telemetry)
+kernel | shard | telemetry | layout)
 	MODE="$1"
 	shift
 	;;
 esac
-if [ "$MODE" = "telemetry" ]; then
-	BENCHTIME="${1:-60000x}"
-else
-	BENCHTIME="${1:-2s}"
-fi
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+case "$MODE" in
+kernel) BENCHTIME="${1:-10000x}" ;;
+shard) BENCHTIME="${1:-200x}" ;;
+telemetry) BENCHTIME="${1:-60000x}" ;;
+layout) BENCHTIME="${1:-100x}" ;;
+esac
+mkdir -p bench/out
+RAW="bench/out/$MODE.txt"
 
 if [ "$MODE" = "shard" ]; then
 	OUT="BENCH_shard.json"
@@ -122,6 +130,54 @@ if [ "$MODE" = "telemetry" ]; then
 	        printf "\n    }"
 	    }
 	    printf "\n  }\n}\n"
+	}' "$RAW" > "$OUT"
+
+	echo "wrote $OUT"
+	exit 0
+fi
+
+if [ "$MODE" = "layout" ]; then
+	OUT="BENCH_layout.json"
+
+	go test -run '^$' -bench BenchmarkLayout -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
+
+	awk -v benchtime="$BENCHTIME" '
+	/^BenchmarkLayout\// {
+	    # BenchmarkLayout/mesh/load/kernel-P  iters  <value unit>...
+	    # The bytes/node custom metric shifts column positions, so metrics
+	    # are parsed as (value, unit) pairs rather than by field index.
+	    name = $1
+	    sub(/^BenchmarkLayout\//, "", name)
+	    sub(/-[0-9]+$/, "", name)
+	    split(name, part, "/")
+	    mesh = part[1]; load = part[2]; kernel = part[3]
+	    for (i = 3; i < NF; i += 2) {
+	        if ($(i+1) == "ns/op") ns[mesh, load, kernel] = $i
+	        if ($(i+1) == "bytes/node") bpn[mesh, load, kernel] = $i
+	    }
+	    if (!((mesh, load) in seenp)) { pm[++np] = mesh; pl[np] = load; seenp[mesh, load] = 1 }
+	}
+	END {
+	    if (np == 0) { print "bench.sh: no layout benchmark output parsed" > "/dev/stderr"; exit 1 }
+	    printf "{\n  \"benchtime\": \"%s\",\n  \"router\": \"roco\",\n  \"algorithm\": \"xy\",\n  \"points\": {", benchtime
+	    prevmesh = ""
+	    for (i = 1; i <= np; i++) {
+	        m = pm[i]; l = pl[i]
+	        if (m != prevmesh) {
+	            if (prevmesh != "") printf "\n    },"
+	            printf "\n    \"%s\": {", m
+	            prevmesh = m
+	            first = 1
+	        }
+	        printf "%s\n      \"%s\": {", (first ? "" : ","), l
+	        first = 0
+	        printf "\n        \"gated\": {\"ns_op\": %s, \"bytes_node\": %s},", ns[m,l,"gated"], bpn[m,l,"gated"]
+	        printf "\n        \"soa\":   {\"ns_op\": %s, \"bytes_node\": %s},", ns[m,l,"soa"], bpn[m,l,"soa"]
+	        printf "\n        \"soa_speedup\": %.2f,", ns[m,l,"gated"] / ns[m,l,"soa"]
+	        printf "\n        \"bytes_node_reduction_pct\": %.1f", (1 - bpn[m,l,"soa"] / bpn[m,l,"gated"]) * 100
+	        printf "\n      }"
+	    }
+	    printf "\n    }\n  }\n}\n"
 	}' "$RAW" > "$OUT"
 
 	echo "wrote $OUT"

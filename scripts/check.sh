@@ -47,12 +47,23 @@ trap 'rm -f "$TELECSV" "$SHARD1" "$SHARD2"' EXIT
 go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -telemetry-every 128 -shards 1 >"$SHARD1"
 go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -telemetry-every 128 -shards 2 >"$SHARD2"
 cmp "$SHARD1" "$SHARD2"
+# Kernel-equivalence smoke: the struct-of-arrays kernel must emit
+# byte-identical JSON to the reference kernel on the same faulted,
+# telemetry-sampled run (DESIGN.md 4g).
+KERNREF="$(mktemp)"
+KERNSOA="$(mktemp)"
+trap 'rm -f "$TELECSV" "$SHARD1" "$SHARD2" "$KERNREF" "$KERNSOA"' EXIT
+go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -telemetry-every 128 \
+	-faults-at 150 -faultclass noncritical -kernel reference >"$KERNREF"
+go run ./cmd/rocosim -json -width 4 -height 4 -rate 0.2 -warmup 100 -measure 800 -audit 32 -telemetry-every 128 \
+	-faults-at 150 -faultclass noncritical -kernel soa >"$KERNSOA"
+cmp "$KERNREF" "$KERNSOA"
 # Checkpoint/resume round-trip: the same reliable faulted run straight
 # through, with periodic snapshots, and interrupted-then-resumed must all
 # emit byte-identical JSON — snapshots never perturb a run, and a resumed
 # run is indistinguishable from one that never stopped.
 CKPTDIR="$(mktemp -d)"
-trap 'rm -f "$TELECSV" "$SHARD1" "$SHARD2"; rm -rf "$CKPTDIR"' EXIT
+trap 'rm -f "$TELECSV" "$SHARD1" "$SHARD2" "$KERNREF" "$KERNSOA"; rm -rf "$CKPTDIR"' EXIT
 go run ./cmd/rocosim -json -reliable -rate 0.2 -warmup 100 -measure 2000 \
 	-faults-at 150 -faultclass noncritical >"$CKPTDIR/full.json"
 go run ./cmd/rocosim -json -reliable -rate 0.2 -warmup 100 -measure 2000 \
