@@ -1,10 +1,14 @@
-.PHONY: check test doccheck bench bench-paper fuzz soak checkresume
+.PHONY: check vet test doccheck bench bench-paper fuzz soak checkresume
 
 # The pre-merge gate: vet + build + tests + race detector + doc gate +
-# the checkpoint-equivalence smoke.
-check:
+# the checkpoint-equivalence and rocoserve crash-recovery smokes.
+check: vet
 	sh scripts/check.sh
 	$(MAKE) checkresume
+
+# Static analysis alone (also the first step of check.sh).
+vet:
+	go vet ./...
 
 # Checkpoint-equivalence smoke under the race detector: periodic
 # snapshots must not perturb a run, a resumed run must continue

@@ -9,6 +9,7 @@
 package roco
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -52,6 +53,10 @@ type Sim struct {
 	cfg     Config
 	net     *network.Network
 	profile power.Profile
+	// sweptDir remembers the checkpoint directory already swept of stale
+	// temp files, so CheckpointFile sweeps once per directory, not once
+	// per snapshot.
+	sweptDir string
 }
 
 // NewSim builds a checkpoint-capable simulation. Panics on an invalid
@@ -90,8 +95,16 @@ func (s *Sim) Checkpoint(w io.Writer) error {
 // CheckpointFile writes a snapshot crash-safely into dir as
 // ckpt-<cycle>.rocosnap: temp file, fsync, atomic rename, directory
 // sync. A crash mid-write leaves the previous snapshot intact and the
-// torn temp file ignored by ResumeLatest.
+// torn temp file ignored by ResumeLatest. The first write into a
+// directory sweeps stale temp files left by previously killed writers
+// (the Sim owns its checkpoint directory for the duration of the run).
 func (s *Sim) CheckpointFile(dir string) error {
+	if s.sweptDir != dir {
+		if _, err := snapshot.SweepTemp(dir); err != nil {
+			return err
+		}
+		s.sweptDir = dir
+	}
 	e := snapshot.NewEncoder()
 	e.U64(fingerprint(s.cfg))
 	s.net.SaveState(e)
@@ -105,20 +118,38 @@ type CheckpointOptions struct {
 	// periodic snapshots).
 	Every int64
 	// Dir receives the snapshot files. Required when Every > 0 or Stop
-	// is set.
+	// is set; optional with Context/CycleBudget alone (the run is then
+	// cancellable but leaves no snapshot behind).
 	Dir string
 	// Stop, when it becomes receivable (or is closed), stops the run at
 	// the next cycle boundary after flushing a final snapshot — the hook
 	// signal handlers use to make an interrupt resumable.
 	Stop <-chan struct{}
+	// Context, when non-nil, makes the run cancellable: at the first
+	// cycle boundary after the context is done the run flushes a final
+	// snapshot (when Dir is set) and returns interrupted. Cancellation
+	// and deadline expiry behave identically; the caller disambiguates
+	// through context.Cause. A nil Context is context.Background.
+	Context context.Context
+	// CycleBudget stops the run — interrupted, final snapshot flushed —
+	// once the simulation clock reaches this cycle (0 = unlimited). The
+	// budget is absolute simulated time, so a resumed run granted a new
+	// slice passes a larger value to continue.
+	CycleBudget int64
+	// Progress, when set, is invoked after every snapshot written
+	// (periodic and final-flush alike) with the cycle just persisted. It
+	// runs on the simulation goroutine; keep it cheap. Never called when
+	// Dir is empty.
+	Progress func(cycle int64)
 }
 
 // RunCheckpointed executes the simulation with periodic crash-safe
 // snapshots. It returns the Result (partial when interrupted), whether
-// the Stop channel ended the run early, and the first snapshot-write
-// error if any (a write failure on a Stop flush also ends the run; a
-// periodic write failure stops the run too, since a run that can no
-// longer checkpoint has lost the property the caller asked for).
+// something ended the run early (Stop, Context, or CycleBudget), and the
+// first snapshot-write error if any (a write failure on a final flush
+// also ends the run; a periodic write failure stops the run too, since a
+// run that can no longer checkpoint has lost the property the caller
+// asked for).
 func (s *Sim) RunCheckpointed(opts CheckpointOptions) (Result, bool, error) {
 	if (opts.Every > 0 || opts.Stop != nil) && opts.Dir == "" {
 		return Result{}, false, errors.New("roco: CheckpointOptions.Dir is required")
@@ -127,6 +158,10 @@ func (s *Sim) RunCheckpointed(opts CheckpointOptions) (Result, bool, error) {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 			return Result{}, false, err
 		}
+	}
+	var done <-chan struct{}
+	if opts.Context != nil {
+		done = opts.Context.Done()
 	}
 	var werr error
 	res, interrupted := s.net.RunHooked(func() bool {
@@ -138,12 +173,25 @@ func (s *Sim) RunCheckpointed(opts CheckpointOptions) (Result, bool, error) {
 			default:
 			}
 		}
-		if stop || (opts.Every > 0 && s.net.Cycle()%opts.Every == 0) {
+		if !stop && done != nil {
+			select {
+			case <-done:
+				stop = true
+			default:
+			}
+		}
+		if !stop && opts.CycleBudget > 0 && s.net.Cycle() >= opts.CycleBudget {
+			stop = true
+		}
+		if opts.Dir != "" && (stop || (opts.Every > 0 && s.net.Cycle()%opts.Every == 0)) {
 			if err := s.CheckpointFile(opts.Dir); err != nil {
 				if werr == nil {
 					werr = err
 				}
 				return true
+			}
+			if opts.Progress != nil {
+				opts.Progress(s.net.Cycle())
 			}
 		}
 		return stop
@@ -184,8 +232,13 @@ func Resume(r io.Reader, cfg Config) (*Sim, error) {
 
 // ResumeLatest resumes from the newest valid snapshot in dir, skipping
 // torn or truncated files (each candidate is fully checksum-verified
-// before it is chosen). Returns ErrNoSnapshot when none qualifies.
+// before it is chosen). Stale temp files from previously killed writers
+// are swept first — resume startup is the one moment the directory is
+// provably quiescent. Returns ErrNoSnapshot when none qualifies.
 func ResumeLatest(dir string, cfg Config) (*Sim, error) {
+	if _, err := snapshot.SweepTemp(dir); err != nil {
+		return nil, err
+	}
 	name, err := snapshot.Latest(dir, snapshotPattern)
 	if err != nil {
 		return nil, err
@@ -195,7 +248,12 @@ func ResumeLatest(dir string, cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Resume(f, cfg)
+	sim, err := Resume(f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim.sweptDir = dir
+	return sim, nil
 }
 
 // fingerprint hashes the normalized configuration, excluding the fields

@@ -1,0 +1,262 @@
+// CheckpointOptions failure paths and the cancellable run surface:
+// unwritable directories, write errors mid-frame, empty-directory
+// resume, stale temp sweeping, context cancellation and cycle budgets
+// (each with resume equivalence).
+package roco
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// smallCkptConfig is a faster sibling of ckptTestConfig for tests that
+// need several full runs.
+func smallCkptConfig(seed uint64) Config {
+	return Config{
+		Width: 4, Height: 4,
+		Router: RoCo, Algorithm: XY, Traffic: Uniform,
+		InjectionRate:  0.2,
+		WarmupPackets:  50,
+		MeasurePackets: 400,
+		Seed:           seed,
+		TelemetryEvery: 64,
+	}
+}
+
+// TestRunCheckpointedUnwritableDir: a checkpoint directory that cannot
+// be created (its parent is a regular file — fails for any uid, root
+// included) must surface as an error from RunCheckpointed, not as a run
+// that silently lost its crash-safety.
+func TestRunCheckpointedUnwritableDir(t *testing.T) {
+	base := t.TempDir()
+	plain := filepath.Join(base, "plainfile")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim(smallCkptConfig(1))
+	_, _, err := sim.RunCheckpointed(CheckpointOptions{
+		Every: 64, Dir: filepath.Join(plain, "sub"),
+	})
+	if err == nil {
+		t.Fatal("checkpointing under a regular file should fail")
+	}
+}
+
+// TestRunCheckpointedWriteErrorStopsRun: when a periodic snapshot write
+// starts failing mid-run (directory ripped out from under the Sim), the
+// run must stop and report the write error — a run that can no longer
+// checkpoint has lost the property the caller asked for.
+func TestRunCheckpointedWriteErrorStopsRun(t *testing.T) {
+	dir := t.TempDir()
+	ckpts := filepath.Join(dir, "ckpts")
+	sim := NewSim(smallCkptConfig(2))
+	fired := false
+	_, _, err := sim.RunCheckpointed(CheckpointOptions{
+		Every: 64, Dir: ckpts,
+		Progress: func(cycle int64) {
+			if !fired {
+				fired = true
+				// Replace the directory with a regular file so the next
+				// periodic write cannot even create its temp file.
+				if err := os.RemoveAll(ckpts); err != nil {
+					t.Errorf("removing checkpoint dir: %v", err)
+				}
+				if err := os.WriteFile(ckpts, []byte("usurped"), 0o644); err != nil {
+					t.Errorf("usurping checkpoint dir: %v", err)
+				}
+			}
+		},
+	})
+	if !fired {
+		t.Fatal("run finished without a single periodic snapshot; shrink Every")
+	}
+	if err == nil {
+		t.Fatal("write failure mid-run should surface as an error")
+	}
+}
+
+// failAfter errors once n bytes have been accepted — a disk filling up
+// mid-frame.
+type failAfter struct {
+	n    int
+	boom error
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, f.boom
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, f.boom
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestCheckpointWriteErrorMidFrame: an io error partway through the
+// frame propagates out of Checkpoint.
+func TestCheckpointWriteErrorMidFrame(t *testing.T) {
+	boom := errors.New("disk full")
+	sim := NewSim(smallCkptConfig(3))
+	for _, budget := range []int{0, 1, 7, 64, 4096} {
+		err := sim.Checkpoint(&failAfter{n: budget, boom: boom})
+		if !errors.Is(err, boom) {
+			t.Fatalf("budget %d: err=%v, want the writer's error", budget, err)
+		}
+	}
+	// The failed writes must not have perturbed the simulation: a full
+	// checkpoint still round-trips.
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatalf("clean checkpoint after failed ones: %v", err)
+	}
+	if _, err := Resume(bytes.NewReader(buf.Bytes()), smallCkptConfig(3)); err != nil {
+		t.Fatalf("resume after failed writes: %v", err)
+	}
+}
+
+// TestResumeLatestEmptyAndMissingDir: both an empty directory and a
+// nonexistent one are ErrNoSnapshot — "nothing to resume", not a crash.
+func TestResumeLatestEmptyAndMissingDir(t *testing.T) {
+	cfg := smallCkptConfig(4)
+	if _, err := ResumeLatest(t.TempDir(), cfg); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: err=%v, want ErrNoSnapshot", err)
+	}
+	missing := filepath.Join(t.TempDir(), "never-created")
+	if _, err := ResumeLatest(missing, cfg); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("missing dir: err=%v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestStaleTempSweep: stale temp files from a killed writer are swept by
+// both resume startup and the first checkpoint write into a directory.
+func TestStaleTempSweep(t *testing.T) {
+	cfg := smallCkptConfig(5)
+	dir := t.TempDir()
+	stale := filepath.Join(dir, ".tmp-killed-writer")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeLatest(dir, cfg); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err=%v, want ErrNoSnapshot", err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ResumeLatest left the stale temp behind (err=%v)", err)
+	}
+
+	if err := os.WriteFile(stale, []byte("torn again"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim(cfg)
+	if err := sim.CheckpointFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("CheckpointFile left the stale temp behind (err=%v)", err)
+	}
+	// The sweep must not eat valid snapshots: the one just written
+	// resumes.
+	if _, err := ResumeLatest(dir, cfg); err != nil {
+		t.Fatalf("resume of the fresh snapshot: %v", err)
+	}
+}
+
+// TestRunCheckpointedContextCancel: cancelling the context stops the run
+// at the next cycle boundary with a final snapshot, context.Cause
+// reports the caller's cause, and resuming finishes bit-identical to an
+// uninterrupted run.
+func TestRunCheckpointedContextCancel(t *testing.T) {
+	cfg := smallCkptConfig(6)
+	want := Run(cfg)
+	dir := t.TempDir()
+	cause := errors.New("operator asked")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	sim := NewSim(cfg)
+	res, interrupted, err := sim.RunCheckpointed(CheckpointOptions{
+		Every: 64, Dir: dir, Context: ctx,
+		Progress: func(cycle int64) {
+			if cycle >= 128 {
+				cancel(cause)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("cancelled run reported no interruption")
+	}
+	if res.Cycles >= want.Cycles {
+		t.Fatalf("interrupted at cycle %d, not before the full run's %d", res.Cycles, want.Cycles)
+	}
+	if got := context.Cause(ctx); !errors.Is(got, cause) {
+		t.Fatalf("context.Cause=%v, want the caller's cause", got)
+	}
+	resumed, err := ResumeLatest(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Run(); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed-after-cancel result differs from uninterrupted run")
+	}
+}
+
+// TestRunCheckpointedCycleBudget: the budget stops the run at the budget
+// cycle with a snapshot flushed, and a resumed run granted the rest of
+// its time finishes bit-identical.
+func TestRunCheckpointedCycleBudget(t *testing.T) {
+	cfg := smallCkptConfig(7)
+	want := Run(cfg)
+	dir := t.TempDir()
+	sim := NewSim(cfg)
+	res, interrupted, err := sim.RunCheckpointed(CheckpointOptions{
+		Every: 64, Dir: dir, CycleBudget: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("budgeted run reported no interruption")
+	}
+	if sim.Cycle() < 200 || sim.Cycle() > 200+1 {
+		t.Fatalf("stopped at cycle %d, want the budget boundary", sim.Cycle())
+	}
+	if res.Cycles >= want.Cycles {
+		t.Fatalf("budget did not actually cut the run short (%d vs %d)", res.Cycles, want.Cycles)
+	}
+	resumed, err := ResumeLatest(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Run(); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed-after-budget result differs from uninterrupted run")
+	}
+}
+
+// TestRunCheckpointedBudgetWithoutDir: Context/CycleBudget alone make
+// the run cancellable without any snapshot directory — and Progress is
+// never called in that mode.
+func TestRunCheckpointedBudgetWithoutDir(t *testing.T) {
+	sim := NewSim(smallCkptConfig(8))
+	calls := 0
+	_, interrupted, err := sim.RunCheckpointed(CheckpointOptions{
+		CycleBudget: 100,
+		Progress:    func(int64) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interrupted {
+		t.Fatal("budget without dir should still interrupt")
+	}
+	if calls != 0 {
+		t.Fatalf("Progress fired %d times with no Dir, want 0", calls)
+	}
+}

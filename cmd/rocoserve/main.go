@@ -1,0 +1,83 @@
+// Command rocoserve runs the crash-surviving simulation campaign
+// service: an HTTP/JSON server that accepts roco simulation jobs,
+// executes them on a bounded worker pool with per-job deadlines, cycle
+// budgets and exponential-backoff retries, checkpoints every job on a
+// cadence, and — after any crash or restart — resumes every in-flight
+// job from its latest valid snapshot, bit-identically.
+//
+// Usage:
+//
+//	rocoserve -data DIR [-addr :8080] [-workers N] [-queue N]
+//	          [-checkpoint-every N] [-retry-base D] [-retry-max D]
+//	          [-drain D] [-v]
+//
+// See docs/OPERATIONS.md for the API and the job lifecycle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"github.com/rocosim/roco/internal/campaign"
+	"github.com/rocosim/roco/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "data directory for job state (required)")
+		workers   = flag.Int("workers", 2, "concurrent simulation workers")
+		queueCap  = flag.Int("queue", 64, "max open (non-terminal) jobs before admission sheds load")
+		ckptEvery = flag.Int64("checkpoint-every", 2048, "default snapshot cadence in cycles")
+		retryBase = flag.Duration("retry-base", 250*time.Millisecond, "first retry backoff delay")
+		retryMax  = flag.Duration("retry-max", 30*time.Second, "retry backoff cap")
+		drain     = flag.Duration("drain", serve.DefaultDrain, "in-flight request drain timeout on shutdown")
+		verbose   = flag.Bool("v", false, "log job lifecycle events")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "rocoserve: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	mgr, err := campaign.Open(campaign.Options{
+		Dir:             *data,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		CheckpointEvery: *ckptEvery,
+		RetryBase:       *retryBase,
+		RetryMax:        *retryMax,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rocoserve: %v\n", err)
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rocoserve: %v\n", err)
+		os.Exit(2)
+	}
+	log.Printf("rocoserve: listening on http://%s (data %s, %d workers, queue cap %d)",
+		ln.Addr(), *data, *workers, *queueCap)
+	srv := serve.Start(ln, campaign.Handler(mgr), serve.Options{
+		Drain: *drain,
+		// Stop the campaign first: running jobs flush a final snapshot and
+		// park resumable, and SSE streams end so the drain is not held open.
+		BeforeDrain: mgr.Stop,
+		Logf:        log.Printf,
+	})
+	if err := srv.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "rocoserve: %v\n", err)
+		os.Exit(2)
+	}
+	log.Printf("rocoserve: shut down cleanly")
+}

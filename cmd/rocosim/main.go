@@ -30,6 +30,7 @@ import (
 	"syscall"
 
 	"github.com/rocosim/roco"
+	"github.com/rocosim/roco/internal/serve"
 )
 
 // Exit codes: 0 success, 2 usage or runtime error, 3 livelock watchdog
@@ -353,6 +354,10 @@ func runCheckpointed(cfg roco.Config, dir string, every int64, resume, jsonOut b
 	return res
 }
 
+// liveServer is the -serve endpoint, started by runServed and drained
+// by lingerIfServing on SIGINT/SIGTERM.
+var liveServer *serve.Server
+
 // runServed executes the simulation as a LiveRun with the telemetry HTTP
 // endpoint mounted for its whole duration. expvar and net/http/pprof
 // register themselves on the default mux via their imports, so the one
@@ -370,66 +375,53 @@ func runServed(cfg roco.Config, addr string) roco.Result {
 	}
 	// The resolved address matters when the user asked for port 0.
 	fmt.Fprintf(os.Stderr, "rocosim: serving telemetry on http://%s/metrics\n", ln.Addr())
-	go func() {
-		if err := http.Serve(ln, nil); err != nil {
-			fatalf("serve: %v", err)
-		}
-	}()
+	liveServer = serve.Start(ln, nil, serve.Options{
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "rocosim: "+format+"\n", args...)
+		},
+	})
 	return live.Run()
 }
 
-// lingerIfServing keeps a -serve process alive after the run so the final
-// epoch and totals stay scrapeable; the user interrupts it when done.
+// lingerIfServing keeps a -serve process alive after the run so the
+// final epoch and totals stay scrapeable, then shuts down gracefully —
+// in-flight scrapes drained under a timeout — when SIGINT/SIGTERM
+// arrives, instead of blocking forever and needing a kill.
 func lingerIfServing(addr string) {
-	if addr == "" {
+	if addr == "" || liveServer == nil {
 		return
 	}
-	fmt.Fprintln(os.Stderr, "rocosim: run complete; serving final telemetry until interrupted")
-	select {}
+	fmt.Fprintln(os.Stderr, "rocosim: run complete; serving final telemetry (SIGINT/SIGTERM to exit)")
+	if err := liveServer.Wait(); err != nil {
+		fatalf("serve: %v", err)
+	}
 }
 
+// The flag parsers delegate to the enums' TextUnmarshaler, so the CLI
+// and JSON job specs accept exactly the same tokens and aliases.
+
 func parseRouter(s string) (roco.RouterKind, bool) {
-	switch strings.ToLower(s) {
-	case "generic", "gen":
-		return roco.Generic, true
-	case "pathsensitive", "path-sensitive", "ps":
-		return roco.PathSensitive, true
-	case "roco":
-		return roco.RoCo, true
-	case "pdr":
-		return roco.PDR, true
+	var k roco.RouterKind
+	if err := k.UnmarshalText([]byte(s)); err != nil {
+		return 0, false
 	}
-	return 0, false
+	return k, true
 }
 
 func parseRouting(s string) (roco.Algorithm, bool) {
-	switch strings.ToLower(s) {
-	case "xy", "dor":
-		return roco.XY, true
-	case "xyyx", "xy-yx":
-		return roco.XYYX, true
-	case "adaptive", "oddeven", "odd-even":
-		return roco.Adaptive, true
+	var a roco.Algorithm
+	if err := a.UnmarshalText([]byte(s)); err != nil {
+		return 0, false
 	}
-	return 0, false
+	return a, true
 }
 
 func parseTraffic(s string) (roco.TrafficPattern, bool) {
-	switch strings.ToLower(s) {
-	case "uniform":
-		return roco.Uniform, true
-	case "transpose":
-		return roco.Transpose, true
-	case "selfsimilar", "self-similar", "web":
-		return roco.SelfSimilar, true
-	case "mpeg2", "mpeg", "video":
-		return roco.MPEG2, true
-	case "bitcomplement", "bit-complement":
-		return roco.BitComplement, true
-	case "hotspot":
-		return roco.Hotspot, true
+	var p roco.TrafficPattern
+	if err := p.UnmarshalText([]byte(s)); err != nil {
+		return 0, false
 	}
-	return 0, false
+	return p, true
 }
 
 func fatalf(format string, args ...any) {

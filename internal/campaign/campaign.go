@@ -1,0 +1,175 @@
+// Package campaign implements the crash-surviving simulation job
+// service behind cmd/rocoserve: a bounded priority queue with admission
+// control, a worker pool running jobs as checkpointed roco.Sim
+// instances, exponential-backoff retries with a cap, per-job
+// wall-clock deadlines and simulated-cycle budgets enforced through
+// context cancellation, and recovery — on process restart every
+// non-terminal job is rescanned from its on-disk manifest and resumed
+// from its latest valid snapshot, bit-identically.
+//
+// The design philosophy mirrors the paper's: degrade gracefully instead
+// of falling over. A full queue rejects new work immediately (HTTP 429)
+// rather than queueing unboundedly; a slow subscriber loses events
+// rather than stalling the simulation; a killed process loses at most
+// one checkpoint interval of compute, never a job.
+//
+// On-disk layout, under the manager's data directory:
+//
+//	jobs/<id>/manifest.rjson  — the Job record, CRC-framed JSON
+//	                            (snapshot.WriteJSONFileAtomic)
+//	jobs/<id>/snaps/          — ckpt-*.rocosnap checkpoint frames
+//	jobs/<id>/result.json     — the final roco.Result, raw JSON,
+//	                            written atomically before the manifest
+//	                            flips to "succeeded"
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/rocosim/roco"
+)
+
+// State is a job's position in its lifecycle.
+//
+// The machine:
+//
+//	queued ──► running ──► succeeded
+//	  ▲           │  ├───► failed      (terminal, structured Failure)
+//	  │           │  └───► canceled    (terminal, client asked)
+//	  │           ▼
+//	  └──── backoff               (retryable failure, waiting out the delay)
+//
+// A graceful shutdown moves running jobs back to queued (resumable, the
+// attempt is not charged); a SIGKILL leaves them "running" on disk and
+// recovery requeues them to resume from the latest snapshot.
+type State string
+
+// The job states. Succeeded, Failed and Canceled are terminal.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Backoff   State = "backoff"
+	Succeeded State = "succeeded"
+	Failed    State = "failed"
+	Canceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Succeeded || s == Failed || s == Canceled }
+
+// FailureKind classifies a job failure.
+type FailureKind string
+
+// The failure kinds. FailPanic and FailCheckpoint are retryable (up to
+// Spec.MaxRetries); the rest are terminal on first occurrence.
+const (
+	// FailDeadline: the wall-clock deadline expired mid-run.
+	FailDeadline FailureKind = "deadline"
+	// FailCycleBudget: the simulated-cycle budget ran out.
+	FailCycleBudget FailureKind = "cycle-budget"
+	// FailLivelock: the livelock watchdog terminated the run with traffic
+	// wedged; Message carries the structured watchdog report.
+	FailLivelock FailureKind = "livelock"
+	// FailPanic: the simulation panicked (retryable — the retry resumes
+	// from the last snapshot).
+	FailPanic FailureKind = "panic"
+	// FailCheckpoint: a snapshot write failed (retryable — typically a
+	// transient filesystem condition).
+	FailCheckpoint FailureKind = "checkpoint"
+	// FailSnapshot: resume was refused (config fingerprint mismatch or a
+	// foreign snapshot version); terminal, since rerunning cannot help.
+	FailSnapshot FailureKind = "snapshot"
+	// FailRetries: the retry cap was exhausted; Message carries the last
+	// underlying failure.
+	FailRetries FailureKind = "retries-exhausted"
+)
+
+// Failure is one structured job failure.
+type Failure struct {
+	Kind    FailureKind `json:"kind"`
+	Message string      `json:"message"`
+	// Attempt is the 1-based attempt that failed; Cycle the simulation
+	// clock when it did (0 when the run never started).
+	Attempt int   `json:"attempt"`
+	Cycle   int64 `json:"cycle,omitempty"`
+	At      int64 `json:"at_unix_ms"`
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s (attempt %d): %s", f.Kind, f.Attempt, f.Message)
+}
+
+// Spec is a client-submitted job description.
+type Spec struct {
+	// Config is the simulation to run, validated at admission.
+	Config roco.Config `json:"config"`
+	// Priority orders the queue: higher runs first, FIFO within a
+	// priority level.
+	Priority int `json:"priority,omitempty"`
+	// DeadlineMS is the job's wall-clock budget in milliseconds, measured
+	// from admission across all attempts; expiry is a terminal deadline
+	// failure. 0 = no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// CycleBudget caps the simulated clock; a run that reaches it stops
+	// (snapshot flushed for inspection) and fails terminally with
+	// cycle-budget. 0 = unlimited.
+	CycleBudget int64 `json:"cycle_budget,omitempty"`
+	// MaxRetries is how many times a retryable failure (panic, checkpoint
+	// write error) is retried with exponential backoff before the job
+	// fails terminally.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// CheckpointEvery overrides the manager's snapshot cadence in cycles
+	// (0 = manager default). Smaller loses less compute to a crash,
+	// larger checkpoints cheaper.
+	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
+	// Label is a free-form client tag echoed in status output.
+	Label string `json:"label,omitempty"`
+}
+
+// Job is the persisted record of one submission — the manifest schema.
+type Job struct {
+	ID    string `json:"id"`
+	Spec  Spec   `json:"spec"`
+	State State  `json:"state"`
+	// Attempts counts run attempts started (a graceful-shutdown
+	// interruption is not charged).
+	Attempts int `json:"attempts"`
+	// Failure is the failure that put the job in its current state;
+	// Retried lists earlier failures that were retried.
+	Failure *Failure  `json:"failure,omitempty"`
+	Retried []Failure `json:"retried,omitempty"`
+	// Cycle is the latest simulation cycle persisted to a snapshot —
+	// resume-safe progress, not a live counter.
+	Cycle int64 `json:"cycle"`
+	// Timestamps, unix milliseconds (0 = not yet).
+	SubmittedAt int64 `json:"submitted_at_unix_ms"`
+	StartedAt   int64 `json:"started_at_unix_ms,omitempty"`
+	FinishedAt  int64 `json:"finished_at_unix_ms,omitempty"`
+	NextRetryAt int64 `json:"next_retry_at_unix_ms,omitempty"`
+}
+
+// Deadline returns the job's absolute wall-clock deadline and whether
+// one is set.
+func (j *Job) Deadline() (time.Time, bool) {
+	if j.Spec.DeadlineMS <= 0 {
+		return time.Time{}, false
+	}
+	return time.UnixMilli(j.SubmittedAt).Add(time.Duration(j.Spec.DeadlineMS) * time.Millisecond), true
+}
+
+// Event is one job-lifecycle or progress notification, delivered to SSE
+// subscribers. Type is "state" (State/Failure meaningful), "progress"
+// (Cycle meaningful — a snapshot just persisted), or "epoch" (Epoch
+// meaningful — one closed telemetry epoch).
+type Event struct {
+	Type    string               `json:"type"`
+	JobID   string               `json:"job"`
+	State   State                `json:"state,omitempty"`
+	Cycle   int64                `json:"cycle,omitempty"`
+	Failure *Failure             `json:"failure,omitempty"`
+	Epoch   *roco.TelemetryEpoch `json:"epoch,omitempty"`
+}
+
+// nowMS is the wall clock in unix milliseconds.
+func nowMS() int64 { return time.Now().UnixMilli() }

@@ -1,0 +1,755 @@
+// The campaign manager: admission, scheduling, execution, retry and
+// crash recovery. One Manager owns one data directory; cmd/rocoserve
+// wraps it with the HTTP surface in server.go.
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/rocosim/roco"
+	"github.com/rocosim/roco/internal/snapshot"
+)
+
+// Admission and lookup errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull: the open-job cap is reached; the client should retry
+	// later (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("campaign: queue full")
+	// ErrUnknownJob: no job with that ID.
+	ErrUnknownJob = errors.New("campaign: unknown job")
+	// ErrStopping: the manager is shutting down and admits nothing new.
+	ErrStopping = errors.New("campaign: shutting down")
+	// ErrNoResult: the job has no result file (not finished, or failed
+	// before producing one).
+	ErrNoResult = errors.New("campaign: no result available")
+)
+
+// Cancellation causes threaded through job contexts; settle keys on them
+// to tell a graceful shutdown (requeue, attempt uncharged) from a client
+// cancel (terminal) from a deadline expiry (terminal failure).
+var (
+	errShutdown = errors.New("campaign: interrupted by shutdown")
+	errCanceled = errors.New("campaign: canceled by client")
+)
+
+// Options parameterizes a Manager.
+type Options struct {
+	// Dir is the data directory (created if missing); job state lives
+	// under Dir/jobs/<id>/.
+	Dir string
+	// Workers sizes the pool running jobs concurrently (default 2).
+	Workers int
+	// QueueCap bounds open (non-terminal) jobs; admission beyond it
+	// returns ErrQueueFull (default 64). Retries and recovered jobs
+	// bypass the cap — they were admitted once already.
+	QueueCap int
+	// CheckpointEvery is the default snapshot cadence in cycles for jobs
+	// that do not set Spec.CheckpointEvery (default 2048).
+	CheckpointEvery int64
+	// RetryBase and RetryMax shape the retry backoff: attempt n waits
+	// RetryBase<<(n-1), capped at RetryMax (defaults 250ms and 30s) —
+	// the same doubled-then-capped discipline as the reliable-delivery
+	// retransmission tracker.
+	RetryBase, RetryMax time.Duration
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+	// preRun is a test seam (in-package tests only): invoked before each
+	// attempt's simulation; a non-nil error counts as a retryable
+	// panic-class failure.
+	preRun func(*Job) error
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 2048
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 250 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 30 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// job is the in-memory wrapper around a persisted Job record.
+type job struct {
+	Job
+	ctx       context.Context
+	cancel    context.CancelCauseFunc
+	ctxClean  context.CancelFunc // releases the deadline timer
+	subs      map[chan Event]struct{}
+	lastEpoch int64 // last telemetry epoch index streamed to subscribers
+}
+
+// Manager runs a campaign: it owns the job table, the priority queue,
+// the worker pool and the data directory. Build one with Open.
+type Manager struct {
+	opts Options
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[string]*job
+	// queue holds runnable jobs; stale entries (canceled while queued)
+	// are skipped at pop time.
+	queue    prioQueue
+	seq      uint64
+	open     int // non-terminal jobs, the admission counter
+	stopping bool
+	quit     chan struct{}
+	timers   map[string]*time.Timer
+	wg       sync.WaitGroup
+	// preRun is a test seam: invoked before each attempt's simulation;
+	// a non-nil error is treated as a retryable panic-class failure.
+	preRun func(*Job) error
+}
+
+// Open builds a Manager over dir: it creates the layout, recovers every
+// job left on disk by a previous process — non-terminal jobs re-enter
+// the queue in submission order and resume from their latest valid
+// snapshot when they run — and starts the worker pool.
+func Open(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:   opts,
+		jobs:   make(map[string]*job),
+		quit:   make(chan struct{}),
+		timers: make(map[string]*time.Timer),
+		preRun: opts.preRun,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := os.MkdirAll(m.jobsDir(), 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(m.jobsDir())
+	if err != nil {
+		return nil, err
+	}
+	var recovered []*job
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		var rec Job
+		path := filepath.Join(m.jobsDir(), ent.Name(), "manifest.rjson")
+		if rerr := snapshot.ReadJSONFile(path, &rec); rerr != nil {
+			// A torn manifest means the process died inside the atomic
+			// write of a brand-new job; there is nothing to resume.
+			opts.Logf("campaign: skipping %s: %v", path, rerr)
+			continue
+		}
+		j := &job{Job: rec, subs: make(map[chan Event]struct{})}
+		m.jobs[rec.ID] = j
+		if !rec.State.Terminal() {
+			m.open++
+			recovered = append(recovered, j)
+		}
+	}
+	sort.Slice(recovered, func(a, b int) bool {
+		if recovered[a].SubmittedAt != recovered[b].SubmittedAt {
+			return recovered[a].SubmittedAt < recovered[b].SubmittedAt
+		}
+		return recovered[a].ID < recovered[b].ID
+	})
+	for _, j := range recovered {
+		if j.State != Queued {
+			// Running (killed mid-run — snapshots carry the progress) and
+			// backoff (its timer died with the process) both requeue. The
+			// kill interrupted the running attempt without settling it, so
+			// it is uncharged — a crash is the service's failure, not the
+			// job's.
+			if j.State == Running && j.Attempts > 0 {
+				j.Attempts--
+			}
+			j.State = Queued
+			j.NextRetryAt = 0
+			m.persistLocked(j)
+		}
+		m.pushJob(j)
+		opts.Logf("campaign: recovered job %s at cycle %d (attempt %d)", j.ID, j.Cycle, j.Attempts)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Done reports manager shutdown; long-lived streams (SSE) select on it.
+func (m *Manager) Done() <-chan struct{} { return m.quit }
+
+// Stop shuts the manager down gracefully: no new admissions, backoff
+// timers stopped, running jobs cancelled at their next cycle boundary —
+// each flushes a final snapshot and is persisted back to "queued" with
+// the attempt uncharged, so the next Open resumes it — and every
+// subscriber channel closed. Blocks until the workers have drained.
+// Idempotent.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopping {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.stopping = true
+	close(m.quit)
+	for id, t := range m.timers {
+		t.Stop()
+		delete(m.timers, id)
+	}
+	for _, j := range m.jobs {
+		if j.cancel != nil {
+			j.cancel(errShutdown)
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+	m.mu.Unlock()
+}
+
+// Submit admits one job: the configuration is validated, the manifest
+// persisted, and the job queued. Returns ErrQueueFull when the open-job
+// cap is reached (the graceful-shedding contract) and ErrStopping
+// during shutdown.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if err := spec.Config.Validate(); err != nil {
+		return Job{}, fmt.Errorf("campaign: invalid config: %w", err)
+	}
+	if spec.CycleBudget < 0 || spec.DeadlineMS < 0 || spec.MaxRetries < 0 || spec.CheckpointEvery < 0 {
+		return Job{}, errors.New("campaign: negative cycle_budget/deadline_ms/max_retries/checkpoint_every")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopping {
+		return Job{}, ErrStopping
+	}
+	if m.open >= m.opts.QueueCap {
+		return Job{}, ErrQueueFull
+	}
+	j := &job{
+		Job: Job{
+			ID:          newID(),
+			Spec:        spec,
+			State:       Queued,
+			SubmittedAt: nowMS(),
+		},
+		subs: make(map[chan Event]struct{}),
+	}
+	if err := os.MkdirAll(m.snapsDir(j.ID), 0o755); err != nil {
+		return Job{}, err
+	}
+	if err := m.persistErrLocked(j); err != nil {
+		return Job{}, err
+	}
+	m.jobs[j.ID] = j
+	m.open++
+	m.pushJob(j)
+	m.opts.Logf("campaign: job %s admitted (priority %d, %d open)", j.ID, spec.Priority, m.open)
+	return j.Job, nil
+}
+
+// Get returns a snapshot of one job's record.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// Jobs returns snapshots of every known job, oldest submission first.
+func (m *Manager) Jobs() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.Job)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].SubmittedAt != out[b].SubmittedAt {
+			return out[a].SubmittedAt < out[b].SubmittedAt
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Stats summarizes the manager for /stats and admission headers.
+type Stats struct {
+	Workers  int           `json:"workers"`
+	QueueCap int           `json:"queue_cap"`
+	Open     int           `json:"open"`
+	ByState  map[State]int `json:"by_state"`
+}
+
+// Stats returns a consistent snapshot of the job counts.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Workers: m.opts.Workers, QueueCap: m.opts.QueueCap, Open: m.open, ByState: make(map[State]int)}
+	for _, j := range m.jobs {
+		s.ByState[j.State]++
+	}
+	return s
+}
+
+// Result returns the job's persisted result JSON (the exact bytes a
+// plain roco run would have produced). ErrNoResult until the job has
+// one; ErrUnknownJob for a foreign ID.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	_, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	data, err := os.ReadFile(m.resultPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoResult
+	}
+	return data, err
+}
+
+// Cancel ends a job: queued and backoff jobs terminate immediately, a
+// running job is cancelled at its next cycle boundary (final snapshot
+// flushed). Terminal jobs are left alone (no error — cancel is
+// idempotent).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	switch j.State {
+	case Queued:
+		// The heap entry goes stale; workers skip non-queued pops.
+		m.finishLocked(j, Canceled, nil)
+	case Backoff:
+		if t := m.timers[id]; t != nil {
+			t.Stop()
+			delete(m.timers, id)
+		}
+		m.finishLocked(j, Canceled, nil)
+	case Running:
+		if j.cancel != nil {
+			j.cancel(errCanceled)
+		}
+	}
+	return nil
+}
+
+// Subscribe opens an event stream for one job: an initial "state" event,
+// then progress/epoch/state events until the job reaches a terminal
+// state (channel closed). A slow consumer loses events rather than
+// stalling the simulation — the channel is bounded and sends are
+// non-blocking. The returned cancel is idempotent and must be called.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, ErrUnknownJob
+	}
+	ch := make(chan Event, 64)
+	ch <- Event{Type: "state", JobID: j.ID, State: j.State, Cycle: j.Cycle, Failure: j.Failure}
+	if j.State.Terminal() || m.stopping {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	j.subs[ch] = struct{}{}
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// worker is one pool goroutine: pop the best runnable job, run it,
+// repeat until shutdown.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		for !m.stopping && m.queue.Len() == 0 {
+			m.cond.Wait()
+		}
+		if m.stopping {
+			m.mu.Unlock()
+			return
+		}
+		j := m.popJob()
+		if j == nil || j.State != Queued {
+			continue // stale heap entry (canceled while queued)
+		}
+		m.startLocked(j)
+		m.mu.Unlock()
+		m.runJob(j)
+		m.mu.Lock()
+	}
+}
+
+// startLocked transitions a popped job to running: attempt charged,
+// cancellation context (with the wall-clock deadline, when set) armed,
+// manifest persisted. Caller holds m.mu.
+func (m *Manager) startLocked(j *job) {
+	j.State = Running
+	j.Attempts++
+	j.NextRetryAt = 0
+	if j.StartedAt == 0 {
+		j.StartedAt = nowMS()
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	clean := context.CancelFunc(func() {})
+	if dl, ok := j.Deadline(); ok {
+		ctx, clean = context.WithDeadline(ctx, dl)
+	}
+	j.ctx, j.cancel, j.ctxClean = ctx, cancel, clean
+	m.persistLocked(j)
+	m.publishLocked(j, Event{Type: "state", JobID: j.ID, State: Running, Cycle: j.Cycle})
+	m.opts.Logf("campaign: job %s running (attempt %d)", j.ID, j.Attempts)
+}
+
+// outcome is one attempt's classified ending.
+type outcome struct {
+	res        roco.Result
+	haveResult bool
+	ok         bool     // completed normally
+	requeue    bool     // graceful shutdown: resume next Open, uncharged
+	canceled   bool     // client cancel
+	failure    *Failure // everything else
+}
+
+// runJob executes one attempt and settles the job's new state.
+func (m *Manager) runJob(j *job) {
+	out := m.execute(j)
+	m.settle(j, out)
+}
+
+// execute runs one attempt under panic recovery: resume from the latest
+// valid snapshot when one exists, otherwise start fresh, then drive the
+// checkpointed, cancellable run path.
+func (m *Manager) execute(j *job) (out outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = outcome{failure: &Failure{Kind: FailPanic, Message: fmt.Sprintf("%v", r)}}
+		}
+	}()
+	snaps := m.snapsDir(j.ID)
+	var sim *roco.Sim
+	switch s, err := roco.ResumeLatest(snaps, j.Spec.Config); {
+	case err == nil:
+		sim = s
+		m.opts.Logf("campaign: job %s resumed from snapshot at cycle %d", j.ID, s.Cycle())
+	case errors.Is(err, roco.ErrNoSnapshot):
+		sim = roco.NewSim(j.Spec.Config)
+	case errors.Is(err, roco.ErrConfigMismatch) || errors.Is(err, roco.ErrSnapshotVersion):
+		// Rerunning cannot fix a manifest that disagrees with its own
+		// snapshots; fail terminally with the typed reason.
+		return outcome{failure: &Failure{Kind: FailSnapshot, Message: err.Error()}}
+	default:
+		return outcome{failure: &Failure{Kind: FailCheckpoint, Message: err.Error()}}
+	}
+	if m.preRun != nil {
+		if err := m.preRun(&j.Job); err != nil {
+			return outcome{failure: &Failure{Kind: FailPanic, Message: err.Error()}}
+		}
+	}
+	every := j.Spec.CheckpointEvery
+	if every <= 0 {
+		every = m.opts.CheckpointEvery
+	}
+	res, interrupted, err := sim.RunCheckpointed(roco.CheckpointOptions{
+		Every:       every,
+		Dir:         snaps,
+		Context:     j.ctx,
+		CycleBudget: j.Spec.CycleBudget,
+		Progress:    func(cycle int64) { m.progress(j, sim, cycle) },
+	})
+	cyc := sim.Cycle()
+	if err != nil {
+		return outcome{failure: &Failure{Kind: FailCheckpoint, Message: err.Error(), Cycle: cyc}}
+	}
+	if interrupted {
+		if cause := context.Cause(j.ctx); cause != nil {
+			switch {
+			case errors.Is(cause, errShutdown):
+				return outcome{requeue: true}
+			case errors.Is(cause, errCanceled):
+				return outcome{canceled: true}
+			case errors.Is(cause, context.DeadlineExceeded):
+				return outcome{failure: &Failure{
+					Kind:    FailDeadline,
+					Message: fmt.Sprintf("wall-clock deadline (%d ms from admission) expired at cycle %d", j.Spec.DeadlineMS, cyc),
+					Cycle:   cyc,
+				}}
+			default:
+				return outcome{failure: &Failure{Kind: FailPanic, Message: cause.Error(), Cycle: cyc}}
+			}
+		}
+		return outcome{failure: &Failure{
+			Kind:    FailCycleBudget,
+			Message: fmt.Sprintf("cycle budget %d exhausted at cycle %d", j.Spec.CycleBudget, cyc),
+			Cycle:   cyc,
+		}}
+	}
+	if res.Watchdog != "" {
+		// PR 1's livelock report, converted into a structured job failure.
+		return outcome{res: res, haveResult: true, failure: &Failure{
+			Kind:    FailLivelock,
+			Message: res.Watchdog,
+			Cycle:   res.Cycles,
+		}}
+	}
+	return outcome{res: res, haveResult: true, ok: true}
+}
+
+// retryable reports whether a failure kind is worth another attempt.
+func retryable(k FailureKind) bool { return k == FailPanic || k == FailCheckpoint }
+
+// settle applies one attempt's outcome to the job record: success
+// persists the result before the state flips (a crash between the two
+// re-runs deterministically to the same bytes), retryable failures back
+// off and requeue, everything else terminates with a structured Failure.
+func (m *Manager) settle(j *job, out outcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.ctxClean()
+	j.ctx, j.cancel, j.ctxClean = nil, nil, nil
+
+	switch {
+	case out.requeue:
+		j.Attempts-- // a shutdown is not the job's failure
+		j.State = Queued
+		m.persistLocked(j)
+		m.publishLocked(j, Event{Type: "state", JobID: j.ID, State: Queued, Cycle: j.Cycle})
+		m.opts.Logf("campaign: job %s parked resumable at cycle %d", j.ID, j.Cycle)
+	case out.canceled:
+		m.finishLocked(j, Canceled, nil)
+	case out.ok:
+		var buf bytes.Buffer
+		if err := roco.WriteJSON(&buf, out.res); err != nil {
+			m.retryOrFailLocked(j, &Failure{Kind: FailCheckpoint, Message: "result encode: " + err.Error(), Cycle: out.res.Cycles})
+			return
+		}
+		if err := snapshot.WriteBytesAtomic(m.resultPath(j.ID), buf.Bytes()); err != nil {
+			m.retryOrFailLocked(j, &Failure{Kind: FailCheckpoint, Message: "result write: " + err.Error(), Cycle: out.res.Cycles})
+			return
+		}
+		j.Cycle = out.res.Cycles
+		m.finishLocked(j, Succeeded, nil)
+	case out.failure != nil:
+		out.failure.Attempt = j.Attempts
+		out.failure.At = nowMS()
+		if out.failure.Cycle > j.Cycle {
+			j.Cycle = out.failure.Cycle
+		}
+		if out.haveResult {
+			// Keep the partial/wedged result on disk for diagnosis; the
+			// job still fails.
+			var buf bytes.Buffer
+			if roco.WriteJSON(&buf, out.res) == nil {
+				_ = snapshot.WriteBytesAtomic(m.resultPath(j.ID), buf.Bytes())
+			}
+		}
+		if retryable(out.failure.Kind) {
+			m.retryOrFailLocked(j, out.failure)
+		} else {
+			m.finishLocked(j, Failed, out.failure)
+		}
+	}
+}
+
+// retryOrFailLocked either schedules another attempt after the backoff
+// delay or, with the cap exhausted, fails the job terminally. Caller
+// holds m.mu.
+func (m *Manager) retryOrFailLocked(j *job, f *Failure) {
+	f.Attempt = j.Attempts
+	if f.At == 0 {
+		f.At = nowMS()
+	}
+	if j.Attempts > j.Spec.MaxRetries {
+		j.Retried = append(j.Retried, *f)
+		m.finishLocked(j, Failed, &Failure{
+			Kind:    FailRetries,
+			Message: fmt.Sprintf("retry cap reached after %d attempts; last failure: %s", j.Attempts, f),
+			Attempt: j.Attempts,
+			Cycle:   f.Cycle,
+			At:      f.At,
+		})
+		return
+	}
+	if m.stopping {
+		// Shutdown raced the failure: park resumable; recovery retries.
+		j.Retried = append(j.Retried, *f)
+		j.State = Queued
+		m.persistLocked(j)
+		return
+	}
+	delay := m.backoff(j.Attempts)
+	j.Retried = append(j.Retried, *f)
+	j.State = Backoff
+	j.NextRetryAt = nowMS() + delay.Milliseconds()
+	m.persistLocked(j)
+	m.publishLocked(j, Event{Type: "state", JobID: j.ID, State: Backoff, Cycle: j.Cycle, Failure: f})
+	m.opts.Logf("campaign: job %s attempt %d failed (%s); retrying in %v", j.ID, j.Attempts, f.Kind, delay)
+	id := j.ID
+	m.timers[id] = time.AfterFunc(delay, func() { m.requeue(id) })
+}
+
+// backoff returns the doubled-then-capped retry delay for an attempt.
+func (m *Manager) backoff(attempt int) time.Duration {
+	d := m.opts.RetryBase
+	for i := 1; i < attempt && d < m.opts.RetryMax; i++ {
+		d *= 2
+	}
+	if d > m.opts.RetryMax {
+		d = m.opts.RetryMax
+	}
+	return d
+}
+
+// requeue moves a backoff job whose delay elapsed back into the queue.
+func (m *Manager) requeue(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.timers, id)
+	j, ok := m.jobs[id]
+	if !ok || m.stopping || j.State != Backoff {
+		return
+	}
+	j.State = Queued
+	j.NextRetryAt = 0
+	m.persistLocked(j)
+	m.publishLocked(j, Event{Type: "state", JobID: j.ID, State: Queued, Cycle: j.Cycle})
+	m.pushJob(j)
+}
+
+// finishLocked moves a job to a terminal state, persists it, emits the
+// final event and closes every subscriber stream. Caller holds m.mu.
+func (m *Manager) finishLocked(j *job, st State, f *Failure) {
+	j.State = st
+	j.Failure = f
+	j.FinishedAt = nowMS()
+	j.NextRetryAt = 0
+	m.open--
+	m.persistLocked(j)
+	m.publishLocked(j, Event{Type: "state", JobID: j.ID, State: st, Cycle: j.Cycle, Failure: f})
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = make(map[chan Event]struct{})
+	if f != nil {
+		m.opts.Logf("campaign: job %s %s: %s", j.ID, st, f)
+	} else {
+		m.opts.Logf("campaign: job %s %s at cycle %d", j.ID, st, j.Cycle)
+	}
+}
+
+// progress runs on the simulation goroutine after every snapshot write:
+// it records resume-safe progress and streams freshly closed telemetry
+// epochs to subscribers.
+func (m *Manager) progress(j *job, sim *roco.Sim, cycle int64) {
+	m.mu.Lock()
+	j.Cycle = cycle
+	hasSubs := len(j.subs) > 0
+	last := j.lastEpoch
+	m.mu.Unlock()
+	if !hasSubs {
+		return
+	}
+	var events []Event
+	if t := sim.TelemetrySince(last); t != nil {
+		for i := range t.Epochs {
+			e := t.Epochs[i]
+			e.Nodes = nil // per-node grids are too heavy for a live stream
+			events = append(events, Event{Type: "epoch", JobID: j.ID, Cycle: e.EndCycle, Epoch: &e})
+			last = e.Index
+		}
+	}
+	m.mu.Lock()
+	j.lastEpoch = last
+	m.publishLocked(j, Event{Type: "progress", JobID: j.ID, State: Running, Cycle: cycle})
+	for i := range events {
+		m.publishLocked(j, events[i])
+	}
+	m.mu.Unlock()
+}
+
+// publishLocked fans an event out to the job's subscribers,
+// non-blocking: a full channel drops the event (slow consumers shed
+// load; they never stall the simulation). Caller holds m.mu.
+func (m *Manager) publishLocked(j *job, ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// persistLocked writes the manifest, logging (not propagating) failures:
+// mid-lifecycle persistence is best-effort, and the state families that
+// must not advance past a failed write (results, snapshots) have their
+// own error paths. Caller holds m.mu.
+func (m *Manager) persistLocked(j *job) {
+	if err := m.persistErrLocked(j); err != nil {
+		m.opts.Logf("campaign: job %s: manifest write failed: %v", j.ID, err)
+	}
+}
+
+// persistErrLocked writes the manifest crash-safely and returns the
+// error. Caller holds m.mu.
+func (m *Manager) persistErrLocked(j *job) error {
+	return snapshot.WriteJSONFileAtomic(m.manifestPath(j.ID), &j.Job)
+}
+
+func (m *Manager) jobsDir() string             { return filepath.Join(m.opts.Dir, "jobs") }
+func (m *Manager) jobDir(id string) string     { return filepath.Join(m.jobsDir(), id) }
+func (m *Manager) snapsDir(id string) string   { return filepath.Join(m.jobDir(id), "snaps") }
+func (m *Manager) resultPath(id string) string { return filepath.Join(m.jobDir(id), "result.json") }
+func (m *Manager) manifestPath(id string) string {
+	return filepath.Join(m.jobDir(id), "manifest.rjson")
+}
+
+// newID draws a random 96-bit job ID.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("campaign: rand: " + err.Error())
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}

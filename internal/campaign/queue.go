@@ -1,0 +1,59 @@
+// The bounded priority queue behind job scheduling: higher Spec.Priority
+// first, FIFO within a level (by admission sequence), with a hard cap on
+// open jobs enforced at admission — the "shed load at the door" half of
+// graceful degradation. Retries and recovered jobs re-enter past the cap
+// check: they were already admitted once and bounding them again could
+// only lose accepted work.
+package campaign
+
+import "container/heap"
+
+// queued pairs a job with its admission sequence number (the FIFO
+// tiebreak within a priority level).
+type queued struct {
+	j   *job
+	seq uint64
+}
+
+// prioQueue is a max-heap on (Priority, -seq).
+type prioQueue []queued
+
+func (q prioQueue) Len() int { return len(q) }
+
+func (q prioQueue) Less(a, b int) bool {
+	if q[a].j.Spec.Priority != q[b].j.Spec.Priority {
+		return q[a].j.Spec.Priority > q[b].j.Spec.Priority
+	}
+	return q[a].seq < q[b].seq
+}
+
+func (q prioQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+
+// Push appends (heap.Interface contract; use push on the manager).
+func (q *prioQueue) Push(x any) { *q = append(*q, x.(queued)) }
+
+// Pop removes the last element (heap.Interface contract).
+func (q *prioQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = queued{}
+	*q = old[:n-1]
+	return it
+}
+
+// pushJob enqueues j. Caller holds m.mu.
+func (m *Manager) pushJob(j *job) {
+	m.seq++
+	heap.Push(&m.queue, queued{j: j, seq: m.seq})
+	m.cond.Broadcast()
+}
+
+// popJob dequeues the highest-priority job, or nil when empty. Caller
+// holds m.mu.
+func (m *Manager) popJob() *job {
+	if m.queue.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&m.queue).(queued).j
+}

@@ -1,0 +1,165 @@
+// The HTTP/JSON surface over a Manager — the rocoserve API. Routing
+// uses the go1.22 method+wildcard mux patterns; every response body is
+// JSON except /jobs/{id}/result (the raw persisted result bytes) and
+// /jobs/{id}/events (text/event-stream).
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/rocosim/roco"
+)
+
+// RetryAfter is the Retry-After hint (seconds) sent with 429 responses
+// when admission sheds load.
+const RetryAfter = 1
+
+// Handler builds the rocoserve HTTP API over m:
+//
+//	POST /jobs              — submit a Spec; 202 + Job, 400 invalid,
+//	                          429 + Retry-After when the queue is full
+//	GET  /jobs              — list all jobs
+//	GET  /jobs/{id}         — one job's record
+//	POST /jobs/{id}/cancel  — cancel (idempotent)
+//	GET  /jobs/{id}/result  — the result JSON (exact single-run bytes)
+//	GET  /jobs/{id}/events  — SSE stream of state/progress/epoch events
+//	GET  /stats             — queue and state counts
+//	GET  /healthz           — liveness ("ok\n")
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		j, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", fmt.Sprint(RetryAfter))
+			httpError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrStopping):
+			httpError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err)
+		default:
+			w.Header().Set("Location", "/jobs/"+j.ID)
+			writeJSON(w, http.StatusAccepted, j)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, ErrUnknownJob)
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		j, _ := m.Get(r.PathValue("id"))
+		writeJSON(w, http.StatusOK, j)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, err := m.Result(r.PathValue("id"))
+		switch {
+		case errors.Is(err, ErrUnknownJob):
+			httpError(w, http.StatusNotFound, err)
+		case errors.Is(err, ErrNoResult):
+			httpError(w, http.StatusConflict, err)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(m, w, r)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// serveEvents streams a job's events as server-sent events until the
+// job terminates, the client disconnects, or the manager shuts down.
+// Heartbeat comments keep idle connections alive through proxies.
+func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := m.Subscribe(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, errors.New("campaign: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-m.Done():
+			return
+		}
+	}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// httpError writes the error envelope with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// writeJSON writes v with roco's canonical JSON encoding and a status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = roco.WriteJSON(w, v)
+}

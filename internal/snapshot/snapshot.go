@@ -21,6 +21,7 @@ package snapshot
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc64"
@@ -310,7 +311,27 @@ func (d *Decoder) SliceLen(elemBytes int) int {
 // itself is durable. A crash at any instant leaves either the complete old
 // file or the complete new one — never a torn mix — and stray temp files
 // from crashed writers are ignored by Latest.
-func WriteFileAtomic(path string, e *Encoder) (err error) {
+func WriteFileAtomic(path string, e *Encoder) error {
+	return writeAtomic(path, func(w io.Writer) error {
+		_, err := e.WriteTo(w)
+		return err
+	})
+}
+
+// WriteBytesAtomic persists raw bytes with the same crash-safety protocol
+// as WriteFileAtomic (temp file, fsync, atomic rename, directory sync)
+// but no snapshot framing — for client-facing artifacts like campaign
+// result files that must be servable verbatim.
+func WriteBytesAtomic(path string, data []byte) error {
+	return writeAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// writeAtomic runs the temp-fsync-rename-dirsync protocol around one
+// write callback.
+func writeAtomic(path string, write func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, tmpPrefix+filepath.Base(path)+"-*")
 	if err != nil {
@@ -322,7 +343,7 @@ func WriteFileAtomic(path string, e *Encoder) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if _, err = e.WriteTo(tmp); err != nil {
+	if err = write(tmp); err != nil {
 		return err
 	}
 	if err = tmp.Sync(); err != nil {
@@ -342,6 +363,65 @@ func WriteFileAtomic(path string, e *Encoder) (err error) {
 		_ = d.Close()
 	}
 	return nil
+}
+
+// WriteJSONFileAtomic frames a JSON document inside a snapshot frame
+// (magic, version, length, CRC64) and persists it crash-safely — the
+// job-manifest format of the campaign service. The checksum means a torn
+// manifest surfaces as ErrCorrupt on read, never as half-parsed JSON.
+func WriteJSONFileAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	e := NewEncoder()
+	e.Bytes(data)
+	return WriteFileAtomic(path, e)
+}
+
+// ReadJSONFile reads a frame written by WriteJSONFileAtomic and
+// unmarshals its JSON payload into v. Structural damage (truncation,
+// checksum mismatch, malformed JSON) returns an error wrapping
+// ErrCorrupt; a foreign format version returns ErrVersion.
+func ReadJSONFile(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := Read(f)
+	if err != nil {
+		return err
+	}
+	data := d.Bytes()
+	if err := d.Finish(); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: manifest JSON: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// SweepTemp removes stale in-progress atomic-write files (the
+// ".tmp-*" leftovers of a writer killed mid-write) from dir, returning
+// the paths removed. Call it only when the caller owns the directory —
+// at resume or checkpoint startup — never while another writer may be
+// mid-protocol. A missing directory sweeps nothing.
+func SweepTemp(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, tmpPrefix+"*"))
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, name := range names {
+		if rerr := os.Remove(name); rerr == nil {
+			removed = append(removed, name)
+		} else if err == nil && !errors.Is(rerr, os.ErrNotExist) {
+			err = rerr
+		}
+	}
+	return removed, err
 }
 
 // tmpPrefix marks in-progress atomic writes; Latest skips such files.

@@ -395,6 +395,41 @@ func (c *Collector) Snapshot() *Series {
 	return s
 }
 
+// SnapshotSince is Snapshot restricted to the retained epochs with
+// Index greater than since — the incremental read behind live epoch
+// streaming (pass the last Index already seen; -1 reads everything
+// retained). Returns nil when no retained epoch is newer.
+func (c *Collector) SnapshotSince(since int64) *Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Epoch indices are assigned sequentially, so the retained window
+	// [first, first+count) intersects (since, inf) in a contiguous tail.
+	skip := 0
+	if c.count > 0 {
+		first := c.ring[c.start].Index
+		if since >= first {
+			skip = int(since - first + 1)
+		}
+	}
+	if skip >= c.count {
+		return nil
+	}
+	s := &Series{
+		Every:   c.cfg.Every,
+		Nodes:   c.cfg.Nodes,
+		Links:   append([]int(nil), c.cfg.Links...),
+		Epochs:  make([]Epoch, c.count-skip),
+		Evicted: c.evicted,
+		Totals:  c.totals,
+	}
+	for i := skip; i < c.count; i++ {
+		src := &c.ring[(c.start+i)%len(c.ring)]
+		s.Epochs[i-skip] = *src
+		s.Epochs[i-skip].Nodes = append([]NodeSample(nil), src.Nodes...)
+	}
+	return s
+}
+
 // latestLocked returns the most recent epoch, or nil. Callers hold mu.
 func (c *Collector) latestLocked() *Epoch {
 	if c.count == 0 {

@@ -1,0 +1,135 @@
+// Enum text round-tripping: every value marshals to its canonical token
+// and unmarshals back, aliases and case-insensitivity work, unknown
+// tokens error, and a whole Config survives a JSON round trip with
+// readable enum tokens in the wire form.
+package roco
+
+import (
+	"encoding"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEnumTextRoundTrip(t *testing.T) {
+	check := func(name string, v interface {
+		encoding.TextMarshaler
+	}, fresh func() encoding.TextUnmarshaler, get func(encoding.TextUnmarshaler) any) {
+		t.Helper()
+		text, err := v.MarshalText()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		u := fresh()
+		if err := u.UnmarshalText(text); err != nil {
+			t.Fatalf("%s: unmarshal %q: %v", name, text, err)
+		}
+		if got := get(u); got != any(v) {
+			t.Fatalf("%s: %q round-tripped to %v, want %v", name, text, got, v)
+		}
+	}
+	for _, k := range AllRouterKinds {
+		check(k.String(), k,
+			func() encoding.TextUnmarshaler { return new(RouterKind) },
+			func(u encoding.TextUnmarshaler) any { return *u.(*RouterKind) })
+	}
+	for _, a := range Algorithms {
+		check(a.String(), a,
+			func() encoding.TextUnmarshaler { return new(Algorithm) },
+			func(u encoding.TextUnmarshaler) any { return *u.(*Algorithm) })
+	}
+	for _, p := range []TrafficPattern{Uniform, Transpose, SelfSimilar, MPEG2, BitComplement, Hotspot} {
+		check(p.String(), p,
+			func() encoding.TextUnmarshaler { return new(TrafficPattern) },
+			func(u encoding.TextUnmarshaler) any { return *u.(*TrafficPattern) })
+	}
+	for _, c := range []Component{RC, Buffer, VA, SA, Crossbar, MuxDemux} {
+		check(c.String(), c,
+			func() encoding.TextUnmarshaler { return new(Component) },
+			func(u encoding.TextUnmarshaler) any { return *u.(*Component) })
+	}
+	for _, c := range []FaultClass{CriticalFaults, NonCriticalFaults} {
+		check("faultclass", c,
+			func() encoding.TextUnmarshaler { return new(FaultClass) },
+			func(u encoding.TextUnmarshaler) any { return *u.(*FaultClass) })
+	}
+}
+
+func TestEnumAliasesAndCase(t *testing.T) {
+	var k RouterKind
+	for _, tok := range []string{"ps", "path-sensitive", "PathSensitive", "PS"} {
+		if err := k.UnmarshalText([]byte(tok)); err != nil || k != PathSensitive {
+			t.Errorf("%q: got %v err %v, want PathSensitive", tok, k, err)
+		}
+	}
+	var a Algorithm
+	for _, tok := range []string{"dor", "odd-even", "OddEven", "XY-YX"} {
+		if err := a.UnmarshalText([]byte(tok)); err != nil {
+			t.Errorf("%q: %v", tok, err)
+		}
+	}
+	var p TrafficPattern
+	for _, tok := range []string{"web", "video", "bit-complement", "Self-Similar"} {
+		if err := p.UnmarshalText([]byte(tok)); err != nil {
+			t.Errorf("%q: %v", tok, err)
+		}
+	}
+	var c Component
+	for _, tok := range []string{"mux/demux", "mux-demux", "MuxDemux"} {
+		if err := c.UnmarshalText([]byte(tok)); err != nil || c != MuxDemux {
+			t.Errorf("%q: got %v err %v, want MuxDemux", tok, c, err)
+		}
+	}
+	var fc FaultClass
+	if err := fc.UnmarshalText([]byte("non-critical")); err != nil || fc != NonCriticalFaults {
+		t.Errorf("non-critical: got %v err %v", fc, err)
+	}
+}
+
+func TestEnumUnknownTokens(t *testing.T) {
+	var k RouterKind
+	if err := k.UnmarshalText([]byte("warp-drive")); err == nil {
+		t.Error("unknown router token accepted")
+	}
+	var a Algorithm
+	if err := a.UnmarshalText([]byte("")); err == nil {
+		t.Error("empty algorithm token accepted")
+	}
+	var p TrafficPattern
+	if err := p.UnmarshalText([]byte("tornado")); err == nil {
+		t.Error("unknown traffic token accepted")
+	}
+}
+
+// TestConfigJSONRoundTrip: a Config with enums, faults and a schedule
+// marshals with readable tokens and unmarshals back to an equal value.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := Config{
+		Width: 6, Height: 6,
+		Router: RoCo, Algorithm: Adaptive, Traffic: Hotspot,
+		InjectionRate: 0.15, HotspotNode: 14, HotspotFraction: 0.3,
+		Seed:     42,
+		Reliable: true,
+		Faults:   []Fault{{Node: 3, Component: Crossbar, Module: 1}},
+		FaultSchedule: []TimedFault{
+			{Cycle: 500, Fault: Fault{Node: 7, Component: Buffer, VC: 2}},
+		},
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range []string{`"roco"`, `"adaptive"`, `"hotspot"`, `"crossbar"`, `"buffer"`} {
+		if !strings.Contains(string(data), tok) {
+			t.Errorf("wire form missing token %s:\n%s", tok, data)
+		}
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, back) {
+		t.Fatalf("round trip changed the config:\n got %+v\nwant %+v", back, cfg)
+	}
+}

@@ -74,6 +74,15 @@ go run ./cmd/rocosim -json -reliable -rate 0.2 -warmup 100 -measure 2000 \
 	-faults-at 150 -faultclass noncritical \
 	-resume -checkpoint-dir "$CKPTDIR/snaps" >"$CKPTDIR/resumed.json"
 cmp "$CKPTDIR/full.json" "$CKPTDIR/resumed.json"
+# rocoserve crash-recovery smoke through real processes: submit a job,
+# SIGKILL the server mid-run, restart it over the same data directory,
+# and the recovered job's result JSON must be byte-identical to one from
+# a server nobody killed. servesmoke orchestrates the processes and owns
+# its own temp dirs.
+SERVEBIN="$(mktemp -d)"
+trap 'rm -f "$TELECSV" "$SHARD1" "$SHARD2" "$KERNREF" "$KERNSOA"; rm -rf "$CKPTDIR" "$SERVEBIN"' EXIT
+go build -o "$SERVEBIN/rocoserve" ./cmd/rocoserve
+go run ./scripts/servesmoke -bin "$SERVEBIN/rocoserve"
 # The examples are built and vetted by the ./... sweeps above; run the
 # observability example too, since it exercises the telemetry API (epoch
 # series, heatmap export, live /metrics scrape) end to end.

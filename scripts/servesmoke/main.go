@@ -1,0 +1,256 @@
+// Command servesmoke is check.sh's rocoserve crash-recovery smoke: it
+// runs one job on an uninterrupted server for a reference result, then
+// submits the same job to a second server, SIGKILLs the server mid-run,
+// restarts it over the same data directory, and asserts the recovered
+// job's result JSON is byte-identical to the reference. Exit status 0
+// means the kill-restart equivalence contract held end to end through
+// real processes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// spec is the job both servers run: big enough that the kill lands
+// mid-run with wide margin, small enough to finish in seconds.
+const spec = `{
+  "config": {
+    "Width": 4, "Height": 4,
+    "Router": "roco", "Algorithm": "xy", "Traffic": "uniform",
+    "InjectionRate": 0.2,
+    "WarmupPackets": 500, "MeasurePackets": 500000,
+    "Seed": 7, "TelemetryEvery": 1024
+  },
+  "checkpoint_every": 256,
+  "label": "servesmoke"
+}`
+
+func main() {
+	bin := flag.String("bin", "", "path to the rocoserve binary (required)")
+	flag.Parse()
+	if *bin == "" {
+		fatalf("-bin is required")
+	}
+	work, err := os.MkdirTemp("", "servesmoke-*")
+	if err != nil {
+		fatalf("mktemp: %v", err)
+	}
+	defer os.RemoveAll(work)
+
+	// Reference: the same job on a server nobody kills.
+	ref := startServer(*bin, filepath.Join(work, "ref"))
+	refID := submit(ref.base)
+	refJob := waitTerminal(ref.base, refID, 5*time.Minute)
+	if refJob.State != "succeeded" {
+		fatalf("reference job ended %s: %s", refJob.State, refJob.FailureText())
+	}
+	refResult := getResult(ref.base, refID)
+	ref.terminate()
+
+	// Victim: same spec, SIGKILLed once the job is provably mid-run
+	// (first checkpoint flushed, run far from done).
+	victimData := filepath.Join(work, "victim")
+	victim := startServer(*bin, victimData)
+	vicID := submit(victim.base)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		j := getJob(victim.base, vicID)
+		if j.State == "running" && j.Cycle >= 256 {
+			break
+		}
+		if j.State == "succeeded" || j.State == "failed" || j.State == "canceled" {
+			fatalf("job finished (%s) before it could be killed; raise MeasurePackets", j.State)
+		}
+		if time.Now().After(deadline) {
+			fatalf("job never reached its first checkpoint (state %s, cycle %d)", j.State, j.Cycle)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := victim.cmd.Process.Kill(); err != nil {
+		fatalf("SIGKILL: %v", err)
+	}
+	_ = victim.cmd.Wait()
+	fmt.Fprintln(os.Stderr, "servesmoke: server SIGKILLed mid-run; restarting over the same data dir")
+
+	// Restart over the same data directory: recovery must resume the job
+	// from its latest snapshot and finish bit-identical.
+	revived := startServer(*bin, victimData)
+	defer revived.terminate()
+	recJob := waitTerminal(revived.base, vicID, 5*time.Minute)
+	if recJob.State != "succeeded" {
+		fatalf("recovered job ended %s: %s", recJob.State, recJob.FailureText())
+	}
+	recResult := getResult(revived.base, vicID)
+	if !bytes.Equal(refResult, recResult) {
+		fatalf("kill-restart result differs from uninterrupted run (%d vs %d bytes)", len(recResult), len(refResult))
+	}
+	fmt.Printf("servesmoke: ok — recovered result identical to uninterrupted run (%d bytes, job resumed at cycle %d of %d)\n",
+		len(recResult), recJob.Cycle, refJob.Cycle)
+}
+
+// server is one rocoserve process under test.
+type server struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+
+// startServer launches rocoserve on an ephemeral port and waits until it
+// reports its resolved address and passes a health check.
+func startServer(bin, data string) *server {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", data, "-workers", "1", "-v")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fatalf("stderr pipe: %v", err)
+	}
+	cmd.Stdout = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("starting %s: %v", bin, err)
+	}
+	basec := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case basec <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var base string
+	select {
+	case base = <-basec:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		fatalf("server never reported its listen address")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return &server{cmd: cmd, base: base}
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			fatalf("server never became healthy at %s", base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// terminate asks the server to shut down gracefully (SIGTERM), falling
+// back to SIGKILL if it does not exit in time.
+func (s *server) terminate() {
+	if s.cmd.ProcessState != nil {
+		return
+	}
+	_ = s.cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { _ = s.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		_ = s.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// job mirrors the fields of the campaign job record the smoke reads.
+type job struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cycle   int64  `json:"cycle"`
+	Failure *struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"failure"`
+}
+
+func (j job) FailureText() string {
+	if j.Failure == nil {
+		return "(no failure recorded)"
+	}
+	return j.Failure.Kind + ": " + j.Failure.Message
+}
+
+func submit(base string) string {
+	resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var j job
+	if err := json.Unmarshal(body, &j); err != nil {
+		fatalf("submit: decoding job: %v", err)
+	}
+	return j.ID
+}
+
+func getJob(base, id string) job {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		fatalf("get job: %v", err)
+	}
+	defer resp.Body.Close()
+	var j job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		fatalf("get job: %v", err)
+	}
+	return j
+}
+
+func waitTerminal(base, id string, within time.Duration) job {
+	deadline := time.Now().Add(within)
+	for {
+		j := getJob(base, id)
+		switch j.State {
+		case "succeeded", "failed", "canceled":
+			return j
+		}
+		if time.Now().After(deadline) {
+			fatalf("job %s still %s after %v", id, j.State, within)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getResult(base, id string) []byte {
+	resp, err := http.Get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		fatalf("get result: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		fatalf("get result: status %d err %v", resp.StatusCode, err)
+	}
+	return data
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -284,6 +284,25 @@ func convertEnergy(b power.Breakdown) TelemetryEnergy {
 	}
 }
 
+// TelemetrySince returns the run's telemetry epochs with Index greater
+// than since (pass -1 for everything retained), plus the eviction-proof
+// totals — the incremental read behind live epoch streaming (the
+// campaign service's SSE feed polls it from checkpoint hooks). It
+// returns nil when telemetry is disabled or no newer epoch has closed.
+// Safe to call concurrently with a running simulation: the collector is
+// sampled at kernel barriers and read under its own lock.
+func (s *Sim) TelemetrySince(since int64) *Telemetry {
+	c := s.net.Telemetry()
+	if c == nil {
+		return nil
+	}
+	ser := c.SnapshotSince(since)
+	if ser == nil {
+		return nil
+	}
+	return convertTelemetry(s.cfg, ser)
+}
+
 // LiveRun is a simulation whose telemetry is observable while it
 // executes: build one with NewLiveRun, mount MetricsHandler on an HTTP
 // server, and call Run (typically in its own goroutine). The metrics
