@@ -1,4 +1,4 @@
-.PHONY: check vet test doccheck bench bench-paper fuzz soak checkresume
+.PHONY: check vet test doccheck bench bench-paper fuzz soak checkresume profile
 
 # The pre-merge gate: vet + build + tests + race detector + doc gate +
 # the checkpoint-equivalence and rocoserve crash-recovery smokes.
@@ -27,16 +27,28 @@ doccheck:
 
 # Kernel benchmarks (gated vs reference, three router kinds, three
 # loads), shard-scaling benchmarks (RoCo, three mesh sizes, 1-8 shards),
-# the telemetry-overhead benchmarks (epoch sampling off vs on), and the
+# the telemetry-overhead benchmarks (epoch sampling off vs on), the
 # data-layout benchmarks (gated vs struct-of-arrays kernel on big
-# meshes); writes BENCH_kernel.json, BENCH_shard.json,
-# BENCH_telemetry.json and BENCH_layout.json, with raw output under
-# bench/out/.
+# meshes), and the allocation-stage benchmarks (three router kinds at
+# and beyond saturation); writes BENCH_kernel.json, BENCH_shard.json,
+# BENCH_telemetry.json, BENCH_layout.json and BENCH_alloc.json, with raw
+# output under bench/out/.
 bench:
 	sh scripts/bench.sh kernel
 	sh scripts/bench.sh shard
 	sh scripts/bench.sh telemetry
 	sh scripts/bench.sh layout
+	sh scripts/bench.sh alloc
+
+# CPU profile of the saturated 64x64 step (gated kernel, RoCo router) —
+# the allocation-stage hot path DESIGN.md 4i targets. Writes the profile
+# and the bench binary under bench/out/ (git-ignored); inspect with
+# `go tool pprof bench/out/profile.test bench/out/cpu.pprof`.
+profile:
+	mkdir -p bench/out
+	go test -run '^$$' -bench 'BenchmarkLayout/64x64/sat/gated' -benchtime 200x \
+		-cpuprofile bench/out/cpu.pprof -o bench/out/profile.test ./bench/
+	go tool pprof -top -nodecount 15 bench/out/profile.test bench/out/cpu.pprof
 
 # The paper-table benchmarks at the repository root.
 bench-paper:

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// allocLoads are the allocator-stress points: at saturation the VA/SA
+// request sets are dense every cycle, so Network.Step time is dominated by
+// the allocation stage this grid exists to measure (bitmap request
+// building, trailing-zeros arbitration, candidate-mask caching; DESIGN.md
+// 4i). "sat" matches the kernel grid's saturation point; "deep" pushes
+// well past it so every buffer stays full and head-of-line arbitration is
+// exercised continuously.
+var allocLoads = []struct {
+	name string
+	rate float64
+}{
+	{"sat", 0.40},
+	{"deep", 0.60},
+}
+
+// BenchmarkAlloc measures one simulated cycle (Network.Step) per iteration
+// on the 8x8 mesh under the activity-gated kernel, at and beyond
+// saturation, for each router kind. Benchmark names read kind/load;
+// scripts/bench.sh alloc distils the numbers into BENCH_alloc.json. Run
+// with a fixed -benchtime=Nx (the bench.sh default) so two commits measure
+// the same simulated horizon.
+func BenchmarkAlloc(b *testing.B) {
+	for _, k := range kinds {
+		for _, l := range allocLoads {
+			name := fmt.Sprintf("%s/%s", k.name, l.name)
+			b.Run(name, func(b *testing.B) {
+				n := benchNetwork(k.build, l.rate, false)
+				for i := 0; i < warmSteps; i++ {
+					n.Step()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Step()
+				}
+			})
+		}
+	}
+}

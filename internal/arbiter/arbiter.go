@@ -5,6 +5,13 @@
 // arbiter per module.
 package arbiter
 
+import "math/bits"
+
+// maskWidth is the widest request set the bitmap fast path serves; wider
+// arbiters fall back to the slice scan. Every arbiter in the simulator is
+// far narrower (the widest is the generic router's 15-input VA arbiter).
+const maskWidth = 64
+
 // RoundRobin is an n-input round-robin arbiter. The input granted most
 // recently gets the lowest priority in the next round, which provides
 // strong fairness — the same discipline assumed by the paper's separable
@@ -41,11 +48,61 @@ func NewRoundRobinSlice(count, n int) []RoundRobin {
 // Size returns the number of request lines.
 func (a *RoundRobin) Size() int { return a.n }
 
+// GrantMask returns the index of the winning request line in the bitmap
+// req (bit i asserted means line i requests), or -1 when req is zero. The
+// priority pointer advances past the winner. Requires n <= 64; bits at
+// positions >= n must be zero.
+//
+// The winner is found without a scan: rotating req right by next moves the
+// highest-priority line to bit 0, so the first asserted line in round-robin
+// order is the rotated word's lowest set bit. The left-shift half of the
+// rotation parks bits above position n-1; they are harmless, because when
+// req is non-zero at least one real bit lands in [0, n) and TrailingZeros64
+// finds it first. (Go defines shifts >= the word width as zero, so the
+// next == 0 and n == 64 edges are safe.)
+func (a *RoundRobin) GrantMask(req uint64) int {
+	idx := a.peekMask(req)
+	if idx >= 0 {
+		a.next = idx + 1
+		if a.next == a.n {
+			a.next = 0
+		}
+	}
+	return idx
+}
+
+// PeekMask returns the index GrantMask would return without advancing the
+// priority pointer, or -1 when req is zero. Requires n <= 64.
+func (a *RoundRobin) PeekMask(req uint64) int {
+	return a.peekMask(req)
+}
+
+// peekMask is the shared rotate-and-count core of GrantMask and PeekMask.
+func (a *RoundRobin) peekMask(req uint64) int {
+	if req == 0 {
+		return -1
+	}
+	if a.n > maskWidth {
+		panic("arbiter: bitmap grant on an arbiter wider than 64 lines")
+	}
+	r := (req >> uint(a.next)) | (req << (uint(a.n) - uint(a.next)))
+	idx := a.next + bits.TrailingZeros64(r)
+	if idx >= a.n {
+		idx -= a.n
+	}
+	return idx
+}
+
 // Grant returns the index of the winning request, or -1 if no line is
-// asserted. The priority pointer advances past the winner.
+// asserted. The priority pointer advances past the winner. It is a
+// compatibility shim over GrantMask; wide (> 64 line) arbiters keep the
+// slice scan.
 func (a *RoundRobin) Grant(requests []bool) int {
 	if len(requests) != a.n {
 		panic("arbiter: request vector size mismatch")
+	}
+	if a.n <= maskWidth {
+		return a.GrantMask(packRequests(requests))
 	}
 	for i := 0; i < a.n; i++ {
 		idx := (a.next + i) % a.n
@@ -58,10 +115,13 @@ func (a *RoundRobin) Grant(requests []bool) int {
 }
 
 // Peek returns the index that would win without advancing the priority
-// pointer, or -1 if no line is asserted.
+// pointer, or -1 if no line is asserted. Shim over PeekMask, like Grant.
 func (a *RoundRobin) Peek(requests []bool) int {
 	if len(requests) != a.n {
 		panic("arbiter: request vector size mismatch")
+	}
+	if a.n <= maskWidth {
+		return a.PeekMask(packRequests(requests))
 	}
 	for i := 0; i < a.n; i++ {
 		idx := (a.next + i) % a.n
@@ -70,6 +130,17 @@ func (a *RoundRobin) Peek(requests []bool) int {
 		}
 	}
 	return -1
+}
+
+// packRequests folds a request slice (length <= 64) into a bitmap.
+func packRequests(requests []bool) uint64 {
+	var req uint64
+	for i, r := range requests {
+		if r {
+			req |= 1 << uint(i)
+		}
+	}
+	return req
 }
 
 // Reset restores the priority pointer to input 0.
@@ -114,13 +185,16 @@ func (m *Mirror) Allocate(has [2][2]bool) MirrorDecision {
 	// direction among those it has candidates for, preferring a direction
 	// whose mirror the other port can fill (that is what makes the matching
 	// maximal rather than merely conflict-free).
-	var reqs [2]bool
-	for d := 0; d < 2; d++ {
-		reqs[d] = has[p][d]
+	var reqs uint64
+	if has[p][0] {
+		reqs |= 1
+	}
+	if has[p][1] {
+		reqs |= 2
 	}
 	// Prefer the direction that lets port q take the opposite output.
 	pDir := -1
-	if reqs[0] && reqs[1] {
+	if reqs == 3 {
 		// Both directions available at the primary port: steer toward full
 		// utilization when only one choice mirrors, otherwise round-robin.
 		switch {
@@ -129,10 +203,10 @@ func (m *Mirror) Allocate(has [2][2]bool) MirrorDecision {
 		case has[q][0] && !has[q][1]:
 			pDir = 1
 		default:
-			pDir = m.global.Grant(reqs[:])
+			pDir = m.global.GrantMask(reqs)
 		}
 	} else {
-		pDir = m.global.Grant(reqs[:])
+		pDir = m.global.GrantMask(reqs)
 	}
 
 	if pDir >= 0 {
@@ -146,7 +220,7 @@ func (m *Mirror) Allocate(has [2][2]bool) MirrorDecision {
 		// Primary port idle: the secondary port may use either output.
 		switch {
 		case has[q][0] && has[q][1]:
-			d := m.global.Grant([]bool{true, true})
+			d := m.global.GrantMask(3)
 			dec.OutWinner[d] = q
 		case has[q][0]:
 			dec.OutWinner[0] = q

@@ -122,6 +122,20 @@ type VCConfig struct {
 	// keep topology.Invalid (they serve either direction of their module;
 	// source channels cannot participate in dependency cycles).
 	Dir [NumVCs]topology.Direction
+
+	// admit precomputes Admits as bitmaps: admit[class][nextOut] has bit
+	// id set iff Class[id] == class and the channel's direction assignment
+	// allows nextOut. Class and Dir are fixed at configuration time, so VA
+	// candidate selection reduces to one table load ANDed with the live
+	// claimable/alive masks. Built by ConfigFor.
+	admit [routing.NumClasses][int(topology.Local) + 1]uint64
+}
+
+// AdmitMask returns the channels that may hold a packet of the given mode
+// making the given transition toward nextOut, as a bitmap — the bulk form
+// of Admits. nextOut must be cardinal.
+func (c *VCConfig) AdmitMask(turn routing.Turn, mode flit.RouteMode, nextOut topology.Direction) uint64 {
+	return c.admit[c.ClassFor(turn, mode)][nextOut]
 }
 
 // ConfigFor returns the Table 1 configuration for a routing algorithm.
@@ -179,6 +193,13 @@ func ConfigFor(alg routing.Algorithm) VCConfig {
 		set(routing.InjectY, 8, inv)
 	default:
 		panic(fmt.Sprintf("core: unknown algorithm %v", alg))
+	}
+	for id := 0; id < NumVCs; id++ {
+		for _, d := range topology.CardinalDirections {
+			if cfg.Dir[id] == topology.Invalid || cfg.Dir[id] == d {
+				cfg.admit[cfg.Class[id]][d] |= 1 << uint(id)
+			}
+		}
 	}
 	return cfg
 }

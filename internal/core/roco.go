@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/rocosim/roco/internal/arbiter"
 	"github.com/rocosim/roco/internal/fault"
@@ -55,10 +56,31 @@ type Router struct {
 	act  router.Activity
 	cont router.Contention
 
-	vaFailed [NumVCs]bool
-	reqVec   [NumVCs]bool
-	setVec   [VCsPerSet]bool
-	byTarget [5][NumVCs][]vaRequest
+	// Per-cycle request scratch as bitmaps over the router-wide VC ids:
+	// vaFailed marks failed VA requesters (speculative SA), targReq[out][c]
+	// collects the requesters of downstream channel c through output out,
+	// targUsed[out] marks the c with requesters, and vaNext records each
+	// requester's look-ahead route.
+	vaFailed uint64
+	targReq  [5][NumVCs]uint64
+	targUsed [5]uint16
+	vaNext   [NumVCs]topology.Direction
+}
+
+// Module bit masks over the router-wide VC id namespace: ids 0-5 are the
+// Row-Module's channels, ids 6-11 the Column-Module's.
+const (
+	modVCMask = uint64(1)<<(2*VCsPerSet) - 1
+	rowVCMask = modVCMask
+	colVCMask = modVCMask << (2 * VCsPerSet)
+)
+
+// moduleVCMask returns the VC-id bitmap of module m's channels.
+func moduleVCMask(m Module) uint64 {
+	if m == Row {
+		return rowVCMask
+	}
+	return colVCMask
 }
 
 // New returns a RoCo router for the given node, configured per Table 1 for
@@ -248,6 +270,19 @@ func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
 // over link from.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
 	return !r.blocked[ModuleOfVC(vc)] && r.vcs[vc].Claimable(from)
+}
+
+// ClaimableMask returns every claimable VC as a bitmap over the
+// router-wide id namespace, with blocked modules' channels masked out.
+func (r *Router) ClaimableMask(from topology.Direction) uint64 {
+	mask := r.Alloc().Claimable(from)
+	if r.blocked[Row] {
+		mask &^= rowVCMask
+	}
+	if r.blocked[Col] {
+		mask &^= colVCMask
+	}
+	return mask
 }
 
 // ClaimInputVC reserves VC vc for an inbound packet.
@@ -475,31 +510,36 @@ func (r *Router) drainDoomed(cycle int64) {
 	}
 }
 
-// vaRequest is one head flit's chosen downstream channel for this cycle.
-type vaRequest struct {
-	vcID    int
-	choice  int
-	nextOut topology.Direction
-}
-
 // allocateVCs runs the two modules' separable VC allocators (they are
 // physically independent; one pass covers both since requests never cross
-// modules).
+// modules). Requesters come off the needVA bitmap with blocked modules
+// masked out; candidate selection intersects the configuration's admit
+// mask with the cached downstream alive-and-claimable mask.
 func (r *Router) allocateVCs(cycle int64) {
-	// Scratch slices live on the router; the drain loop truncates them.
-	byTarget := &r.byTarget
+	r.vaFailed = 0
+	need := r.Alloc().NeedVA()
+	if r.blocked[Row] {
+		need &^= rowVCMask
+	}
+	if r.blocked[Col] {
+		need &^= colVCMask
+	}
+	if need == 0 {
+		return
+	}
+	// Each output's downstream claimable set is fetched once per cycle;
+	// nothing claims during request building, so the cached mask is exact,
+	// and the grant phase still re-checks through ClaimInputVC.
+	var nbrClaim [5]uint64
+	var nbrClaimOK [5]bool
 
-	for id, vc := range r.vcs {
-		r.vaFailed[id] = false
-		if r.blocked[ModuleOfVC(id)] {
+	for mm := need; mm != 0; mm &= mm - 1 {
+		id := bits.TrailingZeros64(mm)
+		vc := r.vcs[id]
+		if !vc.FrontReady(cycle) {
 			continue
 		}
-		head := vc.Front()
-		if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
-			continue
-		}
-		m := ModuleOfVC(id)
-		r.vaBusy[m] = true
+		r.vaBusy[ModuleOfVC(id)] = true
 		r.act.VAOps++
 		if DebugCollect != nil {
 			DebugCollect.Ops[vc.Class]++
@@ -507,50 +547,44 @@ func (r *Router) allocateVCs(cycle int64) {
 		if vc.NextOut() == topology.Invalid {
 			r.act.RouteComputations++
 		}
-		req, ok := r.selectDownstreamVC(vc, head)
+		c, nextOut, ok := r.selectDownstreamVC(vc, vc.Front(), &nbrClaim, &nbrClaimOK)
 		if !ok {
 			// A head flit bound for downstream early ejection needs no
 			// channel at all; anything else failed allocation this cycle.
 			if !vc.EjectNext() {
-				r.vaFailed[id] = true
+				r.vaFailed |= 1 << uint(id)
 			}
 			continue
 		}
-		req.vcID = id
-		byTarget[vc.OutPort()][req.choice] = append(byTarget[vc.OutPort()][req.choice], req)
+		out := vc.OutPort()
+		r.targReq[out][c] |= 1 << uint(id)
+		r.targUsed[out] |= 1 << uint(c)
+		r.vaNext[id] = nextOut
 	}
 
 	for _, out := range topology.CardinalDirections {
-		for c := 0; c < NumVCs; c++ {
-			claims := byTarget[out][c]
-			if len(claims) == 0 {
+		used := r.targUsed[out]
+		if used == 0 {
+			continue
+		}
+		r.targUsed[out] = 0
+		for uc := used; uc != 0; uc &= uc - 1 {
+			c := bits.TrailingZeros16(uc)
+			reqs := r.targReq[out][c]
+			r.targReq[out][c] = 0
+			w := r.vaArb[out][c].GrantMask(reqs)
+			r.vaFailed |= reqs &^ (1 << uint(w))
+			nbr := r.neighbors[out]
+			if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), c) {
+				r.vaFailed |= 1 << uint(w)
 				continue
 			}
-			byTarget[out][c] = claims[:0]
-			for i := range r.reqVec {
-				r.reqVec[i] = false
-			}
-			for _, cl := range claims {
-				r.reqVec[cl.vcID] = true
-			}
-			w := r.vaArb[out][c].Grant(r.reqVec[:])
-			for _, cl := range claims {
-				if cl.vcID != w {
-					r.vaFailed[cl.vcID] = true
-					continue
-				}
-				vc := r.vcs[cl.vcID]
-				nbr := r.neighbors[out]
-				if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), cl.choice) {
-					r.vaFailed[cl.vcID] = true
-					continue
-				}
-				r.books[out].EnqueueGrant(cl.choice, cl.vcID)
-				vc.GrantRoute(cl.choice, cl.nextOut)
-				r.act.VAGrants++
-				if DebugCollect != nil {
-					DebugCollect.Grants[vc.Class]++
-				}
+			vc := r.vcs[w]
+			r.books[out].EnqueueGrant(c, w)
+			vc.GrantRoute(c, r.vaNext[w])
+			r.act.VAGrants++
+			if DebugCollect != nil {
+				DebugCollect.Grants[vc.Class]++
 			}
 		}
 	}
@@ -558,16 +592,18 @@ func (r *Router) allocateVCs(cycle int64) {
 
 // selectDownstreamVC computes the look-ahead route and picks one candidate
 // downstream channel for a head flit (the input stage of the separable VA).
-func (r *Router) selectDownstreamVC(vc *router.VC, head *flit.Flit) (vaRequest, bool) {
+// claim/claimOK lazily cache each output's downstream claimable mask for
+// the cycle.
+func (r *Router) selectDownstreamVC(vc *router.VC, head *flit.Flit, claim *[5]uint64, claimOK *[5]bool) (int, topology.Direction, bool) {
 	out := vc.OutPort()
 	nbr := r.neighbors[out]
 	book := r.books[out]
 	if nbr == nil || book == nil {
-		return vaRequest{}, false
+		return 0, topology.Invalid, false
 	}
 	downstream, ok := r.engine.Topology().Neighbor(r.id, out)
 	if !ok {
-		return vaRequest{}, false
+		return 0, topology.Invalid, false
 	}
 	from := out.Opposite() // the side the flit enters the downstream router on
 	nextOut := r.engine.RouteAt(downstream, from, head)
@@ -576,40 +612,39 @@ func (r *Router) selectDownstreamVC(vc *router.VC, head *flit.Flit) (vaRequest, 
 	if nextOut == topology.Local {
 		if !nbr.CanServe(from, topology.Local) {
 			vc.Doom()
-			return vaRequest{}, false
+			return 0, topology.Invalid, false
 		}
 		// Early ejection downstream: no channel needed.
 		vc.GrantEject()
-		return vaRequest{}, false // no arbitration required; not a failure
+		return 0, topology.Invalid, false // no arbitration required; not a failure
 	}
 	if !nbr.CanServe(from, nextOut) {
 		// A permanent fault blocks the packet's only route; static fault
 		// handling discards it rather than letting the stranded wormhole
 		// assert backpressure forever.
 		vc.Doom()
-		return vaRequest{}, false
+		return 0, topology.Invalid, false
 	}
 
-	turn := routing.TurnOf(from, nextOut)
-	if c, ok := r.pickCandidate(nbr, book, from, turn, nextOut, head); ok {
-		return vaRequest{choice: c, nextOut: nextOut}, true
+	if !claimOK[out] {
+		claimOK[out] = true
+		claim[out] = nbr.ClaimableMask(from)
 	}
-	return vaRequest{}, false
+	turn := routing.TurnOf(from, nextOut)
+	c, ok := r.pickCandidate(book.AliveMask()&claim[out], book, turn, nextOut, head)
+	return c, nextOut, ok
 }
 
-// pickCandidate returns the least-loaded claimable downstream channel the
-// packet's class and direction discipline admits, spreading back-to-back
-// packets across equivalent channels.
-func (r *Router) pickCandidate(nbr router.Router, book *router.OutVCBook, from topology.Direction, turn routing.Turn, nextOut topology.Direction, head *flit.Flit) (int, bool) {
+// pickCandidate returns the least-loaded downstream channel among avail
+// (the downstream alive-and-claimable mask) that the packet's class and
+// direction discipline admits, spreading back-to-back packets across
+// equivalent channels.
+func (r *Router) pickCandidate(avail uint64, book *router.OutVCBook, turn routing.Turn, nextOut topology.Direction, head *flit.Flit) (int, bool) {
 	best, bestLoad := -1, 0
-	for id := range r.cfg.Class {
-		if !r.cfg.Admits(id, turn, head.Mode, nextOut) {
-			continue
-		}
-		if book.Alive(id) && nbr.InputVCClaimable(from, id) {
-			if load := book.QueuedGrants(id); best < 0 || load < bestLoad {
-				best, bestLoad = id, load
-			}
+	for m := r.cfg.AdmitMask(turn, head.Mode, nextOut) & avail; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		if load := book.QueuedGrants(id); best < 0 || load < bestLoad {
+			best, bestLoad = id, load
 		}
 	}
 	if best < 0 {
@@ -637,19 +672,26 @@ func (r *Router) allocateSwitch(m Module, cycle int64) {
 
 	// Figure 3 contention: a crossbar input port requests a direction when
 	// it holds a switch-ready flit for it; the request is contended when
-	// the module's other port wants the same direction this cycle.
+	// the module's other port wants the same direction this cycle. The
+	// candidate set comes off the saReady bitmap; readyByDir (switch-ready
+	// with credits, split per output direction, module-local bits) is
+	// computed once and reused by the nomination stage below, which used
+	// to evaluate the same predicates a second time.
 	var desire [2][2]bool
-	for p := 0; p < 2; p++ {
-		for s := 0; s < VCsPerSet; s++ {
-			vc := r.vcs[base+p*VCsPerSet+s]
-			if vc.SwitchReady(cycle) {
-				if r.creditOK(vc) {
-					desire[p][DirSlot(vc.OutPort())] = true
-				} else {
-					r.act.CreditStalls++
-				}
-			}
+	var readyByDir [2]uint64
+	for mm := (r.Alloc().SAReady() >> uint(base)) & modVCMask; mm != 0; mm &= mm - 1 {
+		i := bits.TrailingZeros64(mm)
+		vc := r.vcs[base+i]
+		if !vc.FrontReady(cycle) {
+			continue
 		}
+		if !r.creditOK(vc) {
+			r.act.CreditStalls++
+			continue
+		}
+		d := DirSlot(vc.OutPort())
+		readyByDir[d] |= 1 << uint(i)
+		desire[i/VCsPerSet][d] = true
 	}
 	for d := 0; d < 2; d++ {
 		n := 0
@@ -663,26 +705,25 @@ func (r *Router) allocateSwitch(m Module, cycle int64) {
 		}
 	}
 
+	// Failed speculation: the parallel SA requests were issued and
+	// arbitrated (energy), but a speculative grant has lower priority than
+	// any real request and never displaces one (Peh-Dally speculation), so
+	// they cannot affect the matching — they are charged as SAOps only.
+	var specByDir [2]uint64
+	for mm := (r.vaFailed >> uint(base)) & modVCMask; mm != 0; mm &= mm - 1 {
+		i := bits.TrailingZeros64(mm)
+		if op := r.vcs[base+i].OutPort(); op.IsCardinal() {
+			specByDir[DirSlot(op)] |= 1 << uint(i)
+		}
+	}
+
 	for p := 0; p < 2; p++ {
 		for d := 0; d < 2; d++ {
 			winner[p][d] = -1
-			for s := 0; s < VCsPerSet; s++ {
-				id := base + p*VCsPerSet + s
-				vc := r.vcs[id]
-				ready := vc.SwitchReady(cycle) && r.creditOK(vc) && DirSlot(vc.OutPort()) == d
-				r.setVec[s] = ready
-				if ready {
-					r.act.SAOps++
-				} else if r.vaFailed[id] && vc.OutPort().IsCardinal() && DirSlot(vc.OutPort()) == d {
-					// Failed speculation: the parallel SA request was
-					// issued and arbitrated (energy), but a speculative
-					// grant has lower priority than any real request and
-					// never displaces one (Peh-Dally speculation), so it
-					// cannot affect the matching.
-					r.act.SAOps++
-				}
-			}
-			w := r.saArb[m][p][d].Grant(r.setVec[:])
+			reqs := (readyByDir[d] >> uint(p*VCsPerSet)) & (1<<VCsPerSet - 1)
+			spec := (specByDir[d] >> uint(p*VCsPerSet)) & (1<<VCsPerSet - 1)
+			r.act.SAOps += int64(bits.OnesCount64(reqs) + bits.OnesCount64(spec))
+			w := r.saArb[m][p][d].GrantMask(reqs)
 			if w >= 0 {
 				winner[p][d] = base + p*VCsPerSet + w
 				has[p][d] = true
@@ -699,15 +740,27 @@ func (r *Router) allocateSwitch(m Module, cycle int64) {
 		var nominated [2]int // direction nominated per port, or -1
 		for p := 0; p < 2; p++ {
 			nominated[p] = -1
-			reqs := []bool{has[p][0], has[p][1]}
-			if w := r.outArb[m][p].Grant(reqs); w >= 0 {
+			var reqs uint64
+			if has[p][0] {
+				reqs |= 1
+			}
+			if has[p][1] {
+				reqs |= 2
+			}
+			if w := r.outArb[m][p].GrantMask(reqs); w >= 0 {
 				nominated[p] = w
 			}
 		}
 		dec.OutWinner = [2]int{-1, -1}
 		for d := 0; d < 2; d++ {
-			reqs := []bool{nominated[0] == d, nominated[1] == d}
-			dec.OutWinner[d] = r.outSel[m][d].Grant(reqs)
+			var reqs uint64
+			if nominated[0] == d {
+				reqs |= 1
+			}
+			if nominated[1] == d {
+				reqs |= 2
+			}
+			dec.OutWinner[d] = r.outSel[m][d].GrantMask(reqs)
 		}
 	} else {
 		dec = r.mirror[m].Allocate(has)

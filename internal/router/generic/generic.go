@@ -11,6 +11,8 @@
 package generic
 
 import (
+	"math/bits"
+
 	"github.com/rocosim/roco/internal/arbiter"
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
@@ -63,23 +65,20 @@ type Router struct {
 	act        router.Activity
 	cont       router.Contention
 
-	// scratch state reused across cycles
+	// scratch state reused across cycles. Request sets are uint64 bitmaps
+	// over the flat grantee-index namespace (port*VCsPerPort + vc):
+	// vaFailed marks channels whose VA failed this cycle (speculative SA
+	// requests), targReq[out][c] collects the requesters of downstream
+	// channel c through output out, targUsed[out] marks which c have
+	// requesters, and vaNext records each requester's look-ahead route
+	// (its chosen channel is the targReq key itself).
 	vaRotate [numPorts][VCsPerPort]int
-	vaFailed [numPorts][VCsPerPort]bool
+	vaFailed uint64
 	saReqOut [numPorts]topology.Direction
 	saReqVC  [numPorts]int
-	reqVec   [numReqs]bool
-	portVec  [numPorts]bool
-	vcVec    [VCsPerPort]bool
-	byTarget [numPorts][VCsPerPort][]vaClaim
-}
-
-// vaClaim is one input channel's nomination for a (output port, downstream
-// VC) target during VC allocation.
-type vaClaim struct {
-	port, vcIdx int
-	choice      int
-	nextOut     topology.Direction
+	targReq  [numPorts][VCsPerPort]uint64
+	targUsed [numPorts]uint8
+	vaNext   [numReqs]topology.Direction
 }
 
 // New returns a generic router for the given node.
@@ -209,6 +208,15 @@ func (r *Router) NumInputVCs(from topology.Direction) int { return VCsPerPort }
 // new packet.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
 	return !r.dead && r.ports[from][vc].Claimable(from)
+}
+
+// ClaimableMask returns the claimable VCs of input port from as a bitmap
+// over the port's 3-channel namespace.
+func (r *Router) ClaimableMask(from topology.Direction) uint64 {
+	if r.dead {
+		return 0
+	}
+	return (r.Alloc().Claimable(from) >> uint(int(from)*VCsPerPort)) & (1<<VCsPerPort - 1)
 }
 
 // ClaimInputVC reserves input VC vc on side from for an inbound packet.
@@ -481,123 +489,144 @@ func (r *Router) drainDoomed(cycle int64) {
 }
 
 // allocateVCs runs the input-then-output separable VC allocation pass.
+// Requesters come straight off the router's needVA bitmap; the only
+// per-channel predicate left to check live is the front flit's ReadyAt.
 func (r *Router) allocateVCs(cycle int64) {
-	// Group requesters by (output port, downstream VC). The scratch slices
-	// live on the router and are truncated each cycle by the drain loop.
-	byTarget := &r.byTarget
+	r.vaFailed = 0
+	need := r.Alloc().NeedVA()
+	if need == 0 {
+		return
+	}
+	// Each output's downstream claimable set is fetched once per cycle:
+	// nothing claims during request building, so the cached mask matches
+	// what per-candidate InputVCClaimable probes would have returned. The
+	// grant phase still claims through ClaimInputVC, which re-checks.
+	var nbrClaim [numPorts]uint64
+	var nbrClaimOK [numPorts]bool
 
-	for p := 0; p < numPorts; p++ {
-		for v, vc := range r.ports[p] {
-			r.vaFailed[p][v] = false
-			head := vc.Front()
-			if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
-				continue
+	for m := need; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		p, v := id/VCsPerPort, id%VCsPerPort
+		vc := r.ports[p][v]
+		if !vc.FrontReady(cycle) {
+			continue
+		}
+		if vc.OutPort() == topology.Local {
+			// Ejection at this router: the PE interface always has
+			// room, so allocation succeeds immediately.
+			vc.GrantEject()
+			continue
+		}
+		r.act.VAOps++
+		if vc.NextOut() == topology.Invalid {
+			r.act.RouteComputations++
+		}
+		out := vc.OutPort()
+		book := r.books[out]
+		nbr := r.neighbors[out]
+		if book == nil {
+			continue // routed off the mesh edge: simulator bug upstream
+		}
+		downstream, ok := r.engine.Topology().Neighbor(r.id, out)
+		if !ok {
+			continue
+		}
+		head := vc.Front()
+		nextOut := r.engine.RouteAt(downstream, out.Opposite(), head)
+		vc.SetNextOut(nextOut)
+		if nbr != nil && !nbr.CanServe(out.Opposite(), nextOut) {
+			// Static fault handling: the packet's only route is dead;
+			// discard it instead of letting it clog the network.
+			vc.Doom()
+			continue
+		}
+		if !nbrClaimOK[out] {
+			nbrClaimOK[out] = true
+			if nbr != nil {
+				nbrClaim[out] = nbr.ClaimableMask(out.Opposite())
 			}
-			if vc.OutPort() == topology.Local {
-				// Ejection at this router: the PE interface always has
-				// room, so allocation succeeds immediately.
-				vc.GrantEject()
-				continue
+		}
+		usable := book.AliveMask() & nbrClaim[out]
+		// Input stage: nominate one usable channel with a rotating
+		// start. The generic VA's wide (5v:1) arbiters make smarter
+		// selection impractical at speed (the paper charges the
+		// design with iterative re-arbitration); rotating first-fit
+		// avoids pathological pile-up while keeping the collision
+		// behavior of a plain separable allocator.
+		cands := r.candidateVCs(head, out)
+		start := r.vaRotate[p][v] % len(cands)
+		r.vaRotate[p][v]++
+		best := -1
+		for i := range cands {
+			c := cands[(start+i)%len(cands)]
+			if usable&(1<<uint(c)) != 0 {
+				best = c
+				break
 			}
-			r.act.VAOps++
-			if vc.NextOut() == topology.Invalid {
-				r.act.RouteComputations++
-			}
-			out := vc.OutPort()
-			book := r.books[out]
-			nbr := r.neighbors[out]
-			if book == nil {
-				continue // routed off the mesh edge: simulator bug upstream
-			}
-			downstream, ok := r.engine.Topology().Neighbor(r.id, out)
-			if !ok {
-				continue
-			}
-			nextOut := r.engine.RouteAt(downstream, out.Opposite(), head)
-			vc.SetNextOut(nextOut)
-			if nbr != nil && !nbr.CanServe(out.Opposite(), nextOut) {
-				// Static fault handling: the packet's only route is dead;
-				// discard it instead of letting it clog the network.
-				vc.Doom()
-				continue
-			}
-			// Input stage: nominate one claimable channel with a rotating
-			// start. The generic VA's wide (5v:1) arbiters make smarter
-			// selection impractical at speed (the paper charges the
-			// design with iterative re-arbitration); rotating first-fit
-			// avoids pathological pile-up while keeping the collision
-			// behavior of a plain separable allocator.
-			cands := r.candidateVCs(head, out)
-			start := r.vaRotate[p][v] % len(cands)
-			r.vaRotate[p][v]++
-			best := -1
-			for i := range cands {
-				c := cands[(start+i)%len(cands)]
-				if book.Alive(c) && nbr != nil && nbr.InputVCClaimable(out.Opposite(), c) {
-					best = c
-					break
-				}
-			}
-			if best >= 0 {
-				byTarget[out][best] = append(byTarget[out][best], vaClaim{p, v, best, nextOut})
-			} else {
-				r.vaFailed[p][v] = true
-			}
+		}
+		if best >= 0 {
+			r.targReq[out][best] |= 1 << uint(id)
+			r.targUsed[out] |= 1 << uint(best)
+			r.vaNext[id] = nextOut
+		} else {
+			r.vaFailed |= 1 << uint(id)
 		}
 	}
 
 	for out := 0; out < numPorts; out++ {
-		for c := 0; c < VCsPerPort; c++ {
-			claims := byTarget[out][c]
-			if len(claims) == 0 {
+		used := r.targUsed[out]
+		if used == 0 {
+			continue
+		}
+		r.targUsed[out] = 0
+		for uc := used; uc != 0; uc &= uc - 1 {
+			c := bits.TrailingZeros8(uc)
+			reqs := r.targReq[out][c]
+			r.targReq[out][c] = 0
+			w := r.vaArb[out][c].GrantMask(reqs)
+			r.vaFailed |= reqs &^ (1 << uint(w))
+			nbr := r.neighbors[out]
+			if nbr == nil || !nbr.ClaimInputVC(topology.Direction(out).Opposite(), c) {
+				// Another upstream router claimed the channel earlier
+				// this cycle; retry next cycle.
+				r.vaFailed |= 1 << uint(w)
 				continue
 			}
-			byTarget[out][c] = claims[:0]
-			for i := range r.reqVec {
-				r.reqVec[i] = false
-			}
-			for _, cl := range claims {
-				r.reqVec[cl.port*VCsPerPort+cl.vcIdx] = true
-			}
-			w := r.vaArb[out][c].Grant(r.reqVec[:])
-			for _, cl := range claims {
-				vc := r.ports[cl.port][cl.vcIdx]
-				if cl.port*VCsPerPort+cl.vcIdx == w {
-					nbr := r.neighbors[out]
-					if nbr == nil || !nbr.ClaimInputVC(topology.Direction(out).Opposite(), cl.choice) {
-						// Another upstream router claimed the channel
-						// earlier this cycle; retry next cycle.
-						r.vaFailed[cl.port][cl.vcIdx] = true
-						continue
-					}
-					r.books[out].EnqueueGrant(cl.choice, cl.port*VCsPerPort+cl.vcIdx)
-					vc.GrantRoute(cl.choice, cl.nextOut)
-					r.act.VAGrants++
-				} else {
-					r.vaFailed[cl.port][cl.vcIdx] = true
-				}
-			}
+			r.books[out].EnqueueGrant(c, w)
+			r.ports[w/VCsPerPort][w%VCsPerPort].GrantRoute(c, r.vaNext[w])
+			r.act.VAGrants++
 		}
 	}
 }
 
 // allocateSwitch runs the separable, speculative switch allocation and
-// forwards the winners.
+// forwards the winners. The candidate set comes off the saReady bitmap;
+// readyOK (switch-ready with credits) is computed once and reused by the
+// contention tally and the input stage — the loops it replaces evaluated
+// SwitchReady/creditOK twice per channel with identical results.
 func (r *Router) allocateSwitch(cycle int64) {
+	saReady := r.Alloc().SAReady()
+	if saReady == 0 && r.vaFailed == 0 {
+		return
+	}
+
 	// Figure 3's contention probability: per cycle, an input port
 	// "requests" output o when it holds a switch-ready flit for o; the
 	// request is contended when another input port wants the same output
 	// in the same cycle.
+	var readyOK uint64
 	var desire [numPorts][numPorts]bool
-	for p := 0; p < numPorts; p++ {
-		for v, vc := range r.ports[p] {
-			if vc.SwitchReady(cycle) {
-				if r.creditOK(vc, p*VCsPerPort+v) {
-					desire[p][vc.OutPort()] = true
-				} else {
-					r.act.CreditStalls++
-				}
-			}
+	for m := saReady; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		vc := r.ports[id/VCsPerPort][id%VCsPerPort]
+		if !vc.FrontReady(cycle) {
+			continue
+		}
+		if r.creditOK(vc, id) {
+			readyOK |= 1 << uint(id)
+			desire[id/VCsPerPort][vc.OutPort()] = true
+		} else {
+			r.act.CreditStalls++
 		}
 	}
 	for o := 0; o < numPorts; o++ {
@@ -619,33 +648,26 @@ func (r *Router) allocateSwitch(cycle int64) {
 	for p := 0; p < numPorts; p++ {
 		r.saReqOut[p] = topology.Invalid
 		r.saReqVC[p] = -1
-		for v := range r.vcVec {
-			r.vcVec[v] = false
-		}
-		any := false
-		for v, vc := range r.ports[p] {
-			if vc.SwitchReady(cycle) && r.creditOK(vc, p*VCsPerPort+v) {
-				r.vcVec[v] = true
-				any = true
-				r.act.SAOps++
-			} else if r.vaFailed[p][v] {
-				r.act.SAOps++
-			}
-		}
-		if !any {
+		ready := (readyOK >> uint(p*VCsPerPort)) & (1<<VCsPerPort - 1)
+		spec := (r.vaFailed >> uint(p*VCsPerPort)) & (1<<VCsPerPort - 1) &^ ready
+		r.act.SAOps += int64(bits.OnesCount64(ready) + bits.OnesCount64(spec))
+		if ready == 0 {
 			continue
 		}
-		w := r.inArb[p].Grant(r.vcVec[:])
+		w := r.inArb[p].GrantMask(ready)
 		r.saReqOut[p] = r.ports[p][w].OutPort()
 		r.saReqVC[p] = w
 	}
 
 	// Output stage: each output picks among the nominating ports.
 	for out := 0; out < numPorts; out++ {
-		for p := range r.portVec {
-			r.portVec[p] = r.saReqOut[p] == topology.Direction(out)
+		var portReq uint64
+		for p := 0; p < numPorts; p++ {
+			if r.saReqOut[p] == topology.Direction(out) {
+				portReq |= 1 << uint(p)
+			}
 		}
-		w := r.outArb[out].Grant(r.portVec[:])
+		w := r.outArb[out].GrantMask(portReq)
 		if w < 0 {
 			continue
 		}

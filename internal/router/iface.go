@@ -99,6 +99,14 @@ type Router interface {
 	// must live here at the owning router. ClaimInputVC returns false if
 	// another upstream claimed the channel earlier in the same cycle.
 	InputVCClaimable(from topology.Direction, vc int) bool
+	// ClaimableMask returns every claimable input VC of side from at once,
+	// as a bitmap over the same namespace InputVCClaimable indexes (bit vc
+	// set iff InputVCClaimable(from, vc)). Upstream VA fetches it once per
+	// output per cycle and ANDs it into candidate masks instead of probing
+	// channel by channel. Claims taken after the fetch are the caller's
+	// concern — the grant phase still goes through ClaimInputVC, which
+	// re-checks.
+	ClaimableMask(from topology.Direction) uint64
 	ClaimInputVC(from topology.Direction, vc int) bool
 	// ReleaseInputVC returns a claim previously taken with ClaimInputVC
 	// whose packet will never arrive: fault recovery withdraws the

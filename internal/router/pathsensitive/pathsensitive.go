@@ -17,6 +17,8 @@
 package pathsensitive
 
 import (
+	"math/bits"
+
 	"github.com/rocosim/roco/internal/arbiter"
 	"github.com/rocosim/roco/internal/fault"
 	"github.com/rocosim/roco/internal/flit"
@@ -85,10 +87,15 @@ type Router struct {
 	act        router.Activity
 	cont       router.Contention
 
-	vaFailed [NumVCs]bool
-	reqVec   [NumVCs]bool
-	setVec   [VCsPerSet]bool
-	byTarget [5][NumVCs][]vaRequest
+	// Per-cycle request scratch as bitmaps over the router-wide VC ids:
+	// vaFailed marks failed VA requesters (speculative SA), targReq[out][c]
+	// collects the requesters of downstream channel c through output out,
+	// targUsed[out] marks the c with requesters, and vaNext records each
+	// requester's look-ahead route.
+	vaFailed uint64
+	targReq  [5][NumVCs]uint64
+	targUsed [5]uint16
+	vaNext   [NumVCs]topology.Direction
 
 	setReqOut [numSets]topology.Direction
 	setReqVC  [numSets]int
@@ -210,6 +217,15 @@ func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
 // over link from.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
 	return !r.dead && r.vcs[vc].Claimable(from)
+}
+
+// ClaimableMask returns every claimable VC as a bitmap over the
+// router-wide id namespace (any arriving link can feed any quadrant set).
+func (r *Router) ClaimableMask(from topology.Direction) uint64 {
+	if r.dead {
+		return 0
+	}
+	return r.Alloc().Claimable(from)
 }
 
 // ClaimInputVC reserves VC vc for an inbound packet.
@@ -431,23 +447,27 @@ func (r *Router) drainDoomed(cycle int64) {
 	}
 }
 
-type vaRequest struct {
-	vcID    int
-	choice  int
-	nextOut topology.Direction
-}
-
 // allocateVCs runs the separable VC allocation pass: each head flit
 // requests a channel in the downstream router's quadrant set for its
-// destination.
+// destination. Requesters come off the needVA bitmap; the single
+// deterministic candidate is checked with one bit test against the cached
+// alive-and-claimable mask.
 func (r *Router) allocateVCs(cycle int64) {
-	// Scratch slices live on the router; the drain loop truncates them.
-	byTarget := &r.byTarget
+	r.vaFailed = 0
+	need := r.Alloc().NeedVA()
+	if need == 0 {
+		return
+	}
+	// Each output's downstream claimable set is fetched once per cycle;
+	// nothing claims during request building, so the cached mask is exact,
+	// and the grant phase still re-checks through ClaimInputVC.
+	var nbrClaim [5]uint64
+	var nbrClaimOK [5]bool
 
-	for id, vc := range r.vcs {
-		r.vaFailed[id] = false
-		head := vc.Front()
-		if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
+	for m := need; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		vc := r.vcs[id]
+		if !vc.FrontReady(cycle) {
 			continue
 		}
 		r.act.VAOps++
@@ -465,6 +485,7 @@ func (r *Router) allocateVCs(cycle int64) {
 			continue
 		}
 		from := out.Opposite()
+		head := vc.Front()
 		nextOut := r.engine.RouteAt(downstream, from, head)
 		vc.SetNextOut(nextOut)
 		if nextOut == topology.Local {
@@ -480,44 +501,41 @@ func (r *Router) allocateVCs(cycle int64) {
 			vc.Doom()
 			continue
 		}
+		if !nbrClaimOK[out] {
+			nbrClaimOK[out] = true
+			nbrClaim[out] = nbr.ClaimableMask(from)
+		}
 		q := r.packetQuadrant(head)
 		c := int(q)*VCsPerSet + groupFor(q, from)
-		if book.Alive(c) && nbr.InputVCClaimable(from, c) {
-			byTarget[out][c] = append(byTarget[out][c], vaRequest{id, c, nextOut})
+		if book.AliveMask()&nbrClaim[out]&(1<<uint(c)) != 0 {
+			r.targReq[out][c] |= 1 << uint(id)
+			r.targUsed[out] |= 1 << uint(c)
+			r.vaNext[id] = nextOut
 		} else {
-			r.vaFailed[id] = true
+			r.vaFailed |= 1 << uint(id)
 		}
 	}
 
 	for _, out := range topology.CardinalDirections {
-		for c := 0; c < NumVCs; c++ {
-			claims := byTarget[out][c]
-			if len(claims) == 0 {
+		used := r.targUsed[out]
+		if used == 0 {
+			continue
+		}
+		r.targUsed[out] = 0
+		for uc := used; uc != 0; uc &= uc - 1 {
+			c := bits.TrailingZeros16(uc)
+			reqs := r.targReq[out][c]
+			r.targReq[out][c] = 0
+			w := r.vaArb[out][c].GrantMask(reqs)
+			r.vaFailed |= reqs &^ (1 << uint(w))
+			nbr := r.neighbors[out]
+			if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), c) {
+				r.vaFailed |= 1 << uint(w)
 				continue
 			}
-			byTarget[out][c] = claims[:0]
-			for i := range r.reqVec {
-				r.reqVec[i] = false
-			}
-			for _, cl := range claims {
-				r.reqVec[cl.vcID] = true
-			}
-			w := r.vaArb[out][c].Grant(r.reqVec[:])
-			for _, cl := range claims {
-				if cl.vcID != w {
-					r.vaFailed[cl.vcID] = true
-					continue
-				}
-				vc := r.vcs[cl.vcID]
-				nbr := r.neighbors[out]
-				if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), cl.choice) {
-					r.vaFailed[cl.vcID] = true
-					continue
-				}
-				r.books[out].EnqueueGrant(cl.choice, cl.vcID)
-				vc.GrantRoute(cl.choice, cl.nextOut)
-				r.act.VAGrants++
-			}
+			r.books[out].EnqueueGrant(c, w)
+			r.vcs[w].GrantRoute(c, r.vaNext[w])
+			r.act.VAGrants++
 		}
 	}
 }
@@ -526,20 +544,29 @@ func (r *Router) allocateVCs(cycle int64) {
 // crossbar: stage 1 nominates one VC per quadrant set, stage 2 arbitrates
 // each output between its two adjacent sets.
 func (r *Router) allocateSwitch(cycle int64) {
+	saReady := r.Alloc().SAReady()
+	if saReady == 0 && r.vaFailed == 0 {
+		return
+	}
+
 	// Figure 3 contention: a path set requests an output when it holds a
 	// switch-ready flit for it; the request is contended when the other
-	// adjacent set wants the same output this cycle.
+	// adjacent set wants the same output this cycle. readyOK (switch-ready
+	// with credits) is computed once and reused by stage 1, which used to
+	// evaluate the same predicates a second time.
+	var readyOK uint64
 	var desire [numSets][5]bool
-	for s := 0; s < numSets; s++ {
-		for g := 0; g < VCsPerSet; g++ {
-			vc := r.vcs[s*VCsPerSet+g]
-			if vc.SwitchReady(cycle) {
-				if r.creditOK(vc) {
-					desire[s][vc.OutPort()] = true
-				} else {
-					r.act.CreditStalls++
-				}
-			}
+	for m := saReady; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		vc := r.vcs[id]
+		if !vc.FrontReady(cycle) {
+			continue
+		}
+		if r.creditOK(vc) {
+			readyOK |= 1 << uint(id)
+			desire[id/VCsPerSet][vc.OutPort()] = true
+		} else {
+			r.act.CreditStalls++
 		}
 	}
 	for _, out := range topology.CardinalDirections {
@@ -557,40 +584,27 @@ func (r *Router) allocateSwitch(cycle int64) {
 	for s := 0; s < numSets; s++ {
 		r.setReqOut[s] = topology.Invalid
 		r.setReqVC[s] = -1
-		any := false
-		for g := 0; g < VCsPerSet; g++ {
-			id := s*VCsPerSet + g
-			vc := r.vcs[id]
-			if vc.SwitchReady(cycle) && r.creditOK(vc) {
-				r.setVec[g] = true
-				any = true
-				r.act.SAOps++
-			} else {
-				r.setVec[g] = false
-				if r.vaFailed[id] {
-					r.act.SAOps++ // low-priority speculative request
-				}
-			}
-		}
-		if !any {
+		ready := (readyOK >> uint(s*VCsPerSet)) & (1<<VCsPerSet - 1)
+		// Heads whose VA failed are charged as low-priority speculative
+		// arbitration work.
+		spec := (r.vaFailed >> uint(s*VCsPerSet)) & (1<<VCsPerSet - 1) &^ ready
+		r.act.SAOps += int64(bits.OnesCount64(ready) + bits.OnesCount64(spec))
+		if ready == 0 {
 			continue
 		}
-		w := r.setArb[s].Grant(r.setVec[:])
+		w := r.setArb[s].GrantMask(ready)
 		r.setReqOut[s] = r.vcs[s*VCsPerSet+w].OutPort()
 		r.setReqVC[s] = s*VCsPerSet + w
 	}
 
 	for _, out := range topology.CardinalDirections {
-		var reqs [numSets]bool
-		anyReq := false
+		var reqs uint64
 		for s := 0; s < numSets; s++ {
-			reqs[s] = r.setReqOut[s] == out
-			anyReq = anyReq || reqs[s]
+			if r.setReqOut[s] == out {
+				reqs |= 1 << uint(s)
+			}
 		}
-		if !anyReq {
-			continue
-		}
-		w := r.outArb[out].Grant(reqs[:])
+		w := r.outArb[out].GrantMask(reqs)
 		if w < 0 {
 			continue
 		}

@@ -19,6 +19,7 @@ package pdr
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/rocosim/roco/internal/arbiter"
 	"github.com/rocosim/roco/internal/fault"
@@ -102,13 +103,24 @@ type Router struct {
 	act        router.Activity
 	cont       router.Contention
 
-	vaFailed [NumVCs]bool
-	reqVec   [NumVCs]bool
-	byTarget [6][NumVCs][]vaRequest
+	// Per-cycle request scratch as bitmaps over the router-wide VC ids:
+	// vaFailed marks failed VA requesters (speculative SA), targReq[b][c]
+	// collects the requesters of downstream channel c through book b (a
+	// direction, or 5 for the internal transfer), targUsed[b] marks the c
+	// with requesters, and vaNext records each requester's look-ahead
+	// route.
+	vaFailed uint64
+	targReq  [6][NumVCs]uint64
+	targUsed [6]uint16
+	vaNext   [NumVCs]topology.Direction
 
 	nomOut [numPorts]int // nominated module output slot per port, -1 = none
 	nomVC  [numPorts]int
 }
+
+// fromXMask covers the internal transfer channels (the fromX port's VCs)
+// in the router-wide id namespace.
+const fromXMask = uint64(1<<VCsPerPort-1) << uint(portFromX*VCsPerPort)
 
 // New returns a PDR router for the given node. The engine must use XY
 // routing: PDR is a dimension-order design.
@@ -251,6 +263,16 @@ func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
 // InputVCClaimable reports whether VC vc can take a new packet.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
 	return !r.dead && portOfVC(vc) == arrivalPort(from) && r.vcs[vc].Claimable(from)
+}
+
+// ClaimableMask returns the claimable VCs for arrivals on side from as a
+// bitmap over the router-wide id namespace (only the arrival port's
+// channels can be claimed over a given link).
+func (r *Router) ClaimableMask(from topology.Direction) uint64 {
+	if r.dead {
+		return 0
+	}
+	return r.Alloc().Claimable(from) & (uint64(1<<VCsPerPort-1) << uint(arrivalPort(from)*VCsPerPort))
 }
 
 // ClaimInputVC reserves VC vc for an inbound packet.
@@ -486,24 +508,26 @@ func (r *Router) drainDoomed(cycle int64) {
 	}
 }
 
-type vaRequest struct {
-	vcID    int
-	choice  int
-	nextOut topology.Direction
-	book    int // index into vaArb: topology.Direction or 5 = internal
-}
-
 // allocateVCs handles both allocation legs: external links (downstream
 // router channels) and the internal X-to-Y transfer (local fromX
-// channels).
+// channels). Requesters come off the needVA bitmap; candidates are bitmap
+// intersections of the alive and claimable masks.
 func (r *Router) allocateVCs(cycle int64) {
-	// Scratch slices live on the router; the drain loop truncates them.
-	byTarget := &r.byTarget
+	r.vaFailed = 0
+	need := r.Alloc().NeedVA()
+	if need == 0 {
+		return
+	}
+	// Each external output's downstream claimable set is fetched once per
+	// cycle; nothing claims during request building, so the cached mask is
+	// exact, and the grant phase still re-checks through ClaimInputVC.
+	var nbrClaim [5]uint64
+	var nbrClaimOK [5]bool
 
-	for id, vc := range r.vcs {
-		r.vaFailed[id] = false
-		head := vc.Front()
-		if !vc.NeedsVA() || vc.Doomed() || head.ReadyAt > cycle {
+	for m := need; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		vc := r.vcs[id]
+		if !vc.FrontReady(cycle) {
 			continue
 		}
 		r.act.VAOps++
@@ -513,11 +537,13 @@ func (r *Router) allocateVCs(cycle int64) {
 		if port <= portFromPE && slot == outToY {
 			// Internal leg: claim a local fromX channel. The feeder for
 			// internal transfers is recorded as Local (no link credits).
-			for c := portFromX * VCsPerPort; c < (portFromX+1)*VCsPerPort; c++ {
-				if r.vcs[c].Claimable(topology.Local) {
-					byTarget[5][c] = append(byTarget[5][c], vaRequest{id, c, vc.OutPort(), 5})
-					break
-				}
+			// No claimable channel means no request — and, as before, no
+			// speculative SA either.
+			if avail := r.Alloc().Claimable(topology.Local) & fromXMask; avail != 0 {
+				c := bits.TrailingZeros64(avail)
+				r.targReq[5][c] |= 1 << uint(id)
+				r.targUsed[5] |= 1 << uint(c)
+				r.vaNext[id] = vc.OutPort()
 			}
 			continue
 		}
@@ -538,69 +564,63 @@ func (r *Router) allocateVCs(cycle int64) {
 			continue
 		}
 		from := out.Opposite()
-		nextOut := r.engine.RouteAt(downstream, from, head)
+		nextOut := r.engine.RouteAt(downstream, from, vc.Front())
 		vc.SetNextOut(nextOut)
 		if !nbr.CanServe(from, nextOut) {
 			vc.Doom()
 			continue
 		}
+		if !nbrClaimOK[out] {
+			nbrClaimOK[out] = true
+			nbrClaim[out] = nbr.ClaimableMask(from)
+		}
 		// Candidates: the downstream VCs of the arrival port for this link.
 		target := arrivalPort(from)
-		requested := false
-		for c := target * VCsPerPort; c < (target+1)*VCsPerPort; c++ {
-			if book.Alive(c) && nbr.InputVCClaimable(from, c) {
-				byTarget[out][c] = append(byTarget[out][c], vaRequest{id, c, nextOut, int(out)})
-				requested = true
-				break
-			}
-		}
-		if !requested {
-			r.vaFailed[id] = true
+		rangeMask := uint64(1<<VCsPerPort-1) << uint(target*VCsPerPort)
+		if avail := book.AliveMask() & nbrClaim[out] & rangeMask; avail != 0 {
+			c := bits.TrailingZeros64(avail)
+			r.targReq[out][c] |= 1 << uint(id)
+			r.targUsed[out] |= 1 << uint(c)
+			r.vaNext[id] = nextOut
+		} else {
+			r.vaFailed |= 1 << uint(id)
 		}
 	}
 
 	for bookIdx := 0; bookIdx < 6; bookIdx++ {
-		for c := 0; c < NumVCs; c++ {
-			claims := byTarget[bookIdx][c]
-			if len(claims) == 0 {
+		used := r.targUsed[bookIdx]
+		if used == 0 {
+			continue
+		}
+		r.targUsed[bookIdx] = 0
+		for uc := used; uc != 0; uc &= uc - 1 {
+			c := bits.TrailingZeros16(uc)
+			reqs := r.targReq[bookIdx][c]
+			r.targReq[bookIdx][c] = 0
+			w := r.vaArb[bookIdx][c].GrantMask(reqs)
+			r.vaFailed |= reqs &^ (1 << uint(w))
+			vc := r.vcs[w]
+			if bookIdx == 5 {
+				// Internal transfer grant.
+				if !r.vcs[c].Claimable(topology.Local) {
+					r.vaFailed |= 1 << uint(w)
+					continue
+				}
+				r.vcs[c].Claim(topology.Local)
+				r.transferBook.EnqueueGrant(c, w)
+				vc.GrantRoute(c, r.vaNext[w])
+				r.act.VAGrants++
 				continue
 			}
-			byTarget[bookIdx][c] = claims[:0]
-			for i := range r.reqVec {
-				r.reqVec[i] = false
+			out := topology.Direction(bookIdx)
+			nbr := r.neighbors[out]
+			if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), c) {
+				r.vaFailed |= 1 << uint(w)
+				continue
 			}
-			for _, cl := range claims {
-				r.reqVec[cl.vcID] = true
-			}
-			w := r.vaArb[bookIdx][c].Grant(r.reqVec[:])
-			for _, cl := range claims {
-				if cl.vcID != w {
-					r.vaFailed[cl.vcID] = true
-					continue
-				}
-				vc := r.vcs[cl.vcID]
-				if bookIdx == 5 {
-					// Internal transfer grant.
-					if !r.vcs[cl.choice].Claimable(topology.Local) {
-						r.vaFailed[cl.vcID] = true
-						continue
-					}
-					r.vcs[cl.choice].Claim(topology.Local)
-					r.transferBook.EnqueueGrant(cl.choice, cl.vcID)
-					vc.GrantRoute(cl.choice, cl.nextOut)
-					r.act.VAGrants++
-					continue
-				}
-				out := topology.Direction(bookIdx)
-				nbr := r.neighbors[out]
-				if nbr == nil || !nbr.ClaimInputVC(out.Opposite(), cl.choice) {
-					r.vaFailed[cl.vcID] = true
-					continue
-				}
-				r.books[out].EnqueueGrant(cl.choice, cl.vcID)
-				vc.GrantRoute(cl.choice, cl.nextOut)
-				r.act.VAGrants++
-			}
+			r.books[out].EnqueueGrant(c, w)
+			vc.GrantRoute(c, r.vaNext[w])
+			r.act.VAGrants++
 		}
 	}
 }
@@ -623,29 +643,32 @@ func (r *Router) creditOK(id int, vc *router.VC) bool {
 	return book.Credits(vc.OutVC()) > 0 && book.MayStream(vc.OutVC(), id)
 }
 
-// switchReady reports whether the front flit of VC id can request its
-// module output this cycle.
-func (r *Router) switchReady(id int, vc *router.VC, cycle int64) bool {
-	if !vc.SwitchReady(cycle) || vc.Doomed() {
-		return false
-	}
-	return r.creditOK(id, vc)
-}
-
 // allocateSwitch runs the two 3x3 separable switch allocations and
-// forwards winners (externally, internally, or to the PE).
+// forwards winners (externally, internally, or to the PE). Candidates come
+// off the saReady bitmap; readyOK (switch-ready, not doomed, with credits)
+// is computed once and reused by the contention tally and stage 1, which
+// used to evaluate the same predicates twice per channel.
 func (r *Router) allocateSwitch(cycle int64) {
+	saReady := r.Alloc().SAReady()
+	if saReady == 0 && r.vaFailed == 0 {
+		return
+	}
+
 	// Contention accounting (Figure 3 definition): desire overlap per
 	// module output.
+	var readyOK uint64
 	var desire [numPorts][numOutsPerMod]bool
-	for id, vc := range r.vcs {
-		if !vc.SwitchReady(cycle) || vc.Doomed() {
+	for m := saReady; m != 0; m &= m - 1 {
+		id := bits.TrailingZeros64(m)
+		vc := r.vcs[id]
+		if !vc.FrontReady(cycle) || vc.Doomed() {
 			continue
 		}
 		if !r.creditOK(id, vc) {
 			r.act.CreditStalls++
 			continue
 		}
+		readyOK |= 1 << uint(id)
 		port := portOfVC(id)
 		_, slot := moduleOutOf(port, vc.OutPort())
 		desire[port][slot] = true
@@ -664,28 +687,18 @@ func (r *Router) allocateSwitch(cycle int64) {
 		}
 	}
 
-	// Stage 1: one nomination per input port.
-	var vcVec [VCsPerPort]bool
+	// Stage 1: one nomination per input port. Heads whose VA failed this
+	// cycle are charged as speculative arbitration work.
 	for p := 0; p < numPorts; p++ {
 		r.nomOut[p] = -1
 		r.nomVC[p] = -1
-		any := false
-		for v := 0; v < VCsPerPort; v++ {
-			id := p*VCsPerPort + v
-			vc := r.vcs[id]
-			ok := r.switchReady(id, vc, cycle)
-			vcVec[v] = ok
-			if ok {
-				any = true
-				r.act.SAOps++
-			} else if r.vaFailed[id] {
-				r.act.SAOps++
-			}
-		}
-		if !any {
+		ready := (readyOK >> uint(p*VCsPerPort)) & (1<<VCsPerPort - 1)
+		spec := (r.vaFailed >> uint(p*VCsPerPort)) & (1<<VCsPerPort - 1) &^ ready
+		r.act.SAOps += int64(bits.OnesCount64(ready) + bits.OnesCount64(spec))
+		if ready == 0 {
 			continue
 		}
-		w := r.inArb[p].Grant(vcVec[:])
+		w := r.inArb[p].GrantMask(ready)
 		id := p*VCsPerPort + w
 		_, slot := moduleOutOf(p, r.vcs[id].OutPort())
 		r.nomOut[p] = slot
@@ -695,11 +708,13 @@ func (r *Router) allocateSwitch(cycle int64) {
 	// Stage 2: per module output, arbitrate among its three ports.
 	for m := 0; m < 2; m++ {
 		for o := 0; o < numOutsPerMod; o++ {
-			var reqs [3]bool
+			var reqs uint64
 			for i := 0; i < 3; i++ {
-				reqs[i] = r.nomOut[m*3+i] == o
+				if r.nomOut[m*3+i] == o {
+					reqs |= 1 << uint(i)
+				}
 			}
-			w := r.outArb[m][o].Grant(reqs[:])
+			w := r.outArb[m][o].GrantMask(reqs)
 			if w < 0 {
 				continue
 			}

@@ -105,6 +105,10 @@ type Recovery struct {
 	dropSink   DropSink
 	broken     *BrokenSet
 	emptySince []int64
+
+	// alloc holds the router's allocation bitmaps; bit i of every mask is
+	// vcs[i], so the mask index space IS the grantee index space.
+	alloc AllocState
 }
 
 // InitRecovery wires the embedded recovery state. grantRef resolves a VC
@@ -121,7 +125,14 @@ func (rc *Recovery) InitRecovery(node int, vcs []*VC, grantRef func(int) (GrantR
 	for i := range rc.emptySince {
 		rc.emptySince[i] = -1
 	}
+	for i, vc := range vcs {
+		vc.bindAlloc(&rc.alloc, i)
+	}
 }
+
+// Alloc exposes the router's allocation bitmaps; the VA/SA stages read
+// them instead of re-evaluating per-channel predicates each cycle.
+func (rc *Recovery) Alloc() *AllocState { return &rc.alloc }
 
 // SetDropSink installs the network's drop-accounting callback.
 func (rc *Recovery) SetDropSink(s DropSink) { rc.dropSink = s }

@@ -81,15 +81,18 @@ func (v *VC) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 	e.U8(uint8(v.claimFeeder))
 	e.Int(len(v.states))
 	for _, s := range v.states {
+		// The in-memory pktState is packed (flag byte, byte directions);
+		// the stream stays canonical, one field at a time, so snapshots
+		// from before the packing round-trip unchanged.
 		e.U8(uint8(s.outPort))
 		e.U8(uint8(s.nextOut))
-		e.Int(s.outVC)
-		e.Bool(s.ejectNext)
-		e.Bool(s.doomed)
+		e.Int(int(s.outVC))
+		e.Bool(s.flags&psEject != 0)
+		e.Bool(s.flags&psDoomed != 0)
 		e.U8(uint8(s.feeder))
 		e.U64(s.packetID)
-		e.Bool(s.streamed)
-		e.Bool(s.cancelled)
+		e.Bool(s.flags&psStreamed != 0)
+		e.Bool(s.flags&psCancelled != 0)
 	}
 	e.Int(len(v.queue))
 	for _, f := range v.queue {
@@ -129,17 +132,26 @@ func (v *VC) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 	v.ensureBuffers()
 	v.states = v.states[:0]
 	for i := 0; i < ns; i++ {
-		v.states = append(v.states, pktState{
-			outPort:   topology.Direction(d.U8()),
-			nextOut:   topology.Direction(d.U8()),
-			outVC:     d.Int(),
-			ejectNext: d.Bool(),
-			doomed:    d.Bool(),
-			feeder:    topology.Direction(d.U8()),
-			packetID:  d.U64(),
-			streamed:  d.Bool(),
-			cancelled: d.Bool(),
-		})
+		s := pktState{
+			outPort: topology.Direction(d.U8()),
+			nextOut: topology.Direction(d.U8()),
+			outVC:   int32(d.Int()),
+		}
+		if d.Bool() {
+			s.flags |= psEject
+		}
+		if d.Bool() {
+			s.flags |= psDoomed
+		}
+		s.feeder = topology.Direction(d.U8())
+		s.packetID = d.U64()
+		if d.Bool() {
+			s.flags |= psStreamed
+		}
+		if d.Bool() {
+			s.flags |= psCancelled
+		}
+		v.states = append(v.states, s)
 	}
 	nq := d.SliceLen(16)
 	if d.Err() == nil && nq > v.Depth {
@@ -153,6 +165,11 @@ func (v *VC) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 		}
 		v.queue = append(v.queue, c.Decode(d))
 	}
+	// The allocation bitmaps are derived state, never serialized; rebuild
+	// the channel's bits from what just loaded (like HotState.Resync, but
+	// per channel — the masks have no cross-channel terms).
+	v.syncAlloc()
+	v.syncClaim()
 }
 
 // SaveState serializes the output book's credit and grant-order state.
@@ -188,6 +205,7 @@ func (b *OutVCBook) LoadState(d *snapshot.Decoder) {
 			b.order[vc] = append(b.order[vc], d.Int())
 		}
 	}
+	b.resyncAlive()
 }
 
 // SaveState serializes the link latch. Snapshots are taken at cycle

@@ -20,24 +20,36 @@ import (
 // channel per direction, which must still sustain near-full link rate).
 const MaxPacketsPerChannel = 8
 
+// pktState flag bits (pktState.flags).
+const (
+	// psEject: the packet will be early-ejected at the downstream router
+	// (no downstream channel needed).
+	psEject = 1 << iota
+	// psDoomed: the packet is marked for discard (fault handling).
+	psDoomed
+	// psStreamed: at least one flit of the packet has left this router
+	// toward its granted target; recovery uses it to decide whether a
+	// cancelled grant's downstream claim may be released.
+	psStreamed
+	// psCancelled: the packet's VA grant has been withdrawn from the
+	// output book (live fault recovery); prevents double cancellation.
+	psCancelled
+)
+
 // pktState is the routing state of one packet resident in (or admitted to)
 // a channel: its output port at this router, the downstream channel its VA
-// granted, and the link its credits return over.
+// granted, and the link its credits return over. The layout is packed to
+// 16 bytes — Direction fields are single bytes, the four booleans share
+// one flag byte, and the downstream channel index fits int32 — so big
+// meshes move less per-VC state per cycle. In-memory layout only: the
+// snapshot codec still writes each field in its canonical form.
 type pktState struct {
-	outPort   topology.Direction
-	nextOut   topology.Direction
-	outVC     int
-	ejectNext bool
-	doomed    bool
-	feeder    topology.Direction
-	packetID  uint64
-	// streamed records that at least one flit of the packet has left this
-	// router toward its granted target; recovery uses it to decide whether
-	// a cancelled grant's downstream claim may be released.
-	streamed bool
-	// cancelled records that the packet's VA grant has been withdrawn from
-	// the output book (live fault recovery); prevents double cancellation.
-	cancelled bool
+	packetID uint64
+	outVC    int32
+	outPort  topology.Direction
+	nextOut  topology.Direction
+	feeder   topology.Direction
+	flags    uint8
 }
 
 // VC is one virtual-channel buffer. Its flit queue is strictly FIFO and
@@ -79,6 +91,13 @@ type VC struct {
 	// states mutation funnels through syncHot so the mirror stays exact.
 	hot  *HotState
 	slot int32
+
+	// alloc/abit bind the channel into its router's allocation bitmaps
+	// (see AllocState); nil/0 for unbound channels. Queue/states mutations
+	// resync through syncHot; routing-state and claim mutations call
+	// syncAlloc/syncClaim directly.
+	alloc *AllocState
+	abit  uint64
 }
 
 // NewVC returns an idle channel of the given index and depth.
@@ -119,9 +138,11 @@ func (v *VC) ensureBuffers() {
 // syncHot propagates a queue/states mutation into the bound hot-state
 // arrays: the slot's occupancy mirror, and the owning router's dormancy
 // count when the channel crosses between dormant and non-dormant. before
-// is len(queue)+len(states) sampled at the mutator's entry. No-op for
-// unbound channels.
+// is len(queue)+len(states) sampled at the mutator's entry. It also
+// refreshes the allocation bitmaps — every queue/states mutation can move
+// the needVA/saReady bits. No-op for unbound channels.
 func (v *VC) syncHot(before int) {
+	v.syncAlloc()
 	hs := v.hot
 	if hs == nil {
 		return
@@ -196,13 +217,13 @@ func (v *VC) OutVC() int {
 	if len(v.states) == 0 {
 		return -1
 	}
-	return v.states[0].outVC
+	return int(v.states[0].outVC)
 }
 
 // EjectNext reports whether the front packet will be early-ejected at the
 // downstream router (no downstream channel needed).
 func (v *VC) EjectNext() bool {
-	return len(v.states) > 0 && v.states[0].ejectNext
+	return len(v.states) > 0 && v.states[0].flags&psEject != 0
 }
 
 // Feeder returns the link the front packet arrived over (Local for
@@ -220,14 +241,16 @@ func (v *VC) SetNextOut(d topology.Direction) { v.states[0].nextOut = d }
 
 // GrantRoute records a VA grant for the front packet.
 func (v *VC) GrantRoute(outVC int, nextOut topology.Direction) {
-	v.states[0].outVC = outVC
+	v.states[0].outVC = int32(outVC)
 	v.states[0].nextOut = nextOut
+	v.syncAlloc()
 }
 
 // GrantEject marks the front packet for downstream early ejection.
 func (v *VC) GrantEject() {
-	v.states[0].ejectNext = true
+	v.states[0].flags |= psEject
 	v.states[0].nextOut = topology.Local
+	v.syncAlloc()
 }
 
 // Doom marks the front packet undeliverable: a permanent fault blocks its
@@ -235,18 +258,22 @@ func (v *VC) GrantEject() {
 // static fault handling: "fragmented packets are simply discarded").
 // Without discard, the stranded wormhole would assert backpressure forever
 // and tree saturation would wedge the whole network.
-func (v *VC) Doom() { v.states[0].doomed = true }
+func (v *VC) Doom() {
+	v.states[0].flags |= psDoomed
+	v.syncAlloc()
+}
 
 // Doomed reports whether the front packet is marked for discard.
-func (v *VC) Doomed() bool { return len(v.states) > 0 && v.states[0].doomed }
+func (v *VC) Doomed() bool { return len(v.states) > 0 && v.states[0].flags&psDoomed != 0 }
 
 // DoomResidents dooms every packet currently admitted to the channel (a
 // live buffer fault: the flits latched in the failed buffer are lost).
 // Future arrivals are unaffected.
 func (v *VC) DoomResidents() {
 	for i := range v.states {
-		v.states[i].doomed = true
+		v.states[i].flags |= psDoomed
 	}
+	v.syncAlloc()
 }
 
 // Condemn permanently poisons the channel after a live fault disables its
@@ -264,7 +291,7 @@ func (v *VC) Condemned() bool { return v.condemned }
 // MarkStreamed records that the front packet has begun streaming flits out
 // of this router (switch traversal); recovery consults it before releasing
 // a cancelled grant's downstream claim.
-func (v *VC) MarkStreamed() { v.states[0].streamed = true }
+func (v *VC) MarkStreamed() { v.states[0].flags |= psStreamed }
 
 // FrontState is a read-only snapshot of the front packet's routing state,
 // used by the shared fault-recovery sweep.
@@ -288,17 +315,17 @@ func (v *VC) FrontState() (FrontState, bool) {
 	return FrontState{
 		PacketID:  s.packetID,
 		OutPort:   s.outPort,
-		OutVC:     s.outVC,
-		EjectNext: s.ejectNext,
-		Doomed:    s.doomed,
-		Streamed:  s.streamed,
-		Cancelled: s.cancelled,
+		OutVC:     int(s.outVC),
+		EjectNext: s.flags&psEject != 0,
+		Doomed:    s.flags&psDoomed != 0,
+		Streamed:  s.flags&psStreamed != 0,
+		Cancelled: s.flags&psCancelled != 0,
 	}, true
 }
 
 // CancelFrontGrant marks the front packet's VA grant withdrawn (the caller
 // removes it from the output book); further sweeps skip it.
-func (v *VC) CancelFrontGrant() { v.states[0].cancelled = true }
+func (v *VC) CancelFrontGrant() { v.states[0].flags |= psCancelled }
 
 // frontAligned reports whether the front buffered flit belongs to the
 // front packet state. The two can diverge after a live fault: a doomed
@@ -342,6 +369,7 @@ func (v *VC) AbortFront() {
 	if v.claims == 0 {
 		v.claimFeeder = topology.Invalid
 	}
+	v.syncClaim()
 	v.syncHot(before)
 }
 
@@ -357,6 +385,7 @@ func (v *VC) ReleaseClaim() {
 	if v.claims == 0 {
 		v.claimFeeder = topology.Invalid
 	}
+	v.syncClaim()
 }
 
 // Claimable reports whether the channel can admit a new packet arriving
@@ -378,6 +407,7 @@ func (v *VC) Claim(from topology.Direction) {
 	}
 	v.claims++
 	v.claimFeeder = from
+	v.syncClaim()
 }
 
 // PushFrom buffers a flit that arrived over link from. A head flit opens
@@ -397,13 +427,17 @@ func (v *VC) PushFrom(f *flit.Flit, from topology.Direction) {
 		if len(v.states) >= v.claims {
 			panic(fmt.Sprintf("router: head %v pushed into vc %d without a claim", f, v.Index))
 		}
+		var flags uint8
+		if v.condemned {
+			flags = psDoomed
+		}
 		v.states = append(v.states, pktState{
 			outPort:  f.OutPort,
 			nextOut:  topology.Invalid,
 			outVC:    -1,
 			feeder:   from,
 			packetID: f.PacketID,
-			doomed:   v.condemned,
+			flags:    flags,
 		})
 	} else if len(v.states) == 0 {
 		panic(fmt.Sprintf("router: body/tail %v pushed into idle vc %d", f, v.Index))
@@ -432,6 +466,7 @@ func (v *VC) Pop() *flit.Flit {
 		if v.claims == 0 {
 			v.claimFeeder = topology.Invalid
 		}
+		v.syncClaim()
 	}
 	v.syncHot(before)
 	return f
@@ -445,7 +480,7 @@ func (v *VC) NeedsVA() bool {
 	if f == nil || !f.Type.IsHead() || !v.frontAligned() {
 		return false
 	}
-	return v.states[0].outVC < 0 && !v.states[0].ejectNext
+	return v.states[0].outVC < 0 && v.states[0].flags&psEject == 0
 }
 
 // SwitchReady reports whether the front flit may request the switch in the
@@ -458,7 +493,7 @@ func (v *VC) SwitchReady(cycle int64) bool {
 		return false
 	}
 	if f.Type.IsHead() {
-		return v.states[0].outVC >= 0 || v.states[0].ejectNext
+		return v.states[0].outVC >= 0 || v.states[0].flags&psEject != 0
 	}
 	// Body/tail flits follow the wormhole their head opened.
 	return true
@@ -478,6 +513,11 @@ type OutVCBook struct {
 	depths   []int32
 	inflight []int32 // flits sent into the channel, credits not yet returned
 	order    [][]int // per channel: FIFO of local grantee VC indexes
+	// alive caches Alive(vc) as a bitmap (bit vc set iff depths[vc] > 0)
+	// so VA candidate masking is one AND instead of a per-channel load.
+	// Maintained by SetDepth and rebuilt on snapshot load; downstream VC
+	// namespaces are at most 15 wide, far inside the 64-bit budget.
+	alive uint64
 }
 
 // NewOutVCBook returns a book for n downstream VCs of the given depth.
@@ -490,7 +530,18 @@ func NewOutVCBook(n, depth int) *OutVCBook {
 	for i := range b.depths {
 		b.depths[i] = int32(depth)
 	}
+	b.resyncAlive()
 	return b
+}
+
+// resyncAlive rebuilds the alive bitmap from the depths.
+func (b *OutVCBook) resyncAlive() {
+	b.alive = 0
+	for vc, d := range b.depths {
+		if d > 0 && vc < 64 {
+			b.alive |= 1 << uint(vc)
+		}
+	}
 }
 
 // SetDepth adjusts the capacity of one downstream channel: at wiring time
@@ -504,6 +555,13 @@ func (b *OutVCBook) SetDepth(vc, depth int) {
 		panic("router: negative VC depth")
 	}
 	b.depths[vc] = int32(depth)
+	if vc < 64 {
+		if depth > 0 {
+			b.alive |= 1 << uint(vc)
+		} else {
+			b.alive &^= 1 << uint(vc)
+		}
+	}
 }
 
 // Size returns the number of downstream VCs tracked.
@@ -511,6 +569,10 @@ func (b *OutVCBook) Size() int { return len(b.depths) }
 
 // Alive reports whether downstream VC vc is usable at all.
 func (b *OutVCBook) Alive(vc int) bool { return b.depths[vc] > 0 }
+
+// AliveMask returns the usable downstream channels as a bitmap (bit vc
+// set iff Alive(vc)); VA request building ANDs it into candidate masks.
+func (b *OutVCBook) AliveMask() uint64 { return b.alive }
 
 // EnqueueGrant records a local VA grant of downstream channel vc to the
 // local channel grantee; grants stream in FIFO order.

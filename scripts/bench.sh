@@ -24,6 +24,11 @@
 #     live-heap bytes/node per point, plus the SoA speedup and per-node
 #     footprint reduction.
 #
+#   sh scripts/bench.sh alloc [benchtime]     — the allocation-stage
+#     benchmarks (gated kernel, three router kinds, 8x8 mesh at and beyond
+#     saturation, where VA/SA arbitration dominates the step), distilled
+#     into BENCH_alloc.json: ns/op, B/op and allocs/op per point.
+#
 # Every mode defaults to a fixed iteration count (-benchtime=Nx) rather
 # than a duration: per-cycle cost drifts with simulated time (queues
 # deepen toward saturation), so two kernels — or the telemetry off/on
@@ -37,7 +42,7 @@ set -eu
 
 MODE="kernel"
 case "${1:-}" in
-kernel | shard | telemetry | layout)
+kernel | shard | telemetry | layout | alloc)
 	MODE="$1"
 	shift
 	;;
@@ -47,6 +52,7 @@ kernel) BENCHTIME="${1:-10000x}" ;;
 shard) BENCHTIME="${1:-200x}" ;;
 telemetry) BENCHTIME="${1:-60000x}" ;;
 layout) BENCHTIME="${1:-100x}" ;;
+alloc) BENCHTIME="${1:-15000x}" ;;
 esac
 mkdir -p bench/out
 RAW="bench/out/$MODE.txt"
@@ -178,6 +184,44 @@ if [ "$MODE" = "layout" ]; then
 	        printf "\n      }"
 	    }
 	    printf "\n    }\n  }\n}\n"
+	}' "$RAW" > "$OUT"
+
+	echo "wrote $OUT"
+	exit 0
+fi
+
+if [ "$MODE" = "alloc" ]; then
+	OUT="BENCH_alloc.json"
+
+	go test -run '^$' -bench BenchmarkAlloc -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
+
+	awk -v benchtime="$BENCHTIME" '
+	/^BenchmarkAlloc\// {
+	    # BenchmarkAlloc/kind/load-N  iters  X ns/op  Y B/op  Z allocs/op
+	    name = $1
+	    sub(/^BenchmarkAlloc\//, "", name)
+	    sub(/-[0-9]+$/, "", name)
+	    split(name, part, "/")
+	    kind = part[1]; load = part[2]
+	    ns[kind, load] = $3
+	    bytes[kind, load] = $5
+	    allocs[kind, load] = $7
+	    if (!(kind in seen)) { kinds[++nk] = kind; seen[kind] = 1 }
+	}
+	END {
+	    if (nk == 0) { print "bench.sh: no alloc benchmark output parsed" > "/dev/stderr"; exit 1 }
+	    nl = split("sat deep", loads, " ")
+	    printf "{\n  \"benchtime\": \"%s\",\n  \"kernel\": \"gated\",\n  \"kinds\": {", benchtime
+	    for (i = 1; i <= nk; i++) {
+	        k = kinds[i]
+	        printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), k
+	        for (j = 1; j <= nl; j++) {
+	            l = loads[j]
+	            printf "%s\n      \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", (j > 1 ? "," : ""), l, ns[k,l], bytes[k,l], allocs[k,l]
+	        }
+	        printf "\n    }"
+	    }
+	    printf "\n  }\n}\n"
 	}' "$RAW" > "$OUT"
 
 	echo "wrote $OUT"

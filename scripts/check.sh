@@ -22,7 +22,13 @@ go test ./...
 # public packages, and live relative markdown links.
 sh scripts/doccheck.sh
 go test -race ./internal/network ./internal/router/... ./internal/core
-# Smoke the kernel benchmarks: one iteration each, just to prove they run.
+# Differential seed-corpus pass for the bitmap arbiter fast path, under
+# the race detector: GrantMask/PeekMask must match the legacy linear scan
+# on every seed (extended exploration is manual:
+# `go test -fuzz=FuzzGrantMask ./internal/arbiter`).
+go test -race -run '^FuzzGrantMask$' ./internal/arbiter
+# Smoke every benchmark (kernel, shard, telemetry, layout and the
+# allocation-stage grid): one iteration each, just to prove they run.
 go test -run '^$' -bench=. -benchtime=1x ./bench/...
 # Smoke the CLI's JSON output: a tiny reliable run under a fault must emit
 # parseable JSON with the reliability counters present.
