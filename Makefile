@@ -29,16 +29,18 @@ doccheck:
 # loads), shard-scaling benchmarks (RoCo, three mesh sizes, 1-8 shards),
 # the telemetry-overhead benchmarks (epoch sampling off vs on), the
 # data-layout benchmarks (gated vs struct-of-arrays kernel on big
-# meshes), and the allocation-stage benchmarks (three router kinds at
-# and beyond saturation); writes BENCH_kernel.json, BENCH_shard.json,
-# BENCH_telemetry.json, BENCH_layout.json and BENCH_alloc.json, with raw
-# output under bench/out/.
+# meshes), the allocation-stage benchmarks (three router kinds at
+# and beyond saturation), and the chiplet-topology benchmarks (flat die
+# vs chiplet seams); writes BENCH_kernel.json, BENCH_shard.json,
+# BENCH_telemetry.json, BENCH_layout.json, BENCH_alloc.json and
+# BENCH_chiplet.json, with raw output under bench/out/.
 bench:
 	sh scripts/bench.sh kernel
 	sh scripts/bench.sh shard
 	sh scripts/bench.sh telemetry
 	sh scripts/bench.sh layout
 	sh scripts/bench.sh alloc
+	sh scripts/bench.sh chiplet
 
 # CPU profile of the saturated 64x64 step (gated kernel, RoCo router) —
 # the allocation-stage hot path DESIGN.md 4i targets. Writes the profile

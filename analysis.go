@@ -36,13 +36,17 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 	for i, tf := range cfg.FaultSchedule {
 		events[i] = fault.Event{Cycle: tf.Cycle, Fault: tf.Fault.internal()}
 	}
-	var topo topology.Topology = topology.NewMesh(cfg.Width, cfg.Height)
-	if cfg.Torus {
-		topo = topology.NewTorus(cfg.Width, cfg.Height)
-	}
+	topo := buildTopology(cfg)
 	profile := power.NewProfile(structure)
+	d2dLat, d2dGap := 0, 0
+	if cfg.multichip() {
+		d2dLat, d2dGap = cfg.d2dTiming()
+		_, _, profile.D2DXfer = cfg.D2DClass.params()
+	}
 	net := network.New(network.Config{
-		Topo:      topo,
+		Topo:       topo,
+		D2DLatency: d2dLat,
+		D2DGap:     d2dGap,
 		Algorithm: cfg.Algorithm.internal(),
 		Build:     build,
 		Traffic: traffic.Config{
@@ -76,6 +80,22 @@ func buildNetwork(cfg Config, traceEvery uint64) (*network.Network, power.Profil
 		},
 	})
 	return net, profile
+}
+
+// buildTopology maps the grid fields of a validated Config to a concrete
+// topology: a chiplet grid when ChipsX et al. are set (wrapped by Torus),
+// the flat torus or mesh otherwise.
+func buildTopology(cfg Config) topology.Topology {
+	switch {
+	case cfg.multichip() && cfg.Torus:
+		return topology.NewMultiChipTorus(cfg.ChipsX, cfg.ChipsY, cfg.ChipW, cfg.ChipH)
+	case cfg.multichip():
+		return topology.NewMultiChipMesh(cfg.ChipsX, cfg.ChipsY, cfg.ChipW, cfg.ChipH)
+	case cfg.Torus:
+		return topology.NewTorus(cfg.Width, cfg.Height)
+	default:
+		return topology.NewMesh(cfg.Width, cfg.Height)
+	}
 }
 
 // runNetwork executes one simulation and returns the raw network result
@@ -173,8 +193,13 @@ type EnergyBreakdown struct {
 type Detailed struct {
 	Result
 	Width, Height int
-	Nodes         []NodeStats
-	Energy        EnergyBreakdown
+	// ChipsX..ChipH echo the chiplet grid of the run (all zero on a
+	// single-die topology); Torus echoes the wrap-around flag. Together
+	// they let the spatial views rebuild the exact topology.
+	ChipsX, ChipsY, ChipW, ChipH int
+	Torus                        bool
+	Nodes                        []NodeStats
+	Energy                       EnergyBreakdown
 	// MeasuredCycles is the span the per-node counters cover.
 	MeasuredCycles int64
 }
@@ -191,6 +216,11 @@ func RunDetailed(cfg Config) Detailed {
 		Result:         summarize(cfg, res, profile),
 		Width:          cfg.Width,
 		Height:         cfg.Height,
+		ChipsX:         cfg.ChipsX,
+		ChipsY:         cfg.ChipsY,
+		ChipW:          cfg.ChipW,
+		ChipH:          cfg.ChipH,
+		Torus:          cfg.Torus,
 		MeasuredCycles: res.MeasuredCycles,
 		Nodes:          make([]NodeStats, len(res.PerRouter)),
 	}
@@ -214,7 +244,10 @@ func RunDetailed(cfg Config) Detailed {
 // flits per link per cycle (total link flits divided by the node's live
 // link count and the measured span).
 func (d Detailed) LinkUtilization() []float64 {
-	topo := topology.NewMesh(d.Width, d.Height)
+	topo := buildTopology(Config{
+		Width: d.Width, Height: d.Height, Torus: d.Torus,
+		ChipsX: d.ChipsX, ChipsY: d.ChipsY, ChipW: d.ChipW, ChipH: d.ChipH,
+	})
 	out := make([]float64, len(d.Nodes))
 	if d.MeasuredCycles == 0 {
 		return out
@@ -235,13 +268,21 @@ func (d Detailed) LinkUtilization() []float64 {
 	return out
 }
 
-// RenderHeatmap writes an ASCII link-utilization heatmap of the mesh.
+// RenderHeatmap writes an ASCII link-utilization heatmap of the mesh. On
+// a chiplet topology the grid is partitioned by die boundaries, so the
+// hierarchical coordinates read directly off the map.
 func (d Detailed) RenderHeatmap(w io.Writer) {
+	title := fmt.Sprintf("Link utilization (flits/link/cycle), %dx%d mesh", d.Width, d.Height)
 	hm := &report.Heatmap{
-		Title:  fmt.Sprintf("Link utilization (flits/link/cycle), %dx%d mesh", d.Width, d.Height),
+		Title:  title,
 		Width:  d.Width,
 		Height: d.Height,
 		Value:  d.LinkUtilization(),
+	}
+	if d.ChipsX > 0 {
+		hm.Title = fmt.Sprintf("Link utilization (flits/link/cycle), %dx%d chiplets of %dx%d nodes",
+			d.ChipsX, d.ChipsY, d.ChipW, d.ChipH)
+		hm.ChipW, hm.ChipH = d.ChipW, d.ChipH
 	}
 	hm.Render(w)
 }
@@ -250,6 +291,10 @@ func (d Detailed) RenderHeatmap(w io.Writer) {
 // public Result (shared by Run and RunDetailed).
 func summarize(cfg Config, res network.Result, profile power.Profile) Result {
 	energy := power.Account(profile, &res.Activity)
+	// Account prices every link flit at the on-die transfer energy; add the
+	// die-to-die premium for the flits that crossed boundary links.
+	d2dNJ := power.D2DPremiumNJ(profile, res.D2DLinkFlits)
+	energy.DynamicNJ += d2dNJ
 	perPkt := energy.PerPacketNJ(res.Completion.Delivered)
 	out := Result{
 		AvgLatency:        res.Summary.AvgLatency,
@@ -263,6 +308,8 @@ func summarize(cfg Config, res network.Result, profile power.Profile) Result {
 		EnergyPerPacketNJ: perPkt,
 		DynamicNJ:         energy.DynamicNJ,
 		LeakageNJ:         energy.LeakageNJ,
+		D2DFlits:          res.D2DLinkFlits,
+		D2DEnergyNJ:       d2dNJ,
 		PEF:               metrics.PEF(res.Summary.AvgLatency, perPkt, res.Summary.Completion),
 		SourceQueueDelay:  res.Summary.AvgSourceQ,
 		ContentionRow:     res.Summary.ContentionRow,

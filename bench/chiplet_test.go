@@ -1,0 +1,63 @@
+// Chiplet-topology benchmarks: per-cycle cost of a 16x16-node machine
+// built as one flat die versus a 2x2 grid of 8x8-node chiplets, whose
+// boundary links are multi-cycle D2D pipes (parallel interposer class
+// and serialized off-package class). The pipes ride the same Step loop
+// as everything else, so this measures what the seams cost the kernel —
+// scripts/bench.sh chiplet distils the overhead into BENCH_chiplet.json.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rocosim/roco/internal/core"
+	"github.com/rocosim/roco/internal/network"
+	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
+	"github.com/rocosim/roco/internal/traffic"
+)
+
+// seams pits the flat 16x16 mesh against the same node grid re-tiled as
+// 2x2 chiplets of 8x8, under each boundary-link class.
+var seams = []struct {
+	name     string
+	topo     topology.Topology
+	lat, gap int
+}{
+	{"flat", topology.NewMesh(16, 16), 0, 0},
+	{"parallel", topology.NewMultiChipMesh(2, 2, 8, 8), 2, 1},
+	{"serial", topology.NewMultiChipMesh(2, 2, 8, 8), 4, 4},
+}
+
+// BenchmarkChiplet measures one simulated cycle (Network.Step) per
+// iteration on the gated kernel with the RoCo router. Benchmark names
+// read seam/load.
+func BenchmarkChiplet(b *testing.B) {
+	for _, s := range seams {
+		for _, l := range loads[:2] { // low, mid: the D2D serializers saturate first
+			b.Run(fmt.Sprintf("%s/%s", s.name, l.name), func(b *testing.B) {
+				n := network.New(network.Config{
+					Topo:      s.topo,
+					Algorithm: routing.XY,
+					Build: func(id int, e *router.RouteEngine) router.Router {
+						return core.New(id, e)
+					},
+					Traffic:        traffic.Config{Pattern: traffic.Uniform, Rate: l.rate, FlitsPerPacket: 4},
+					MeasurePackets: 1 << 40,
+					Seed:           1,
+					D2DLatency:     s.lat,
+					D2DGap:         s.gap,
+				})
+				for i := 0; i < warmSteps; i++ {
+					n.Step()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.Step()
+				}
+			})
+		}
+	}
+}

@@ -53,6 +53,11 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write machine-readable results to this file")
 		kernel   = flag.String("kernel", "gated", "simulation kernel: gated (activity-gated, default), soa (struct-of-arrays) or reference (tick everything)")
 		reliable = flag.Bool("reliable", false, "arm end-to-end reliable delivery in the fault-injecting experiments (degradation)")
+		chips    = flag.String("chips", "", "run on a multichip mesh: chiplet grid as CXxCY (needs -chip-size; the degradation experiment then strikes a whole die-to-die interface)")
+		chipSize = flag.String("chip-size", "", "nodes per chiplet as WxH (needs -chips)")
+		d2dClass = flag.String("d2d-class", "parallel", "die-to-die boundary link class: parallel, serial")
+		d2dLat   = flag.Int("d2d-latency", 0, "die-to-die link latency in cycles (0 = class default)")
+		d2dGap   = flag.Int("d2d-gap", 0, "cycles between flits entering a die-to-die link (0 = class default)")
 	)
 	flag.Parse()
 
@@ -88,6 +93,26 @@ func main() {
 		ReferenceKernel: reference,
 		SoAKernel:       soa,
 		Reliable:        *reliable,
+	}
+	if (*chips == "") != (*chipSize == "") {
+		fmt.Fprintln(os.Stderr, "rocobench: -chips and -chip-size must be set together")
+		os.Exit(1)
+	}
+	if *chips != "" {
+		var err error
+		if opts.ChipsX, opts.ChipsY, err = parseGrid(*chips); err != nil {
+			fmt.Fprintf(os.Stderr, "rocobench: -chips: %v\n", err)
+			os.Exit(1)
+		}
+		if opts.ChipW, opts.ChipH, err = parseGrid(*chipSize); err != nil {
+			fmt.Fprintf(os.Stderr, "rocobench: -chip-size: %v\n", err)
+			os.Exit(1)
+		}
+		if err := opts.D2DClass.UnmarshalText([]byte(*d2dClass)); err != nil {
+			fmt.Fprintf(os.Stderr, "rocobench: -d2d-class: %v\n", err)
+			os.Exit(1)
+		}
+		opts.D2DLatency, opts.D2DGap = *d2dLat, *d2dGap
 	}
 
 	names := []string{*exp}
@@ -191,16 +216,39 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rocobench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := roco.WriteJSON(f, jsonResults); err != nil {
-			fmt.Fprintf(os.Stderr, "rocobench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+		writeResults(*jsonOut, jsonResults)
 	}
+}
+
+// parseGrid parses a "WxH" dimension pair.
+func parseGrid(s string) (int, int, error) {
+	a, b, ok := strings.Cut(strings.ToLower(strings.TrimSpace(s)), "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad grid %q (want WxH, e.g. 2x2)", s)
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(strings.TrimSpace(a), "%d", &w); err != nil {
+		return 0, 0, fmt.Errorf("bad grid %q (want positive WxH)", s)
+	}
+	if _, err := fmt.Sscanf(strings.TrimSpace(b), "%d", &h); err != nil {
+		return 0, 0, fmt.Errorf("bad grid %q (want positive WxH)", s)
+	}
+	if w < 1 || h < 1 {
+		return 0, 0, fmt.Errorf("bad grid %q (want positive WxH)", s)
+	}
+	return w, h, nil
+}
+
+func writeResults(path string, jsonResults map[string]any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rocobench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := roco.WriteJSON(f, jsonResults); err != nil {
+		fmt.Fprintf(os.Stderr, "rocobench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -10,6 +10,8 @@
 //	rocosim -router roco -faults 2 -faultclass critical -rate 0.3 -seed 7
 //	rocosim -router roco -faults-at 3000,7000 -audit 64 -v
 //	rocosim -router roco -fault-rate 20000 -fault-horizon 60000 -v
+//	rocosim -topology multichipmesh -chips 2x2 -chip-size 4x4 -d2d-class serial -v
+//	rocosim -topology multichipmesh -chips 2x2 -chip-size 4x4 -d2d-fault 3:east@5000 -reliable -v
 //	rocosim -router roco -telemetry-every 256 -json
 //	rocosim -router roco -rate 0.30 -serve 127.0.0.1:9090
 package main
@@ -45,8 +47,15 @@ func main() {
 		routingName = flag.String("routing", "xy", "routing algorithm: xy, xyyx, adaptive")
 		trafficName = flag.String("traffic", "uniform", "traffic pattern: uniform, transpose, selfsimilar, mpeg2, bitcomplement, hotspot")
 		rate        = flag.Float64("rate", 0.25, "injection rate in flits/node/cycle")
-		width       = flag.Int("width", 8, "mesh width")
-		height      = flag.Int("height", 8, "mesh height")
+		topoName    = flag.String("topology", "mesh", "topology: mesh, torus, multichipmesh, multichiptorus (multichip* need -chips and -chip-size)")
+		width       = flag.Int("width", 8, "mesh width (single-die topologies; multichip derives it from -chips x -chip-size)")
+		height      = flag.Int("height", 8, "mesh height (single-die topologies)")
+		chips       = flag.String("chips", "", "chiplet grid as CXxCY, e.g. 2x2 (multichip topologies)")
+		chipSize    = flag.String("chip-size", "", "nodes per chiplet as WxH, e.g. 4x4 (multichip topologies)")
+		d2dClass    = flag.String("d2d-class", "parallel", "die-to-die boundary link class: parallel, serial")
+		d2dLatency  = flag.Int("d2d-latency", 0, "die-to-die link latency in cycles (0 = class default)")
+		d2dGap      = flag.Int("d2d-gap", 0, "cycles between flits entering a die-to-die link (0 = class default)")
+		d2dFaults   = flag.String("d2d-fault", "", "die-to-die interface faults: comma-separated node:side[@cycle] entries (side north/east/south/west; omit @cycle for a static fault)")
 		warmup      = flag.Int64("warmup", 2000, "warm-up packets before measurement")
 		measure     = flag.Int64("measure", 30000, "measured packets")
 		seed        = flag.Uint64("seed", 1, "random seed")
@@ -137,6 +146,54 @@ func main() {
 		fatalf("unknown kernel %q (want gated, soa, reference)", *kernel)
 	}
 
+	multichip := false
+	switch strings.ToLower(*topoName) {
+	case "mesh":
+	case "torus":
+		cfg.Torus = true
+	case "multichipmesh", "multichip-mesh":
+		multichip = true
+	case "multichiptorus", "multichip-torus":
+		multichip = true
+		cfg.Torus = true
+	default:
+		fatalf("unknown topology %q (want mesh, torus, multichipmesh, multichiptorus)", *topoName)
+	}
+	if multichip {
+		if *chips == "" || *chipSize == "" {
+			fatalf("-topology %s needs -chips and -chip-size", *topoName)
+		}
+		var err error
+		if cfg.ChipsX, cfg.ChipsY, err = parseGrid(*chips); err != nil {
+			fatalf("-chips: %v", err)
+		}
+		if cfg.ChipW, cfg.ChipH, err = parseGrid(*chipSize); err != nil {
+			fatalf("-chip-size: %v", err)
+		}
+		if err := cfg.D2DClass.UnmarshalText([]byte(*d2dClass)); err != nil {
+			fatalf("-d2d-class: %v", err)
+		}
+		cfg.D2DLatency, cfg.D2DGap = *d2dLatency, *d2dGap
+		// The chiplet grid derives the dimensions; explicit -width/-height
+		// pass through so Validate can flag a mismatch.
+		if !flagWasSet("width") {
+			cfg.Width = 0
+		}
+		if !flagWasSet("height") {
+			cfg.Height = 0
+		}
+	} else if *chips != "" || *chipSize != "" {
+		fatalf("-chips and -chip-size need a multichip -topology")
+	} else if flagWasSet("d2d-class") || flagWasSet("d2d-latency") || flagWasSet("d2d-gap") {
+		fatalf("-d2d-class/-d2d-latency/-d2d-gap need a multichip -topology")
+	}
+	// Effective global dimensions, for random fault placement and the
+	// summary line.
+	gridW, gridH := *width, *height
+	if multichip {
+		gridW, gridH = cfg.ChipsX*cfg.ChipW, cfg.ChipsY*cfg.ChipH
+	}
+
 	var ok bool
 	if cfg.Router, ok = parseRouter(*routerName); !ok {
 		fatalf("unknown router %q (want generic, pathsensitive, roco)", *routerName)
@@ -156,12 +213,7 @@ func main() {
 		fatalf("unknown fault class %q (want critical, noncritical)", *faultClass)
 	}
 	if *faults > 0 {
-		cfg.Faults = roco.RandomFaults(class, *faults, *width, *height, *seed)
-		if !*jsonOut {
-			for _, f := range cfg.Faults {
-				fmt.Printf("fault: node %d, %s (module %d, vc %d)\n", f.Node, f.Component, f.Module, f.VC)
-			}
-		}
+		cfg.Faults = roco.RandomFaults(class, *faults, gridW, gridH, *seed)
 	}
 	cfg.AuditEvery = *audit
 	if *faultsAt != "" && *faultRate > 0 {
@@ -178,17 +230,35 @@ func main() {
 			cycles = append(cycles, c)
 		}
 		// One random fault per listed cycle, at distinct nodes.
-		flts := roco.RandomFaults(class, len(cycles), *width, *height, *seed)
+		flts := roco.RandomFaults(class, len(cycles), gridW, gridH, *seed)
 		for i, c := range cycles {
 			cfg.FaultSchedule = append(cfg.FaultSchedule, roco.TimedFault{Cycle: c, Fault: flts[i]})
 		}
 	case *faultRate > 0:
-		cfg.FaultSchedule = roco.PoissonFaultSchedule(class, *faultRate, *faultHor, *width, *height, *seed)
+		cfg.FaultSchedule = roco.PoissonFaultSchedule(class, *faultRate, *faultHor, gridW, gridH, *seed)
+	}
+	if *d2dFaults != "" {
+		if !multichip {
+			fatalf("-d2d-fault needs a multichip -topology")
+		}
+		for _, spec := range strings.Split(*d2dFaults, ",") {
+			f, cycle, err := parseD2DFault(spec)
+			if err != nil {
+				fatalf("-d2d-fault: %v", err)
+			}
+			if cycle < 0 {
+				cfg.Faults = append(cfg.Faults, f)
+			} else {
+				cfg.FaultSchedule = append(cfg.FaultSchedule, roco.TimedFault{Cycle: cycle, Fault: f})
+			}
+		}
 	}
 	if !*jsonOut {
+		for _, f := range cfg.Faults {
+			fmt.Printf("fault: %s\n", describeFault(f))
+		}
 		for _, tf := range cfg.FaultSchedule {
-			fmt.Printf("scheduled fault: cycle %d, node %d, %s (module %d, vc %d)\n",
-				tf.Cycle, tf.Fault.Node, tf.Fault.Component, tf.Fault.Module, tf.Fault.VC)
+			fmt.Printf("scheduled fault: cycle %d, %s\n", tf.Cycle, describeFault(tf.Fault))
 		}
 	}
 
@@ -229,8 +299,13 @@ func main() {
 		lingerIfServing(*serveAddr)
 		return
 	}
-	fmt.Printf("%s | %s routing | %s traffic | rate %.2f | %dx%d mesh\n",
-		cfg.Router, cfg.Algorithm, cfg.Traffic, *rate, *width, *height)
+	shape := fmt.Sprintf("%dx%d %s", gridW, gridH, strings.ToLower(*topoName))
+	if multichip {
+		shape = fmt.Sprintf("%dx%d chiplets of %dx%d (%s, d2d %s)",
+			cfg.ChipsX, cfg.ChipsY, cfg.ChipW, cfg.ChipH, strings.ToLower(*topoName), cfg.D2DClass)
+	}
+	fmt.Printf("%s | %s routing | %s traffic | rate %.2f | %s\n",
+		cfg.Router, cfg.Algorithm, cfg.Traffic, *rate, shape)
 	fmt.Printf("  avg latency      %10.2f cycles\n", res.AvgLatency)
 	fmt.Printf("  completion       %10.4f\n", res.Completion)
 	fmt.Printf("  throughput       %10.4f flits/node/cycle\n", res.Throughput)
@@ -422,6 +497,75 @@ func parseTraffic(s string) (roco.TrafficPattern, bool) {
 		return 0, false
 	}
 	return p, true
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// parseGrid parses a "WxH" dimension pair.
+func parseGrid(s string) (int, int, error) {
+	a, b, ok := strings.Cut(strings.ToLower(strings.TrimSpace(s)), "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad grid %q (want WxH, e.g. 2x2)", s)
+	}
+	w, err1 := strconv.Atoi(strings.TrimSpace(a))
+	h, err2 := strconv.Atoi(strings.TrimSpace(b))
+	if err1 != nil || err2 != nil || w < 1 || h < 1 {
+		return 0, 0, fmt.Errorf("bad grid %q (want positive WxH)", s)
+	}
+	return w, h, nil
+}
+
+// parseD2DFault parses one node:side[@cycle] interface-fault spec. The
+// returned cycle is -1 for a static fault (no @cycle suffix).
+func parseD2DFault(spec string) (roco.Fault, int64, error) {
+	s := strings.TrimSpace(spec)
+	cycle := int64(-1)
+	if body, at, ok := strings.Cut(s, "@"); ok {
+		c, err := strconv.ParseInt(strings.TrimSpace(at), 10, 64)
+		if err != nil || c < 0 {
+			return roco.Fault{}, 0, fmt.Errorf("bad cycle in %q (want node:side[@cycle])", spec)
+		}
+		cycle, s = c, body
+	}
+	nodeStr, sideStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return roco.Fault{}, 0, fmt.Errorf("bad spec %q (want node:side[@cycle])", spec)
+	}
+	node, err := strconv.Atoi(strings.TrimSpace(nodeStr))
+	if err != nil || node < 0 {
+		return roco.Fault{}, 0, fmt.Errorf("bad node in %q (want node:side[@cycle])", spec)
+	}
+	var side roco.Side
+	switch strings.ToLower(strings.TrimSpace(sideStr)) {
+	case "north", "n":
+		side = roco.SideNorth
+	case "east", "e":
+		side = roco.SideEast
+	case "south", "s":
+		side = roco.SideSouth
+	case "west", "w":
+		side = roco.SideWest
+	default:
+		return roco.Fault{}, 0, fmt.Errorf("bad side %q (want north, east, south, west)", sideStr)
+	}
+	return roco.Fault{Node: node, Component: roco.D2DInterface, Side: side}, cycle, nil
+}
+
+// describeFault renders one configured fault for the pre-run log.
+func describeFault(f roco.Fault) string {
+	if f.Component == roco.D2DInterface {
+		return fmt.Sprintf("node %d, %s (interface toward %s)", f.Node, f.Component, f.Side)
+	}
+	return fmt.Sprintf("node %d, %s (module %d, vc %d)", f.Node, f.Component, f.Module, f.VC)
 }
 
 func fatalf(format string, args ...any) {

@@ -55,6 +55,15 @@ type Options struct {
 	// experiments that inject faults into live traffic (currently the
 	// degradation experiment), surfacing goodput and recovery counters.
 	Reliable bool
+	// ChipsX..ChipH run every simulation on a hierarchical multi-chip
+	// topology instead of the flat mesh (see Config.ChipsX et al.; Width
+	// and Height are then ignored and derived from the chiplet grid).
+	// D2DClass, D2DLatency and D2DGap shape the boundary links.
+	// The degradation experiment additionally switches its injected fault
+	// to a whole die-to-die interface when a chiplet grid is set.
+	ChipsX, ChipsY, ChipW, ChipH int
+	D2DClass                     D2DClass
+	D2DLatency, D2DGap           int
 }
 
 // DefaultOptions returns the harness defaults (8x8 mesh, 2k+30k packets,
@@ -76,6 +85,15 @@ func QuickOptions() Options {
 	o.Warmup, o.Measure = 500, 4000
 	o.FaultTrials = 2
 	return o
+}
+
+// dims returns the global grid dimensions: derived from the chiplet grid
+// on multichip runs, Width x Height otherwise.
+func (o Options) dims() (w, h int) {
+	if o.ChipsX > 0 {
+		return o.ChipsX * o.ChipW, o.ChipsY * o.ChipH
+	}
+	return o.Width, o.Height
 }
 
 // effectiveWorkers resolves the Options concurrency budget: Workers wins
@@ -157,7 +175,7 @@ func runAll(opts Options, cfgs []Config) []Result {
 
 // baseConfig builds the common run configuration for an experiment point.
 func (o Options) baseConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate float64) Config {
-	return Config{
+	cfg := Config{
 		Width: o.Width, Height: o.Height,
 		Router: k, Algorithm: alg, Traffic: tp,
 		InjectionRate:   rate,
@@ -168,6 +186,15 @@ func (o Options) baseConfig(k RouterKind, alg Algorithm, tp TrafficPattern, rate
 		SoAKernel:       o.SoAKernel,
 		Shards:          o.Shards,
 	}
+	if o.ChipsX > 0 {
+		cfg.ChipsX, cfg.ChipsY, cfg.ChipW, cfg.ChipH = o.ChipsX, o.ChipsY, o.ChipW, o.ChipH
+		cfg.D2DClass = o.D2DClass
+		cfg.D2DLatency, cfg.D2DGap = o.D2DLatency, o.D2DGap
+		// The chiplet grid drives the dimensions; Options.Width/Height are
+		// ignored on multichip runs.
+		cfg.Width, cfg.Height = 0, 0
+	}
+	return cfg
 }
 
 // LatencyRates is the paper's x-axis for Figures 8-10.
@@ -546,11 +573,23 @@ type DegradationExperiment struct {
 
 // RunDegradationExperiment measures online recovery from one runtime fault.
 func RunDegradationExperiment(opts Options, alg Algorithm) DegradationExperiment {
+	width, height := opts.dims()
 	// The same critical fault for every router, struck roughly halfway
 	// through the injection span (estimated from the offered load with the
-	// default 4-flit packets).
-	flt := RandomFaults(CriticalFaults, 1, opts.Width, opts.Height, opts.Seed)[0]
-	pktsPerCycle := FaultInjectionRate * float64(opts.Width*opts.Height) / 4
+	// default 4-flit packets). On a chiplet topology the fault is a whole
+	// die-to-die interface instead: the first chip's east (or, on a 1-wide
+	// chiplet grid, north) interface dies in one event, and the routers
+	// degrade around the boundary cut.
+	var flt Fault
+	switch {
+	case opts.ChipsX >= 2:
+		flt = Fault{Node: 0, Component: D2DInterface, Side: SideEast}
+	case opts.ChipsX > 0 && opts.ChipsY >= 2:
+		flt = Fault{Node: 0, Component: D2DInterface, Side: SideNorth}
+	default:
+		flt = RandomFaults(CriticalFaults, 1, width, height, opts.Seed)[0]
+	}
+	pktsPerCycle := FaultInjectionRate * float64(width*height) / 4
 	faultCycle := int64(float64(opts.Warmup+opts.Measure) / pktsPerCycle / 2)
 	if faultCycle < 1 {
 		faultCycle = 1

@@ -106,6 +106,9 @@ func New(id int, engine *router.RouteEngine) *Router {
 		r.mirror[m] = arbiter.NewMirror()
 	}
 	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
+	r.SetFeederProbe(func(d topology.Direction, pkt uint64) bool {
+		return d.IsCardinal() && r.in[d] != nil && r.in[d].Flit.Carries(pkt)
+	})
 	return r
 }
 
@@ -218,6 +221,9 @@ func (r *Router) Blocked(m Module) bool { return r.blocked[m] }
 // faults; a cardinal output requires its module alive and a VC class for
 // the (from, out) transition to exist in the configuration.
 func (r *Router) CanServe(from, out topology.Direction) bool {
+	if r.Severed(from) || r.Severed(out) {
+		return false
+	}
 	switch out {
 	case topology.Local:
 		return true
@@ -259,8 +265,8 @@ func (r *Router) NumInputVCs(topology.Direction) int { return NumVCs }
 
 // InputVCDepth returns the usable depth of VC vc (1 under virtual queuing,
 // 0 inside a blocked module).
-func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
-	if r.blocked[ModuleOfVC(vc)] {
+func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
+	if r.blocked[ModuleOfVC(vc)] || r.Severed(from) {
 		return 0
 	}
 	return r.vcs[vc].Capacity()
@@ -269,12 +275,15 @@ func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
 // InputVCClaimable reports whether VC vc can take a new packet arriving
 // over link from.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
-	return !r.blocked[ModuleOfVC(vc)] && r.vcs[vc].Claimable(from)
+	return !r.blocked[ModuleOfVC(vc)] && !r.Severed(from) && r.vcs[vc].Claimable(from)
 }
 
 // ClaimableMask returns every claimable VC as a bitmap over the
 // router-wide id namespace, with blocked modules' channels masked out.
 func (r *Router) ClaimableMask(from topology.Direction) uint64 {
+	if r.Severed(from) {
+		return 0
+	}
 	mask := r.Alloc().Claimable(from)
 	if r.blocked[Row] {
 		mask &^= rowVCMask
@@ -296,6 +305,11 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 
 // ReleaseInputVC returns a claim whose packet will never arrive.
 func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	if r.Severed(from) {
+		// SeverPort already purged unbacked claims on the dead interface;
+		// honoring the upstream's withdrawal would double-release.
+		return
+	}
 	r.vcs[vc].ReleaseClaim()
 }
 
@@ -432,6 +446,14 @@ func (r *Router) Tick(cycle int64) {
 		if f == nil {
 			continue
 		}
+		if r.Severed(d) {
+			// The boundary link was cut with this flit in flight; it never
+			// reaches the decoders and its wormhole breaks (no credit either
+			// — the interface is dead in both directions).
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle, trace.DropInFlight)
+			continue
+		}
 		f.Hops++
 		if f.OutPort == topology.Local {
 			// Early Ejection: delivered straight off the input decoder,
@@ -498,6 +520,7 @@ func (r *Router) drainDoomed(cycle int64) {
 			if f == nil {
 				break
 			}
+			r.NoteStragglerDrain(vc)
 			r.act.DroppedFlits++
 			r.DropFlit(f, cycle, trace.DropInFlight)
 			if feeder.IsCardinal() && r.in[feeder] != nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/rocosim/roco/internal/stats"
+	"github.com/rocosim/roco/internal/topology"
 )
 
 // Component names the six major router components of the paper's fault
@@ -39,6 +40,14 @@ const (
 	numComponents
 )
 
+// D2DIf is a die-to-die interface failure on a multi-chip topology: every
+// boundary link of one chiplet-to-chiplet interface is severed in both
+// directions in a single event. It is a link-level site, not one of the
+// paper's six intra-router components, so it is excluded from
+// AllComponents and from the random Class populations; fault schedules
+// name it explicitly (Fault.Port selects the interface).
+const D2DIf Component = numComponents
+
 // String names the component.
 func (c Component) String() string {
 	switch c {
@@ -54,6 +63,8 @@ func (c Component) String() string {
 		return "Crossbar"
 	case MuxDemux:
 		return "MUX/DEMUX"
+	case D2DIf:
+		return "D2D-IF"
 	default:
 		return "?"
 	}
@@ -126,6 +137,8 @@ func Classify(c Component) Classification {
 		return Classification{c, RouterCentric, PerFlit, true, false, "disable the affected module"}
 	case MuxDemux:
 		return Classification{c, MessageCentric, PerFlit, true, false, "disable the affected module"}
+	case D2DIf:
+		return Classification{c, MessageCentric, PerFlit, true, false, "sever the interface; traffic reroutes around the boundary cut"}
 	default:
 		panic(fmt.Sprintf("fault: unknown component %d", c))
 	}
@@ -194,10 +207,17 @@ type Fault struct {
 	// VC localizes a Buffer fault to one virtual channel (an index into the
 	// afflicted module's or router's VC space); ignored otherwise.
 	VC int
+	// Port selects the boundary side of a D2DIf fault: the severed
+	// interface is the one between Node's chiplet and the adjacent chiplet
+	// in this direction. Ignored by every other component.
+	Port topology.Direction
 }
 
 // String renders the fault for logs and reports.
 func (f Fault) String() string {
+	if f.Component == D2DIf {
+		return fmt.Sprintf("node %d: %s fault (chip interface toward %s)", f.Node, f.Component, f.Port)
+	}
 	s := fmt.Sprintf("node %d: %s fault (%s module", f.Node, f.Component, f.Module)
 	if f.Component == Buffer {
 		s += fmt.Sprintf(", vc %d", f.VC)

@@ -1,6 +1,9 @@
 package fault
 
-import "github.com/rocosim/roco/internal/snapshot"
+import (
+	"github.com/rocosim/roco/internal/snapshot"
+	"github.com/rocosim/roco/internal/topology"
+)
 
 // SaveState serializes one event (the network's fault log uses it too).
 func (ev Event) SaveState(e *snapshot.Encoder) {
@@ -9,6 +12,7 @@ func (ev Event) SaveState(e *snapshot.Encoder) {
 	e.U8(uint8(ev.Fault.Component))
 	e.U8(uint8(ev.Fault.Module))
 	e.Int(ev.Fault.VC)
+	e.U8(uint8(ev.Fault.Port))
 }
 
 // LoadEvent restores an event written by Event.SaveState.
@@ -20,6 +24,7 @@ func LoadEvent(d *snapshot.Decoder) Event {
 			Component: Component(d.U8()),
 			Module:    Module(d.U8()),
 			VC:        d.Int(),
+			Port:      topology.Direction(d.U8()),
 		},
 	}
 }

@@ -112,6 +112,13 @@ type Config struct {
 	// does not know router technology parameters; the public layer
 	// threads the router-kind profile through here).
 	TelemetryProfile power.Profile
+	// D2DLatency and D2DGap shape the die-to-die boundary links of a
+	// chiplet topology (one implementing topology.Classed): every D2D link
+	// becomes a multi-cycle pipe with D2DLatency cycles of transit and at
+	// most one flit accepted per D2DGap cycles (the serializer of a narrow
+	// off-chip lane). Values below 1 are treated as 1; 1/1 leaves the link
+	// a plain one-cycle latch. Ignored on single-die topologies.
+	D2DLatency, D2DGap int
 	// Reliable enables the end-to-end delivery protocol: sources track
 	// every logical packet, retransmit copies whose flits a fault
 	// destroyed (with exponential backoff and fault-region rerouting),
@@ -151,6 +158,11 @@ type Result struct {
 	Drops        DropBreakdown
 	// BrokenPackets counts packets that lost at least one flit.
 	BrokenPackets int64
+	// D2DLinkFlits counts measured-window flit traversals of die-to-die
+	// boundary links (zero on single-die topologies); the power layer
+	// prices these at the off-chip per-flit energy instead of the on-die
+	// link energy.
+	D2DLinkFlits int64
 	// FaultLog lists the runtime faults installed, each with the
 	// degradation measured around it (paper Figure 13 style).
 	FaultLog []FaultRecord
@@ -338,6 +350,17 @@ type Network struct {
 	advance     []int        // scratch: conns with staged traffic this Step
 	connMark    []int64      // last cycle each conn was marked for advance
 
+	// Multi-cycle die-to-die link state (chiplet topologies with
+	// D2DLatency/D2DGap > 1; nil otherwise). A long conn cannot use the
+	// one-shot advance above — its in-transit flits need an Advance every
+	// cycle until delivery — so staged traffic moves it onto longActive,
+	// where it advances each cycle (waking the reader the cycle traffic
+	// lands) until quiescent. Shared by both gated kernels; the reference
+	// kernel advances every conn anyway.
+	isLong     []bool
+	longOn     []bool
+	longActive []int
+
 	// SoA kernel state (Config.SoAKernel; see soa.go and DESIGN.md "SoA
 	// kernel"). The bool-array fields above (active, nextActive, adjConns)
 	// stay nil in this mode; everything else gated is shared. hot is the
@@ -434,19 +457,22 @@ func New(cfg Config) *Network {
 
 	// Install faults before wiring so credit books see degraded depths.
 	for _, flt := range cfg.Faults {
-		if flt.Node < 0 || flt.Node >= nodes {
-			panic(fmt.Sprintf("network: fault at nonexistent node %d", flt.Node))
-		}
+		n.validateFault(flt, nodes)
 		// Arm the recovery scans network-wide (routers also self-arm in
 		// ApplyFault; this covers install orderings where the faulted
 		// router has not been handed the registry yet).
 		n.broken.MarkFaulty()
+		if flt.Component == fault.D2DIf {
+			// Pre-wiring sever: SeverPort only marks port masks (nothing is
+			// resident yet), and the wiring loop below reads the degraded
+			// depths through InputVCDepth like any other static fault.
+			n.severInterface(flt)
+			continue
+		}
 		n.routers[flt.Node].ApplyFault(flt)
 	}
 	for _, ev := range cfg.Schedule.Events() {
-		if ev.Fault.Node < 0 || ev.Fault.Node >= nodes {
-			panic(fmt.Sprintf("network: scheduled fault at nonexistent node %d", ev.Fault.Node))
-		}
+		n.validateFault(ev.Fault, nodes)
 	}
 
 	// Wire every directed link with a Conn; size credit books from the
@@ -493,6 +519,46 @@ func New(cfg Config) *Network {
 			n.noteDrop(f, cycle, reason)
 		})
 		n.routers[id].SetBroken(n.broken)
+	}
+
+	// Die-to-die boundary links of a chiplet topology become multi-cycle
+	// pipes; the long-conn advance lists exist only when at least one link
+	// actually carries transit state.
+	if cl, ok := cfg.Topo.(topology.Classed); ok && (cfg.D2DLatency > 1 || cfg.D2DGap > 1) {
+		lat, gap := cfg.D2DLatency, cfg.D2DGap
+		if lat < 1 {
+			lat = 1
+		}
+		if gap < 1 {
+			gap = 1
+		}
+		long := false
+		n.isLong = make([]bool, len(n.conns))
+		for i, l := range n.links {
+			if cl.LinkClass(l.up, l.out) == topology.D2D {
+				n.conns[i].SetD2D(lat, gap)
+				n.isLong[i] = n.conns[i].Long()
+				long = long || n.isLong[i]
+			}
+		}
+		if long {
+			n.longOn = make([]bool, len(n.conns))
+			// A serialized boundary link stretches the straggler horizon of
+			// every router a wormhole can span: flits of a broken packet
+			// trickle in spaced up to max(latency, gap) cycles apart, at the
+			// crossing and at every hop downstream of it. Orphan reaping
+			// must outwait that spacing or a straggler lands in a retired
+			// (possibly reclaimed) channel.
+			delay := int64(lat)
+			if int64(gap) > delay {
+				delay = int64(gap)
+			}
+			for _, r := range n.routers {
+				r.SetReapHorizon(delay)
+			}
+		} else {
+			n.isLong = nil
+		}
 	}
 
 	// Shard partition and canonical color schedule. The reference kernel
@@ -935,6 +1001,18 @@ func (n *Network) stepGated() {
 					continue
 				}
 				conn := n.conns[c]
+				if n.isLong != nil && n.isLong[c] {
+					// Multi-cycle D2D pipe: staged traffic moves it onto the
+					// persistent advance list instead of the one-shot path;
+					// the long pass below wakes the readers when traffic
+					// actually lands.
+					n.connMark[c] = t
+					if !n.longOn[c] && !conn.Quiescent() {
+						n.longOn[c] = true
+						n.longActive = append(n.longActive, c)
+					}
+					continue
+				}
 				busy, pending := conn.Flit.Busy(), conn.Credit.Pending()
 				if !busy && !pending {
 					continue
@@ -955,6 +1033,7 @@ func (n *Network) stepGated() {
 		n.conns[c].Advance()
 	}
 	n.advance = n.advance[:0]
+	n.advanceLongConns(func(id int) { n.nextActive[id] = true })
 
 	for id := range n.active {
 		n.active[id] = n.nextActive[id]
@@ -971,6 +1050,36 @@ func (n *Network) stepGated() {
 	n.graveyard = n.graveyard[:0]
 
 	n.finishCycle()
+}
+
+// advanceLongConns steps every multi-cycle D2D pipe with traffic in
+// transit, waking the reader halves (through wake, which marks a router
+// active for the next cycle) whenever a flit or credit lands. A pipe
+// leaves the list only when quiescent, so gap-recovering serializers and
+// mid-transit flits keep advancing even while both endpoint routers
+// sleep. No-op on single-die topologies.
+func (n *Network) advanceLongConns(wake func(id int)) {
+	if len(n.longActive) == 0 {
+		return
+	}
+	w := 0
+	for _, c := range n.longActive {
+		conn := n.conns[c]
+		conn.Advance()
+		if conn.Flit.Readable() {
+			wake(n.links[c].down)
+		}
+		if conn.Credit.Readable() {
+			wake(n.links[c].up)
+		}
+		if conn.Quiescent() {
+			n.longOn[c] = false
+		} else {
+			n.longActive[w] = c
+			w++
+		}
+	}
+	n.longActive = n.longActive[:w]
 }
 
 // finishCycle advances the clock, runs the conservation auditor when its
@@ -1019,12 +1128,107 @@ func (n *Network) settleTo(id int, upTo int64) {
 	}
 }
 
+// validateFault panics on a structurally impossible fault: a nonexistent
+// node, or a die-to-die interface fault on a topology without chiplet
+// boundaries (or aimed at a side with none).
+func (n *Network) validateFault(flt fault.Fault, nodes int) {
+	if flt.Node < 0 || flt.Node >= nodes {
+		panic(fmt.Sprintf("network: fault at nonexistent node %d", flt.Node))
+	}
+	if flt.Component != fault.D2DIf {
+		return
+	}
+	ch, ok := n.topo.(topology.Chiplet)
+	if !ok {
+		panic("network: D2D interface fault on a topology without chiplet boundaries")
+	}
+	if !flt.Port.IsCardinal() {
+		panic(fmt.Sprintf("network: D2D interface fault needs a cardinal side, got %v", flt.Port))
+	}
+	if len(ch.InterfaceNodes(ch.ChipOf(flt.Node), flt.Port)) == 0 {
+		panic(fmt.Sprintf("network: node %d's chiplet has no %v die-to-die interface", flt.Node, flt.Port))
+	}
+}
+
+// severInterface cuts every boundary link of one die-to-die interface in
+// both directions: the fault's node selects the chiplet, its Port the
+// interface side, and both endpoint routers of each boundary link sever
+// their facing ports. Returns the routers touched (pairs of endpoints).
+func (n *Network) severInterface(flt fault.Fault) []int {
+	ch := n.topo.(topology.Chiplet)
+	var touched []int
+	for _, u := range ch.InterfaceNodes(ch.ChipOf(flt.Node), flt.Port) {
+		v, ok := n.topo.Neighbor(u, flt.Port)
+		if !ok {
+			continue
+		}
+		n.routers[u].SeverPort(flt.Port)
+		n.routers[v].SeverPort(flt.Port.Opposite())
+		touched = append(touched, u, v)
+	}
+	return touched
+}
+
+// installInterfaceFault applies one scheduled die-to-die interface fault to
+// a live network: the whole interface severs at once (every boundary link,
+// both directions), resident traffic routed through it is doomed by the
+// endpoint routers, and the neighbor handshake re-propagates around the
+// cut. One fault log entry covers the entire interface.
+func (n *Network) installInterfaceFault(ev fault.Event) {
+	ch := n.topo.(topology.Chiplet)
+	ifNodes := ch.InterfaceNodes(ch.ChipOf(ev.Fault.Node), ev.Fault.Port)
+	if n.gatedKernel() {
+		// Replay sleep under pre-fault rules and wake for this very cycle:
+		// both endpoints of every boundary link (their port masks change)
+		// and their upstream neighbors (propagateHandshake mutates their
+		// credit books), mirroring the per-node install below.
+		settled := make(map[int]bool)
+		touch := func(id int) {
+			if settled[id] {
+				return
+			}
+			settled[id] = true
+			n.settleTo(id, n.cycle-1)
+			n.wakeNow(id)
+		}
+		for _, u := range ifNodes {
+			v, ok := n.topo.Neighbor(u, ev.Fault.Port)
+			if !ok {
+				continue
+			}
+			touch(u)
+			touch(v)
+			for _, l := range n.links {
+				if l.down == u || l.down == v {
+					touch(l.up)
+				}
+			}
+		}
+	}
+	n.broken.MarkFaulty()
+	for _, u := range n.severInterface(ev.Fault) {
+		if n.brokenBits != nil {
+			n.brokenBits.Set(u)
+		}
+		n.propagateHandshake(u)
+	}
+	n.faultLog = append(n.faultLog, ev)
+	n.faultDrops = append(n.faultDrops, DropBreakdown{})
+	if n.oracle != nil {
+		n.oracle.Invalidate()
+	}
+}
+
 // installDueFaults applies the runtime fault events scheduled for this
 // cycle, then re-propagates the neighbor handshake: every upstream router
 // of an afflicted node re-reads its input-VC depths so credit books (and
 // through them VA and adaptive routing) see the degradation immediately.
 func (n *Network) installDueFaults() {
 	for _, ev := range n.schedule.Due(n.cycle) {
+		if ev.Fault.Component == fault.D2DIf {
+			n.installInterfaceFault(ev)
+			continue
+		}
 		node := ev.Fault.Node
 		if n.gatedKernel() {
 			// Replay the node's sleep under pre-fault rules before the
@@ -1228,6 +1432,15 @@ func (n *Network) collect(saturated bool) Result {
 		res.PerRouter[i] = *r.Activity()
 		res.Activity.Add(r.Activity())
 		res.Contention.Add(r.Contention())
+	}
+	if cl, ok := n.topo.(topology.Classed); ok {
+		// Die-to-die traffic splits out of the link-flit total so the power
+		// layer can price boundary crossings at the off-chip energy.
+		for _, l := range n.links {
+			if cl.LinkClass(l.up, l.out) == topology.D2D {
+				res.D2DLinkFlits += res.PerRouter[l.up].LinkFlitsByDir[l.out]
+			}
+		}
 	}
 	res.Summary = metrics.Summary{
 		AvgLatency:    n.latency.Average(),

@@ -249,6 +249,19 @@ func (n *Network) LoadState(d *snapshot.Decoder) {
 			return
 		}
 	}
+	if n.isLong != nil {
+		// Rebuild the multi-cycle D2D advance list from the restored pipe
+		// state: every long conn with traffic in transit (or a recovering
+		// serializer) must keep advancing from the first resumed cycle.
+		n.longActive = n.longActive[:0]
+		for c := range n.conns {
+			n.longOn[c] = false
+			if n.isLong[c] && !n.conns[c].Quiescent() {
+				n.longOn[c] = true
+				n.longActive = append(n.longActive, c)
+			}
+		}
+	}
 
 	// Cross-check flit conservation before declaring the load good: the
 	// CRC guards the bytes, this guards the semantics (a snapshot from a
@@ -297,6 +310,7 @@ func (n *Network) LoadState(d *snapshot.Decoder) {
 			for _, ev := range n.faultLog {
 				n.brokenBits.Set(ev.Fault.Node)
 			}
+			n.markSeveredBroken()
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"math/bits"
 
 	"github.com/rocosim/roco/internal/router"
+	"github.com/rocosim/roco/internal/topology"
 )
 
 // initSoA builds the SoA kernel's packed state after the mesh is wired:
@@ -46,6 +47,7 @@ func (n *Network) initSoA(nodes int) {
 	for _, flt := range n.cfg.Faults {
 		n.brokenBits.Set(flt.Node)
 	}
+	n.markSeveredBroken()
 
 	n.hot = router.NewHotState(nodes)
 	for _, r := range n.routers {
@@ -90,6 +92,24 @@ func (n *Network) initSoA(nodes int) {
 	n.shardLo[n.shards] = nodes
 	for v := nodes - 1; v >= 0; v-- {
 		n.shardLo[n.shardOf[v]] = v
+	}
+}
+
+// markSeveredBroken sets the fault-mask bit of every router with a severed
+// die-to-die port, for diagnostic parity with per-node faults (a static
+// interface fault touches endpoint pairs, not just the fault's named
+// node). No-op outside the SoA kernel; never consulted for correctness.
+func (n *Network) markSeveredBroken() {
+	if n.brokenBits == nil {
+		return
+	}
+	for id, r := range n.routers {
+		for _, d := range topology.CardinalDirections {
+			if r.Severed(d) {
+				n.brokenBits.Set(id)
+				break
+			}
+		}
 	}
 }
 
@@ -160,6 +180,17 @@ func (n *Network) stepSoA() {
 					continue
 				}
 				conn := n.conns[c]
+				if n.isLong != nil && n.isLong[c] {
+					// Multi-cycle D2D pipe: moves onto the persistent advance
+					// list; the long pass below wakes readers when traffic
+					// actually lands.
+					n.connMark[c] = t
+					if !n.longOn[c] && !conn.Quiescent() {
+						n.longOn[c] = true
+						n.longActive = append(n.longActive, c)
+					}
+					continue
+				}
 				busy, pending := conn.Flit.Busy(), conn.Credit.Pending()
 				if !busy && !pending {
 					continue
@@ -180,6 +211,7 @@ func (n *Network) stepSoA() {
 		n.conns[c].Advance()
 	}
 	n.advance = n.advance[:0]
+	n.advanceLongConns(func(id int) { n.nextActiveBits.Set(id) })
 
 	// Active-set swap: two word-wise array passes instead of a per-router
 	// bool loop.

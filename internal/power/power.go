@@ -35,6 +35,14 @@ type Profile struct {
 	RouteComp     float64
 	EjectDelivery float64
 
+	// D2DXfer is the per-flit energy of one die-to-die boundary-link
+	// traversal (nJ), replacing LinkXfer on those hops. Zero on a
+	// single-die profile; the run layer sets it from the configured
+	// interface class (D2DParallelXfer or D2DSerialXfer) and applies the
+	// difference through D2DPremiumNJ, since activity counters price every
+	// link flit at LinkXfer first.
+	D2DXfer float64
+
 	// LeakagePerCycle is the router's static energy per cycle, nJ.
 	LeakagePerCycle float64
 }
@@ -56,6 +64,14 @@ const (
 	eXbarBitPort = 1.35e-5
 	// eLinkBit is the per-bit link traversal energy (1 mm wire at 90 nm).
 	eLinkBit = 3.9e-5
+	// eD2DParBit is the per-bit energy of a parallel die-to-die crossing
+	// (dense micro-bump interface: short but heavily loaded wires plus
+	// boundary latches — roughly 5x an on-die 1 mm hop).
+	eD2DParBit = 2.0e-4
+	// eD2DSerBit is the per-bit energy of a serialized die-to-die lane,
+	// including the serializer/deserializer overhead of time-multiplexing
+	// the flit onto a narrow off-chip channel.
+	eD2DSerBit = 6.5e-4
 	// eArbReq is the arbitration energy per request line evaluated.
 	eArbReq = 5.2e-5
 	// eRoute is the energy of one route computation.
@@ -181,6 +197,27 @@ func NewProfile(s Structure) Profile {
 		EjectDelivery:   eEject,
 		LeakagePerCycle: leakBase + leakPerBufferBit*bufBits + leakPerXbarPoint*xbarPoints,
 	}
+}
+
+// D2DParallelXfer returns the per-flit energy of one parallel die-to-die
+// boundary crossing, and D2DSerialXfer its serialized-lane counterpart.
+// The run layer writes one of them into Profile.D2DXfer on chiplet
+// topologies.
+func D2DParallelXfer() float64 { return eD2DParBit * FlitBits }
+
+// D2DSerialXfer returns the per-flit energy of one serialized die-to-die
+// boundary crossing.
+func D2DSerialXfer() float64 { return eD2DSerBit * FlitBits }
+
+// D2DPremiumNJ is the extra energy of repricing d2dFlits boundary-link
+// traversals at the profile's die-to-die cost: the activity counters
+// charged every link flit LinkXfer already, so only the difference is
+// added. Zero when the profile has no D2D cost (single-die runs).
+func D2DPremiumNJ(p Profile, d2dFlits int64) float64 {
+	if d2dFlits <= 0 || p.D2DXfer <= p.LinkXfer {
+		return 0
+	}
+	return (p.D2DXfer - p.LinkXfer) * float64(d2dFlits)
 }
 
 func sqrtf(x float64) float64 {

@@ -62,7 +62,7 @@ func (o *Oracle) Deliverable(src, dst int) (bool, flit.RouteMode) {
 }
 
 func (o *Oracle) compute(src, dst int) oracleResult {
-	_, torus := o.engine.Topology().(*topology.Torus)
+	_, torus := o.engine.Topology().(topology.Toroidal)
 	switch alg := o.engine.Algorithm(); {
 	case torus || alg == routing.XY:
 		return oracleResult{ok: o.walk(src, dst, flit.XFirst), mode: flit.XFirst}

@@ -15,6 +15,9 @@ type Heatmap struct {
 	Height int
 	// Value[y*Width+x] is the cell intensity.
 	Value []float64
+	// ChipW and ChipH, when positive, draw die-boundary separators every
+	// ChipW columns and ChipH rows (hierarchical multi-chip grids).
+	ChipW, ChipH int
 }
 
 // shades from cold to hot.
@@ -35,9 +38,19 @@ func (h *Heatmap) Render(w io.Writer) {
 	if h.Title != "" {
 		fmt.Fprintf(w, "%s (max %.3f)\n", h.Title, max)
 	}
+	rowLen := 2 * h.Width
+	if h.ChipW > 0 && h.Width > h.ChipW {
+		rowLen += (h.Width - 1) / h.ChipW
+	}
 	for y := h.Height - 1; y >= 0; y-- {
+		if h.ChipH > 0 && y != h.Height-1 && (y+1)%h.ChipH == 0 {
+			fmt.Fprintf(w, "  %s\n", strings.Repeat("-", rowLen))
+		}
 		var sb strings.Builder
 		for x := 0; x < h.Width; x++ {
+			if h.ChipW > 0 && x != 0 && x%h.ChipW == 0 {
+				sb.WriteByte('|')
+			}
 			v := h.Value[y*h.Width+x]
 			idx := 0
 			if max > 0 {

@@ -2,6 +2,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/rocosim/roco/internal/topology"
 )
@@ -67,6 +68,16 @@ func (v *VC) bindAlloc(a *AllocState, idx int) {
 	v.abit = 1 << uint(idx)
 	v.syncAlloc()
 	v.syncClaim()
+}
+
+// granteeIndex recovers the channel's flat grantee index from its
+// allocation bit, or -1 for a channel not bound to a router (bare
+// unit-test VCs).
+func (v *VC) granteeIndex() int {
+	if v.abit == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(v.abit)
 }
 
 // syncAlloc recomputes the channel's needVA and saReady bits after a

@@ -42,7 +42,7 @@ type Router struct {
 
 	id     int
 	engine *router.RouteEngine
-	torus  *topology.Torus // non-nil when running the torus extension
+	torus  topology.Toroidal // non-nil when running a torus (flat or multi-chip)
 	sink   router.Sink
 
 	in    [numPorts]*router.Conn
@@ -84,7 +84,7 @@ type Router struct {
 // New returns a generic router for the given node.
 func New(id int, engine *router.RouteEngine) *Router {
 	r := &Router{id: id, engine: engine, injVC: -1}
-	if tor, ok := engine.Topology().(*topology.Torus); ok {
+	if tor, ok := engine.Topology().(topology.Toroidal); ok {
 		if engine.Algorithm() != routing.XY {
 			panic("generic: the torus extension supports XY routing only")
 		}
@@ -106,6 +106,9 @@ func New(id int, engine *router.RouteEngine) *Router {
 		flat = append(flat, r.ports[p]...)
 	}
 	r.InitRecovery(id, flat, r.grantTarget, r.abortCleanup)
+	r.SetFeederProbe(func(d topology.Direction, pkt uint64) bool {
+		return d.IsCardinal() && r.in[d] != nil && r.in[d].Flit.Carries(pkt)
+	})
 	return r
 }
 
@@ -186,8 +189,11 @@ func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
 }
 
 // CanServe reports whether traffic entering on from and leaving through out
-// can be served. The generic router is all-or-nothing.
-func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
+// can be served. The generic router is all-or-nothing for intra-router
+// faults; severed D2D ports additionally deny their own side.
+func (r *Router) CanServe(from, out topology.Direction) bool {
+	return !r.dead && !r.Severed(from) && !r.Severed(out)
+}
 
 // CongestionCost estimates pressure on output out as the buffer occupancy
 // of the downstream input port (consumed credits).
@@ -207,13 +213,13 @@ func (r *Router) NumInputVCs(from topology.Direction) int { return VCsPerPort }
 // InputVCClaimable reports whether input VC vc on side from is free for a
 // new packet.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
-	return !r.dead && r.ports[from][vc].Claimable(from)
+	return !r.dead && !r.Severed(from) && r.ports[from][vc].Claimable(from)
 }
 
 // ClaimableMask returns the claimable VCs of input port from as a bitmap
 // over the port's 3-channel namespace.
 func (r *Router) ClaimableMask(from topology.Direction) uint64 {
-	if r.dead {
+	if r.dead || r.Severed(from) {
 		return 0
 	}
 	return (r.Alloc().Claimable(from) >> uint(int(from)*VCsPerPort)) & (1<<VCsPerPort - 1)
@@ -230,13 +236,18 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 
 // ReleaseInputVC returns a claim whose packet will never arrive.
 func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	if r.Severed(from) {
+		// SeverPort already purged unbacked claims on the dead interface;
+		// honoring the upstream's withdrawal would double-release.
+		return
+	}
 	r.ports[from][vc].ReleaseClaim()
 }
 
 // InputVCDepth returns the usable depth of input VC vc on side from (0
 // when the node is dead).
 func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
-	if r.dead {
+	if r.dead || r.Severed(from) {
 		return 0
 	}
 	return r.ports[from][vc].Capacity()
@@ -405,6 +416,14 @@ func (r *Router) Tick(cycle int64) {
 		if f == nil {
 			continue
 		}
+		if r.Severed(topology.Direction(d)) {
+			// The boundary link was cut with this flit in flight; it never
+			// reaches the buffers and its wormhole breaks (no credit either
+			// — the interface is dead in both directions).
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle, trace.DropInFlight)
+			continue
+		}
 		f.Hops++
 		f.ReadyAt = cycle + 1 + f.Penalty
 		if f.Penalty > 0 {
@@ -475,6 +494,7 @@ func (r *Router) drainDoomed(cycle int64) {
 				if f == nil {
 					break
 				}
+				r.NoteStragglerDrain(vc)
 				r.act.DroppedFlits++
 				r.DropFlit(f, cycle, trace.DropInFlight)
 				if topology.Direction(p) != topology.Local && r.in[p] != nil {

@@ -71,6 +71,21 @@ type Router interface {
 	// the network then re-propagates the neighbor handshake via
 	// RefreshOutput.
 	ApplyFault(flt fault.Fault)
+	// SeverPort permanently cuts port d in both directions (a die-to-die
+	// interface fault on a multi-chip topology). The router dooms resident
+	// packets routed through the port, reports zero depths for it, denies
+	// CanServe through it, and drops anything still arriving on it; the
+	// network severs both endpoints of every boundary link of the struck
+	// interface and then re-propagates the neighbor handshake. Implemented
+	// by the embedded Recovery.
+	SeverPort(d topology.Direction)
+	// Severed reports whether port d was cut by SeverPort.
+	Severed(d topology.Direction) bool
+	// SetReapHorizon stretches the orphan-reap age to cover links whose
+	// in-flight horizon exceeds the on-die single cycle (multi-cycle
+	// die-to-die pipes); maxLinkDelay is the slowest link's per-flit
+	// horizon. Implemented by the embedded Recovery.
+	SetReapHorizon(maxLinkDelay int64)
 	// RefreshOutput re-propagates the downstream input-VC depths into the
 	// credit book of output d after a runtime fault changed them (the
 	// credit half of the neighbor handshake). depths is indexed like

@@ -75,9 +75,10 @@ func (e *RouteEngine) RouteAt(node int, from topology.Direction, f *flit.Flit) t
 	if cur == dst {
 		return topology.Local
 	}
-	if tor, ok := e.topo.(*topology.Torus); ok {
-		// Torus extension: dimension order around the shortest way; the
-		// engine is restricted to XY on tori (see DESIGN.md).
+	if tor, ok := e.topo.(topology.Toroidal); ok {
+		// Torus extension (flat or multi-chip): dimension order around the
+		// shortest way; the engine is restricted to XY on tori (see
+		// DESIGN.md).
 		return routing.TorusDimensionOrder(tor.Width(), tor.Height(), cur, dst)
 	}
 	switch e.alg {

@@ -115,6 +115,9 @@ func New(id int, engine *router.RouteEngine) *Router {
 		r.vaArb[d] = arbiter.NewRoundRobinSlice(NumVCs, NumVCs)
 	}
 	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
+	r.SetFeederProbe(func(d topology.Direction, pkt uint64) bool {
+		return d.IsCardinal() && r.in[d] != nil && r.in[d].Flit.Carries(pkt)
+	})
 	return r
 }
 
@@ -189,8 +192,11 @@ func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
 }
 
 // CanServe reports whether traffic entering on from and leaving through
-// out can be served; the router is all-or-nothing.
-func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
+// out can be served; the router is all-or-nothing, except that a severed
+// die-to-die port denies only the traffic crossing it.
+func (r *Router) CanServe(from, out topology.Direction) bool {
+	return !r.dead && !r.Severed(from) && !r.Severed(out)
+}
 
 // CongestionCost estimates pressure on output out.
 func (r *Router) CongestionCost(out topology.Direction) float64 {
@@ -206,8 +212,8 @@ func (r *Router) CongestionCost(out topology.Direction) float64 {
 func (r *Router) NumInputVCs(topology.Direction) int { return NumVCs }
 
 // InputVCDepth returns the usable depth of VC vc.
-func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
-	if r.dead {
+func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
+	if r.dead || r.Severed(from) {
 		return 0
 	}
 	return r.vcs[vc].Capacity()
@@ -216,13 +222,13 @@ func (r *Router) InputVCDepth(_ topology.Direction, vc int) int {
 // InputVCClaimable reports whether VC vc can take a new packet arriving
 // over link from.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
-	return !r.dead && r.vcs[vc].Claimable(from)
+	return !r.dead && !r.Severed(from) && r.vcs[vc].Claimable(from)
 }
 
 // ClaimableMask returns every claimable VC as a bitmap over the
 // router-wide id namespace (any arriving link can feed any quadrant set).
 func (r *Router) ClaimableMask(from topology.Direction) uint64 {
-	if r.dead {
+	if r.dead || r.Severed(from) {
 		return 0
 	}
 	return r.Alloc().Claimable(from)
@@ -239,6 +245,11 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 
 // ReleaseInputVC returns a claim whose packet will never arrive.
 func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	if r.Severed(from) {
+		// SeverPort already purged unbacked claims on the dead interface;
+		// honoring the upstream's withdrawal would double-release.
+		return
+	}
 	r.vcs[vc].ReleaseClaim()
 }
 
@@ -368,6 +379,13 @@ func (r *Router) Tick(cycle int64) {
 		if f == nil {
 			continue
 		}
+		if r.Severed(d) {
+			// The die-to-die interface is dead in both directions: drop the
+			// arrival and return no credit (the upstream port is severed too).
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle, trace.DropInFlight)
+			continue
+		}
 		f.Hops++
 		if f.OutPort == topology.Local {
 			r.act.EarlyEjections++
@@ -435,6 +453,7 @@ func (r *Router) drainDoomed(cycle int64) {
 			if f == nil {
 				break
 			}
+			r.NoteStragglerDrain(vc)
 			r.act.DroppedFlits++
 			r.DropFlit(f, cycle, trace.DropInFlight)
 			if feeder.IsCardinal() && r.in[feeder] != nil {

@@ -150,6 +150,9 @@ func New(id int, engine *router.RouteEngine) *Router {
 		r.vaArb[i] = arbiter.NewRoundRobinSlice(NumVCs, NumVCs)
 	}
 	r.InitRecovery(id, r.vcs[:], r.grantTarget, r.abortCleanup)
+	r.SetFeederProbe(func(d topology.Direction, pkt uint64) bool {
+		return d.IsCardinal() && r.in[d] != nil && r.in[d].Flit.Carries(pkt)
+	})
 	return r
 }
 
@@ -235,8 +238,11 @@ func (r *Router) RefreshOutput(d topology.Direction, depths []int) {
 	}
 }
 
-// CanServe reports whether traffic can be served; all-or-nothing.
-func (r *Router) CanServe(from, out topology.Direction) bool { return !r.dead }
+// CanServe reports whether traffic can be served; all-or-nothing, except
+// that a severed die-to-die port denies only the traffic crossing it.
+func (r *Router) CanServe(from, out topology.Direction) bool {
+	return !r.dead && !r.Severed(from) && !r.Severed(out)
+}
 
 // CongestionCost estimates pressure on output out.
 func (r *Router) CongestionCost(out topology.Direction) float64 {
@@ -254,7 +260,7 @@ func (r *Router) NumInputVCs(topology.Direction) int { return NumVCs }
 // InputVCDepth returns the usable depth of VC vc for arrivals on side
 // from; channels of other ports are unreachable from that link.
 func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
-	if r.dead || portOfVC(vc) != arrivalPort(from) {
+	if r.dead || r.Severed(from) || portOfVC(vc) != arrivalPort(from) {
 		return 0
 	}
 	return r.vcs[vc].Capacity()
@@ -262,14 +268,14 @@ func (r *Router) InputVCDepth(from topology.Direction, vc int) int {
 
 // InputVCClaimable reports whether VC vc can take a new packet.
 func (r *Router) InputVCClaimable(from topology.Direction, vc int) bool {
-	return !r.dead && portOfVC(vc) == arrivalPort(from) && r.vcs[vc].Claimable(from)
+	return !r.dead && !r.Severed(from) && portOfVC(vc) == arrivalPort(from) && r.vcs[vc].Claimable(from)
 }
 
 // ClaimableMask returns the claimable VCs for arrivals on side from as a
 // bitmap over the router-wide id namespace (only the arrival port's
 // channels can be claimed over a given link).
 func (r *Router) ClaimableMask(from topology.Direction) uint64 {
-	if r.dead {
+	if r.dead || r.Severed(from) {
 		return 0
 	}
 	return r.Alloc().Claimable(from) & (uint64(1<<VCsPerPort-1) << uint(arrivalPort(from)*VCsPerPort))
@@ -287,6 +293,11 @@ func (r *Router) ClaimInputVC(from topology.Direction, vc int) bool {
 // ReleaseInputVC returns a claim whose packet will never arrive. Side
 // Local means an internal transfer claim on a fromX channel.
 func (r *Router) ReleaseInputVC(from topology.Direction, vc int) {
+	if r.Severed(from) {
+		// SeverPort already purged unbacked claims on the dead interface;
+		// honoring the upstream's withdrawal would double-release.
+		return
+	}
 	r.vcs[vc].ReleaseClaim()
 }
 
@@ -432,6 +443,13 @@ func (r *Router) Tick(cycle int64) {
 		if f == nil {
 			continue
 		}
+		if r.Severed(d) {
+			// The die-to-die interface is dead in both directions: drop the
+			// arrival and return no credit (the upstream port is severed too).
+			r.act.DroppedFlits++
+			r.DropFlit(f, cycle, trace.DropInFlight)
+			continue
+		}
 		f.Hops++
 		f.ReadyAt = cycle + 1 + f.Penalty
 		if f.Penalty > 0 {
@@ -493,6 +511,7 @@ func (r *Router) drainDoomed(cycle int64) {
 			if f == nil {
 				break
 			}
+			r.NoteStragglerDrain(vc)
 			r.act.DroppedFlits++
 			r.DropFlit(f, cycle, trace.DropInFlight)
 			if feeder.IsCardinal() && r.in[feeder] != nil {

@@ -1,0 +1,162 @@
+package router
+
+import (
+	"testing"
+
+	"github.com/rocosim/roco/internal/flit"
+)
+
+// TestFlitPipeOneCycleLatch pins the on-die contract: written at t,
+// readable after the t-boundary Advance, exactly once.
+func TestFlitPipeOneCycleLatch(t *testing.T) {
+	var p FlitPipe
+	f := &flit.Flit{}
+	p.Write(f)
+	if p.Readable() {
+		t.Fatal("flit readable before Advance")
+	}
+	p.Advance()
+	if !p.Readable() {
+		t.Fatal("flit not readable after Advance")
+	}
+	if got := p.Read(); got != f {
+		t.Fatalf("Read = %v, want the written flit", got)
+	}
+	p.Advance()
+	if p.Read() != nil {
+		t.Fatal("flit delivered twice")
+	}
+}
+
+// TestFlitPipeD2DLatency: with latency L (gap 1), a flit written during
+// cycle t is readable during cycle t+L — exactly L Advances later.
+func TestFlitPipeD2DLatency(t *testing.T) {
+	for _, lat := range []int{1, 2, 3, 5} {
+		var p FlitPipe
+		p.setD2D(lat, 1)
+		f := &flit.Flit{}
+		p.Write(f)
+		for i := 0; i < lat-1; i++ {
+			p.Advance()
+			if p.Readable() {
+				t.Fatalf("latency %d: flit readable after %d advances", lat, i+1)
+			}
+		}
+		p.Advance()
+		if got := p.Read(); got != f {
+			t.Fatalf("latency %d: flit not delivered after %d advances", lat, lat)
+		}
+		if !p.quiescent() {
+			t.Fatalf("latency %d: pipe not quiescent after delivery", lat)
+		}
+	}
+}
+
+// TestFlitPipeD2DGapSerializes: with gap G, back-to-back writes deliver G
+// cycles apart in FIFO order, later flits queueing behind the serializer.
+func TestFlitPipeD2DGapSerializes(t *testing.T) {
+	const lat, gap = 2, 3
+	var p FlitPipe
+	p.setD2D(lat, gap)
+	f1, f2 := &flit.Flit{Seq: 1}, &flit.Flit{Seq: 2}
+	p.Write(f1)
+	p.Advance()
+	p.Write(f2)
+
+	var deliveries []int64 // advance count at each delivery
+	for cycle := int64(2); cycle < 12 && len(deliveries) < 2; cycle++ {
+		p.Advance()
+		if p.Readable() {
+			got := p.Read()
+			want := f1
+			if len(deliveries) == 1 {
+				want = f2
+			}
+			if got != want {
+				t.Fatalf("delivery %d out of order: got seq %d", len(deliveries), got.Seq)
+			}
+			deliveries = append(deliveries, cycle)
+		}
+	}
+	if len(deliveries) != 2 {
+		t.Fatalf("only %d deliveries observed", len(deliveries))
+	}
+	if deliveries[0] != lat {
+		t.Fatalf("first delivery after %d advances, want %d", deliveries[0], lat)
+	}
+	if deliveries[1]-deliveries[0] != gap {
+		t.Fatalf("deliveries %d apart, want the gap %d", deliveries[1]-deliveries[0], gap)
+	}
+	if !p.quiescent() {
+		// The serializer timer must still run down before quiescence.
+		for i := 0; i < gap; i++ {
+			p.Advance()
+		}
+		if !p.quiescent() {
+			t.Fatal("pipe never reached quiescence after draining")
+		}
+	}
+}
+
+// TestFlitPipeD2DPlainTiming: latency 1 / gap 1 under setD2D stays the
+// plain one-cycle latch (the network treats it as a short conn).
+func TestFlitPipeD2DPlainTiming(t *testing.T) {
+	var p FlitPipe
+	p.setD2D(1, 1)
+	if p.long {
+		t.Fatal("1/1 d2d pipe should stay a plain latch")
+	}
+}
+
+// TestCreditPipeD2DLatency: credits take latency cycles and may land
+// together (no serialization gap on the sideband).
+func TestCreditPipeD2DLatency(t *testing.T) {
+	const lat = 4
+	var p CreditPipe
+	p.setD2D(lat)
+	p.Write(0)
+	p.Write(2)
+	for i := 0; i < lat-1; i++ {
+		p.Advance()
+		if p.Readable() {
+			t.Fatalf("credits readable after %d advances, want %d", i+1, lat)
+		}
+	}
+	p.Advance()
+	got := p.Read()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("credits %v, want [0 2]", got)
+	}
+	if !p.quiescent() {
+		t.Fatal("credit pipe not quiescent after delivery")
+	}
+}
+
+// TestConnQuiescent: a long conn reports quiescence only when both halves
+// have drained and every timer expired.
+func TestConnQuiescent(t *testing.T) {
+	var c Conn
+	c.SetD2D(3, 2)
+	if !c.Long() {
+		t.Fatal("3/2 conn should be long")
+	}
+	if !c.Quiescent() {
+		t.Fatal("fresh conn should be quiescent")
+	}
+	c.Flit.Write(&flit.Flit{})
+	if c.Quiescent() {
+		t.Fatal("conn with a staged flit is not quiescent")
+	}
+	for i := 0; i < 10; i++ {
+		if c.Flit.Readable() {
+			c.Flit.Read()
+		}
+		c.Advance()
+	}
+	if c.Flit.Readable() {
+		c.Flit.Read()
+	}
+	if !c.Quiescent() {
+		t.Fatal("conn never drained to quiescence")
+	}
+}

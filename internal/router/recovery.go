@@ -1,6 +1,8 @@
 package router
 
 import (
+	"fmt"
+
 	"github.com/rocosim/roco/internal/flit"
 	"github.com/rocosim/roco/internal/routing"
 	"github.com/rocosim/roco/internal/topology"
@@ -87,8 +89,12 @@ type GrantRef struct {
 // orphanAge is how many cycles a doomed, broken front packet must sit with
 // no buffered flits before recovery force-retires its state. Flits of a
 // packet stop being forwarded anywhere the cycle after it enters the
-// broken set, so the last straggler arrives within two cycles; four gives
-// margin while keeping recovery prompt.
+// broken set, so on 1-cycle links the last straggler arrives within two
+// cycles; four gives margin while keeping recovery prompt. Multi-cycle
+// die-to-die links stretch the straggler horizon — the network raises the
+// effective age through SetReapHorizon, and every drained straggler
+// restarts the clock (NoteStragglerDrain), so a state is only reaped once
+// no flit of its packet can still be in transit.
 const orphanAge = 4
 
 // Recovery is the live-fault half of a router: shared bookkeeping for
@@ -105,6 +111,14 @@ type Recovery struct {
 	dropSink   DropSink
 	broken     *BrokenSet
 	emptySince []int64
+	reapAge    int64
+	feederBusy func(topology.Direction, uint64) bool
+
+	// severed is a bitmask over the cardinal directions of ports cut by a
+	// die-to-die interface fault. A severed port carries nothing in either
+	// direction: arrivals on it are dropped, its depths read as zero to the
+	// upstream handshake, and CanServe denies any service through it.
+	severed uint8
 
 	// alloc holds the router's allocation bitmaps; bit i of every mask is
 	// vcs[i], so the mask index space IS the grantee index space.
@@ -125,6 +139,7 @@ func (rc *Recovery) InitRecovery(node int, vcs []*VC, grantRef func(int) (GrantR
 	for i := range rc.emptySince {
 		rc.emptySince[i] = -1
 	}
+	rc.reapAge = orphanAge
 	for i, vc := range vcs {
 		vc.bindAlloc(&rc.alloc, i)
 	}
@@ -169,6 +184,43 @@ func (rc *Recovery) NoteFault() {
 func (rc *Recovery) RecoveryQuiet() bool {
 	return rc.broken != nil && rc.broken.Quiet()
 }
+
+// SeverPort cuts the router's port d permanently (a die-to-die interface
+// fault). Resident front packets already routed through d are doomed on
+// the spot; the next SweepBroken withdraws their grants and claims, and
+// the doomed drains discard their flits — the same recovery machinery a
+// node death uses. The router's own service checks (CanServe, depths,
+// claims, arrivals) consult Severed; the network re-propagates the
+// neighbor handshake after severing both endpoints.
+func (rc *Recovery) SeverPort(d topology.Direction) {
+	if !d.IsCardinal() {
+		panic(fmt.Sprintf("router: cannot sever non-cardinal port %v", d))
+	}
+	rc.NoteFault()
+	rc.severed |= 1 << uint(d)
+	for _, vc := range rc.vcs {
+		if vc.OutPort() == d {
+			vc.Doom()
+		}
+		// Claims fed over the severed link that no admitted packet backs
+		// can never be fulfilled: their heads were dropped at the dead
+		// interface or will never be sent. Release them now, or the latched
+		// feeder keeps the channel unclaimable forever. The upstream's own
+		// never-streamed grant withdrawal is suppressed by the Severed
+		// guard in ReleaseInputVC, so the release happens exactly once.
+		vc.PurgeClaims(d)
+	}
+}
+
+// Severed reports whether port d was cut by a D2D interface fault.
+// Non-cardinal directions (Local ejection, Invalid probes) are never
+// severed.
+func (rc *Recovery) Severed(d topology.Direction) bool {
+	return d.IsCardinal() && rc.severed&(1<<uint(d)) != 0
+}
+
+// AnySevered reports whether any port of the router was cut.
+func (rc *Recovery) AnySevered() bool { return rc.severed != 0 }
 
 // DropFlit reports one discarded flit, with its cause, to the trace and the
 // network's drop sink (which registers the packet as broken and keeps the
@@ -264,7 +316,8 @@ func (rc *Recovery) SweepBroken(cycle int64, huntDeadGrants bool) {
 func (rc *Recovery) ReapOrphans(cycle int64) {
 	for i, vc := range rc.vcs {
 		st, ok := vc.FrontState()
-		if !ok || !st.Doomed || !rc.Broken(st.PacketID) || vc.FrontPacketBuffered() {
+		if !ok || !st.Doomed || !rc.Broken(st.PacketID) || vc.FrontPacketBuffered() ||
+			(rc.feederBusy != nil && rc.feederBusy(vc.Feeder(), st.PacketID)) {
 			rc.emptySince[i] = -1
 			continue
 		}
@@ -272,7 +325,7 @@ func (rc *Recovery) ReapOrphans(cycle int64) {
 			rc.emptySince[i] = cycle
 			continue
 		}
-		if cycle-rc.emptySince[i] < orphanAge {
+		if cycle-rc.emptySince[i] < rc.reapAge {
 			continue
 		}
 		vc.AbortFront()
@@ -280,6 +333,46 @@ func (rc *Recovery) ReapOrphans(cycle int64) {
 		if rc.onAbort != nil {
 			rc.onAbort(i)
 		}
+	}
+}
+
+// SetFeederProbe installs the router's view of its input links: busy(d,
+// pkt) reports whether a flit of packet pkt is still in transit toward the
+// router on side d. ReapOrphans holds the orphan clock while the link
+// feeding a doomed front state still carries its packet — the link FIFO
+// interleaves packets, so on a serialized die-to-die pipe a straggler of
+// the doomed packet can lawfully land many cycles after its predecessor,
+// queued behind other packets' flits. The probe is per-packet, not
+// per-link: a merely busy link (saturated steady-state traffic) must not
+// starve the reap, or the doomed state holds its channel forever and
+// wedges everything queued behind it. Once the pipe carries nothing of the
+// packet, no straggler can ever arrive (upstream fragments of a broken
+// packet drain instead of forwarding), and the clock runs.
+func (rc *Recovery) SetFeederProbe(busy func(topology.Direction, uint64) bool) {
+	rc.feederBusy = busy
+}
+
+// SetReapHorizon stretches the orphan-reap age for networks whose links can
+// hold flits in transit longer than the on-die single cycle: maxLinkDelay
+// is the slowest link's per-flit horizon (the larger of its latency and its
+// serialization gap). Reaping a front state while a flit of its packet can
+// still arrive would let a straggler land in an idle — or worse, a
+// reclaimed — channel, so the age must exceed the longest lawful quiet
+// interval between straggler deliveries.
+func (rc *Recovery) SetReapHorizon(maxLinkDelay int64) {
+	if age := orphanAge + maxLinkDelay; age > rc.reapAge {
+		rc.reapAge = age
+	}
+}
+
+// NoteStragglerDrain restarts vc's orphan clock: a flit of its doomed front
+// packet just drained, so more may still be in flight behind it. Without
+// the reset, stragglers trickling over a serialized die-to-die link — each
+// drained the very cycle it lands, leaving the channel unbuffered at every
+// reap scan — would never hold the reap off.
+func (rc *Recovery) NoteStragglerDrain(vc *VC) {
+	if i := vc.granteeIndex(); i >= 0 && i < len(rc.emptySince) {
+		rc.emptySince[i] = -1
 	}
 }
 

@@ -210,7 +210,8 @@ func (b *OutVCBook) LoadState(d *snapshot.Decoder) {
 
 // SaveState serializes the link latch. Snapshots are taken at cycle
 // boundaries, after Advance and before any Tick: the staged slot is
-// provably empty, so only the readable flit is written.
+// provably empty, so only the readable flit, the in-transit stages of a
+// multi-cycle D2D pipe, and the serializer timer are written.
 func (p *FlitPipe) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 	if p.next != nil {
 		panic("router: flit pipe snapshot taken mid-cycle")
@@ -221,19 +222,44 @@ func (p *FlitPipe) SaveState(e *snapshot.Encoder, c *flit.Codec) {
 	} else {
 		e.Bool(false)
 	}
+	e.Int(len(p.inflight))
+	for _, df := range p.inflight {
+		c.Encode(e, df.f)
+		e.Int(int(df.rem))
+	}
+	e.Int(int(p.gapLeft))
 }
 
-// LoadState restores a latch written by SaveState.
+// LoadState restores a latch written by SaveState. The pipe's D2D
+// parameters are structural (rebuilt from the config at wiring time); a
+// stream carrying transit state into a plain latch poisons the decoder.
 func (p *FlitPipe) LoadState(d *snapshot.Decoder, c *flit.Codec) {
 	p.next = nil
 	p.cur = nil
 	if d.Bool() && d.Err() == nil {
 		p.cur = c.Decode(d)
 	}
+	n := d.SliceLen(16)
+	if d.Err() == nil && n > 0 && !p.long {
+		d.Corruptf("flit pipe holds %d in-transit flits but is not a d2d pipe", n)
+		return
+	}
+	p.inflight = p.inflight[:0]
+	for i := 0; i < n; i++ {
+		if d.Err() != nil {
+			return
+		}
+		p.inflight = append(p.inflight, delayedFlit{f: c.Decode(d), rem: int32(d.Int())})
+	}
+	p.gapLeft = int32(d.Int())
+	if d.Err() == nil && p.gapLeft > 0 && !p.long {
+		d.Corruptf("flit pipe has gap timer %d but is not a d2d pipe", p.gapLeft)
+	}
 }
 
-// SaveState serializes the credit latch: this cycle's readable credits.
-// Like the flit pipe, the staged side must be empty at a cycle boundary.
+// SaveState serializes the credit latch: this cycle's readable credits and
+// any credits in transit through a multi-cycle D2D pipe. Like the flit
+// pipe, the staged side must be empty at a cycle boundary.
 func (p *CreditPipe) SaveState(e *snapshot.Encoder) {
 	if len(p.next) != 0 {
 		panic("router: credit pipe snapshot taken mid-cycle")
@@ -242,6 +268,11 @@ func (p *CreditPipe) SaveState(e *snapshot.Encoder) {
 	e.Int(len(p.cur))
 	for _, vc := range p.cur {
 		e.Int(vc)
+	}
+	e.Int(len(p.inflight))
+	for _, dc := range p.inflight {
+		e.Int(int(dc.vc))
+		e.Int(int(dc.rem))
 	}
 }
 
@@ -253,6 +284,15 @@ func (p *CreditPipe) LoadState(d *snapshot.Decoder) {
 	p.cur = p.cur[:0]
 	for i := 0; i < n; i++ {
 		p.cur = append(p.cur, d.Int())
+	}
+	k := d.SliceLen(8)
+	if d.Err() == nil && k > 0 && !p.long {
+		d.Corruptf("credit pipe holds %d in-transit credits but is not a d2d pipe", k)
+		return
+	}
+	p.inflight = p.inflight[:0]
+	for i := 0; i < k; i++ {
+		p.inflight = append(p.inflight, delayedCredit{vc: int32(d.Int()), rem: int32(d.Int())})
 	}
 }
 
@@ -298,16 +338,17 @@ func (b *BrokenSet) LoadState(d *snapshot.Decoder) {
 	}
 }
 
-// SaveRecoveryState serializes the orphan-reap timers (the only mutable
-// recovery state; the wiring is rebuilt at construction).
+// SaveRecoveryState serializes the orphan-reap timers and the severed-port
+// mask (the mutable recovery state; the wiring is rebuilt at construction).
 func (rc *Recovery) SaveRecoveryState(e *snapshot.Encoder) {
 	e.Int(len(rc.emptySince))
 	for _, s := range rc.emptySince {
 		e.I64(s)
 	}
+	e.U8(rc.severed)
 }
 
-// LoadRecoveryState restores timers written by SaveRecoveryState.
+// LoadRecoveryState restores state written by SaveRecoveryState.
 func (rc *Recovery) LoadRecoveryState(d *snapshot.Decoder) {
 	if n := d.SliceLen(8); d.Err() == nil && n != len(rc.emptySince) {
 		d.Corruptf("recovery tracks %d VCs, snapshot had %d", len(rc.emptySince), n)
@@ -316,4 +357,5 @@ func (rc *Recovery) LoadRecoveryState(d *snapshot.Decoder) {
 	for i := range rc.emptySince {
 		rc.emptySince[i] = d.I64()
 	}
+	rc.severed = d.U8()
 }

@@ -388,6 +388,21 @@ func (v *VC) ReleaseClaim() {
 	v.syncClaim()
 }
 
+// PurgeClaims releases every claim fed over link from that no admitted
+// packet backs. SeverPort calls it when from is cut by a die-to-die
+// interface fault: the heads those claims await were either dropped at
+// the dead interface or will never be sent, so no flit can ever fulfill
+// them — left in place they latch the feeder and make the channel
+// permanently unclaimable, wedging every turn class that maps to it.
+func (v *VC) PurgeClaims(from topology.Direction) {
+	if v.claimFeeder != from {
+		return
+	}
+	for v.claims > len(v.states) {
+		v.ReleaseClaim()
+	}
+}
+
 // Claimable reports whether the channel can admit a new packet arriving
 // over link from. Admission requires a free packet slot and, when the
 // channel is already occupied or claimed, the same feeder link — flits

@@ -264,3 +264,44 @@ func TestVCStateMachineProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestVCPurgeClaims(t *testing.T) {
+	// An unbacked claim fed over a severed link is released, making the
+	// channel claimable from any side again.
+	vc := NewVC(0, 8)
+	vc.Claim(topology.West)
+	if vc.Claimable(topology.North) {
+		t.Fatal("claimed VC must reject other feeders")
+	}
+	vc.PurgeClaims(topology.West)
+	if !vc.Claimable(topology.North) {
+		t.Fatal("purged VC should accept any feeder")
+	}
+
+	// A claim backed by an admitted fragment survives the purge (the
+	// fragment retires it through Pop/AbortFront); only the excess claim
+	// of a head that never arrived is released.
+	vc = NewVC(0, 8)
+	vc.Claim(topology.West)
+	vc.Claim(topology.West)
+	for _, f := range makePacketFlits(1, 2, topology.East) {
+		vc.PushFrom(f, topology.West)
+	}
+	vc.PurgeClaims(topology.West)
+	if vc.Claimable(topology.North) {
+		t.Fatal("purge must keep the claim backing the admitted fragment")
+	}
+	vc.Pop()
+	vc.Pop() // tail retires the fragment and its claim
+	if !vc.Claimable(topology.North) {
+		t.Fatal("channel should be free once the fragment retires")
+	}
+
+	// A purge for a different link is a no-op.
+	vc = NewVC(0, 8)
+	vc.Claim(topology.South)
+	vc.PurgeClaims(topology.West)
+	if vc.Claimable(topology.North) {
+		t.Fatal("purge of an unrelated link must not release the claim")
+	}
+}

@@ -35,8 +35,9 @@ import (
 
 // Version is the current snapshot format version. Readers reject frames
 // written by a different version (state layouts are not cross-version
-// compatible).
-const Version = 1
+// compatible). Version 2 added multi-cycle D2D pipe stages to the link
+// codec, a Port field to fault events, and severed-port masks to routers.
+const Version = 2
 
 // magic leads every frame; eight bytes so the header reads as two aligned
 // words.

@@ -1,0 +1,273 @@
+package topology
+
+import "fmt"
+
+// LinkClass classifies one directed link of a topology by its physical
+// substrate. Flat single-die topologies have only on-die wires; the
+// hierarchical multi-chip topologies additionally expose die-to-die (D2D)
+// boundary links, which the network wires with their own latency,
+// serialization bandwidth, and per-flit energy.
+type LinkClass uint8
+
+const (
+	// OnDie is an ordinary 1-cycle on-die wire.
+	OnDie LinkClass = iota
+	// D2D is a die-to-die boundary link between two chiplets.
+	D2D
+)
+
+// String names the link class for reports.
+func (c LinkClass) String() string {
+	if c == D2D {
+		return "d2d"
+	}
+	return "on-die"
+}
+
+// Classed is implemented by topologies whose links are not all equal.
+// LinkClass classifies the directed link leaving id through d; it returns
+// OnDie for links that do not exist (callers gate on Neighbor). Flat
+// topologies simply do not implement the interface.
+type Classed interface {
+	LinkClass(id int, d Direction) LinkClass
+}
+
+// Toroidal marks a topology whose grid wraps around at the edges (Torus,
+// MultiChipTorus). Consumers needing torus-specific treatment — wrap-aware
+// dimension-order routing, dateline VC classes, double-link dedup in the
+// shard scheduler — test for this interface instead of a concrete type.
+type Toroidal interface {
+	Topology
+	// Toroidal reports true; the method exists only as a marker.
+	Toroidal() bool
+}
+
+// Toroidal marks the flat torus as wrapping.
+func (t *Torus) Toroidal() bool { return true }
+
+// Chiplet is implemented by hierarchical multi-chip topologies: a CX x CY
+// grid of chiplets, each a ChipW x ChipH grid of nodes, stitched by D2D
+// boundary links. Node ids and coordinates remain those of the flat global
+// grid (width CX*ChipW, height CY*ChipH), so every flat-grid consumer —
+// routing disciplines, shard scheduler, heatmaps — works unchanged; the
+// interface only adds the hierarchical view.
+type Chiplet interface {
+	Topology
+	Classed
+	// Chips returns the chiplet grid dimensions.
+	Chips() (cx, cy int)
+	// ChipSize returns the per-chiplet node grid dimensions.
+	ChipSize() (w, h int)
+	// ChipOf returns the chiplet coordinate holding node id.
+	ChipOf(id int) Coord
+	// InterfaceNodes returns the nodes of chip whose link in direction d is
+	// a D2D boundary link (the near side of the chip's d-facing interface),
+	// in ascending id order. It returns nil when no interface exists on
+	// that side (grid edge on a multi-chip mesh, or an on-die wrap).
+	InterfaceNodes(chip Coord, d Direction) []int
+}
+
+// multichip holds the shared geometry of both multi-chip topologies: the
+// flat global grid plus the chiplet tiling.
+type multichip struct {
+	cx, cy int // chiplet grid
+	pw, ph int // nodes per chiplet
+	w, h   int // global grid (cx*pw x cy*ph)
+}
+
+func newMultichip(kind string, chipsX, chipsY, chipW, chipH int) multichip {
+	if chipsX < 1 || chipsY < 1 {
+		panic(fmt.Sprintf("topology: %s needs at least a 1x1 chiplet grid, got %dx%d", kind, chipsX, chipsY))
+	}
+	if chipW < 1 || chipH < 1 {
+		panic(fmt.Sprintf("topology: %s chiplets need at least 1x1 nodes, got %dx%d", kind, chipW, chipH))
+	}
+	w, h := chipsX*chipW, chipsY*chipH
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("topology: %s global grid must be at least 2x2, got %dx%d", kind, w, h))
+	}
+	return multichip{cx: chipsX, cy: chipsY, pw: chipW, ph: chipH, w: w, h: h}
+}
+
+// Nodes returns the global node count.
+func (m *multichip) Nodes() int { return m.w * m.h }
+
+// Width returns the global X dimension.
+func (m *multichip) Width() int { return m.w }
+
+// Height returns the global Y dimension.
+func (m *multichip) Height() int { return m.h }
+
+// Chips returns the chiplet grid dimensions.
+func (m *multichip) Chips() (int, int) { return m.cx, m.cy }
+
+// ChipSize returns the per-chiplet node grid dimensions.
+func (m *multichip) ChipSize() (int, int) { return m.pw, m.ph }
+
+// Coord returns the global position of node id in row-major order.
+func (m *multichip) Coord(id int) Coord {
+	if id < 0 || id >= m.Nodes() {
+		panic(fmt.Sprintf("topology: node id %d out of range [0,%d)", id, m.Nodes()))
+	}
+	return Coord{X: id % m.w, Y: id / m.w}
+}
+
+// ID returns the node at global position c.
+func (m *multichip) ID(c Coord) int {
+	if c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
+		panic(fmt.Sprintf("topology: coordinate %v outside %dx%d multichip grid", c, m.w, m.h))
+	}
+	return c.Y*m.w + c.X
+}
+
+// ChipOf returns the chiplet coordinate holding node id.
+func (m *multichip) ChipOf(id int) Coord {
+	c := m.Coord(id)
+	return Coord{X: c.X / m.pw, Y: c.Y / m.ph}
+}
+
+// step moves c one hop in direction d without bounds handling; the boolean
+// is false for non-cardinal directions.
+func step(c Coord, d Direction) (Coord, bool) {
+	switch d {
+	case North:
+		c.Y++
+	case East:
+		c.X++
+	case South:
+		c.Y--
+	case West:
+		c.X--
+	default:
+		return c, false
+	}
+	return c, true
+}
+
+// interfaceNodes enumerates the near side of chip's d-facing interface
+// under the concrete topology's neighbor relation (mesh edges yield nil;
+// torus wraps onto the same chiplet are on-die and yield nil too).
+func (m *multichip) interfaceNodes(chip Coord, d Direction, neighbor func(id int, d Direction) (int, bool)) []int {
+	if chip.X < 0 || chip.X >= m.cx || chip.Y < 0 || chip.Y >= m.cy {
+		panic(fmt.Sprintf("topology: chiplet %v outside %dx%d grid", chip, m.cx, m.cy))
+	}
+	// The near-side nodes are the chip-local edge row/column facing d.
+	x0, y0 := chip.X*m.pw, chip.Y*m.ph
+	var ids []int
+	add := func(c Coord) {
+		id := m.ID(c)
+		if nbr, ok := neighbor(id, d); ok && m.ChipOf(nbr) != m.ChipOf(id) {
+			ids = append(ids, id)
+		}
+	}
+	switch d {
+	case North:
+		for x := x0; x < x0+m.pw; x++ {
+			add(Coord{X: x, Y: y0 + m.ph - 1})
+		}
+	case East:
+		for y := y0; y < y0+m.ph; y++ {
+			add(Coord{X: x0 + m.pw - 1, Y: y})
+		}
+	case South:
+		for x := x0; x < x0+m.pw; x++ {
+			add(Coord{X: x, Y: y0})
+		}
+	case West:
+		for y := y0; y < y0+m.ph; y++ {
+			add(Coord{X: x0, Y: y})
+		}
+	}
+	return ids
+}
+
+// MultiChipMesh is a CX x CY grid of chiplets, each a ChipW x ChipH node
+// mesh, stitched into one flat global mesh by die-to-die boundary links.
+// Connectivity and node numbering are exactly those of the equivalent flat
+// Mesh — a 1x1-chiplet configuration IS the flat mesh — but links that
+// cross a chiplet boundary carry LinkClass D2D, which the network wires
+// with multi-cycle latency, a serialization gap, and a higher per-flit
+// energy.
+type MultiChipMesh struct {
+	multichip
+}
+
+// NewMultiChipMesh returns a chipsX x chipsY grid of chipW x chipH
+// chiplets. The global grid (chipsX*chipW x chipsY*chipH) must be at least
+// 2x2.
+func NewMultiChipMesh(chipsX, chipsY, chipW, chipH int) *MultiChipMesh {
+	return &MultiChipMesh{newMultichip("multichip mesh", chipsX, chipsY, chipW, chipH)}
+}
+
+// Neighbor returns the node adjacent to id in direction d on the flat
+// global mesh; edges have no wrap-around links.
+func (m *MultiChipMesh) Neighbor(id int, d Direction) (int, bool) {
+	c := m.Coord(id)
+	c, ok := step(c, d)
+	if !ok || c.X < 0 || c.X >= m.w || c.Y < 0 || c.Y >= m.h {
+		return 0, false
+	}
+	return m.ID(c), true
+}
+
+// LinkClass reports D2D for links crossing a chiplet boundary.
+func (m *MultiChipMesh) LinkClass(id int, d Direction) LinkClass {
+	nbr, ok := m.Neighbor(id, d)
+	if ok && m.ChipOf(nbr) != m.ChipOf(id) {
+		return D2D
+	}
+	return OnDie
+}
+
+// InterfaceNodes returns the near-side nodes of chip's d-facing D2D
+// interface (nil at the global mesh edge).
+func (m *MultiChipMesh) InterfaceNodes(chip Coord, d Direction) []int {
+	return m.interfaceNodes(chip, d, m.Neighbor)
+}
+
+// MultiChipTorus is MultiChipMesh with wrap-around links at the global
+// edges. Wrap links between distinct chiplets are D2D like any other
+// boundary link; with a single chiplet in a dimension the wrap folds back
+// onto the same die and stays on-die (so a 1x1-chiplet configuration IS
+// the flat torus).
+type MultiChipTorus struct {
+	multichip
+}
+
+// NewMultiChipTorus returns a chipsX x chipsY toroidal grid of chipW x
+// chipH chiplets. The global grid must be at least 2x2.
+func NewMultiChipTorus(chipsX, chipsY, chipW, chipH int) *MultiChipTorus {
+	return &MultiChipTorus{newMultichip("multichip torus", chipsX, chipsY, chipW, chipH)}
+}
+
+// Neighbor returns the node adjacent to id in direction d, wrapping around
+// at the global edges. The boolean is false only for Local/Invalid.
+func (t *MultiChipTorus) Neighbor(id int, d Direction) (int, bool) {
+	c := t.Coord(id)
+	c, ok := step(c, d)
+	if !ok {
+		return 0, false
+	}
+	c.X = (c.X + t.w) % t.w
+	c.Y = (c.Y + t.h) % t.h
+	return t.ID(c), true
+}
+
+// Toroidal marks the multi-chip torus as wrapping.
+func (t *MultiChipTorus) Toroidal() bool { return true }
+
+// LinkClass reports D2D for links crossing a chiplet boundary (including
+// wrap links between edge chiplets).
+func (t *MultiChipTorus) LinkClass(id int, d Direction) LinkClass {
+	nbr, ok := t.Neighbor(id, d)
+	if ok && t.ChipOf(nbr) != t.ChipOf(id) {
+		return D2D
+	}
+	return OnDie
+}
+
+// InterfaceNodes returns the near-side nodes of chip's d-facing D2D
+// interface (nil when the wrap folds back onto the same chiplet).
+func (t *MultiChipTorus) InterfaceNodes(chip Coord, d Direction) []int {
+	return t.interfaceNodes(chip, d, t.Neighbor)
+}

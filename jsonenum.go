@@ -35,7 +35,12 @@ var (
 		VA:       {"va"},
 		SA:       {"sa"},
 		Crossbar: {"crossbar"},
-		MuxDemux: {"muxdemux", "mux/demux", "mux-demux"},
+		MuxDemux:     {"muxdemux", "mux/demux", "mux-demux"},
+		D2DInterface: {"d2d", "d2dif", "d2d-if", "d2dinterface"},
+	}
+	d2dClassTokens = map[D2DClass][]string{
+		D2DParallel: {"parallel", "par"},
+		D2DSerial:   {"serial", "ser"},
 	}
 	faultClassTokens = map[FaultClass][]string{
 		CriticalFaults:    {"critical"},
@@ -120,13 +125,28 @@ func (p *TrafficPattern) UnmarshalText(text []byte) error {
 }
 
 // MarshalText renders the canonical token ("rc", "buffer", "va", "sa",
-// "crossbar", "muxdemux").
+// "crossbar", "muxdemux", "d2d").
 func (c Component) MarshalText() ([]byte, error) { return marshalEnum(componentTokens, c, "component") }
 
 // UnmarshalText parses a component token (aliases "mux/demux" and
 // "mux-demux" accepted, case-insensitive).
 func (c *Component) UnmarshalText(text []byte) error {
 	v, err := unmarshalEnum(componentTokens, text, "component")
+	if err == nil {
+		*c = v
+	}
+	return err
+}
+
+// MarshalText renders the canonical token ("parallel", "serial").
+func (c D2DClass) MarshalText() ([]byte, error) {
+	return marshalEnum(d2dClassTokens, c, "d2d class")
+}
+
+// UnmarshalText parses a die-to-die class token (aliases "par" and "ser"
+// accepted, case-insensitive).
+func (c *D2DClass) UnmarshalText(text []byte) error {
+	v, err := unmarshalEnum(d2dClassTokens, text, "d2d class")
 	if err == nil {
 		*c = v
 	}

@@ -31,6 +31,7 @@ import (
 	"github.com/rocosim/roco/internal/router/pathsensitive"
 	"github.com/rocosim/roco/internal/router/pdr"
 	"github.com/rocosim/roco/internal/routing"
+	"github.com/rocosim/roco/internal/topology"
 	"github.com/rocosim/roco/internal/traffic"
 )
 
@@ -163,10 +164,31 @@ const (
 	Crossbar
 	// MuxDemux covers the input decoders and output multiplexers.
 	MuxDemux
+	// D2DInterface is a die-to-die interface failure on a multi-chip
+	// topology (extension): every boundary link of one chiplet-to-chiplet
+	// interface is severed in both directions in a single event. Fault.Node
+	// names any node of the afflicted chiplet and Fault.Side selects which
+	// of its interfaces dies. Requires a chiplet topology (Config.ChipsX et
+	// al.); not part of the paper's Table 3 populations.
+	D2DInterface
 )
 
 // String names the component.
 func (c Component) String() string { return fault.Component(c).String() }
+
+// Side names one cardinal side of a node or chiplet. It selects the
+// afflicted interface of a D2DInterface fault.
+type Side int
+
+const (
+	SideNorth Side = iota
+	SideEast
+	SideSouth
+	SideWest
+)
+
+// String names the side.
+func (s Side) String() string { return topology.Direction(s).String() }
 
 // Fault is one permanent intra-router failure.
 type Fault struct {
@@ -179,6 +201,10 @@ type Fault struct {
 	Module int
 	// VC localizes a Buffer fault to one channel.
 	VC int
+	// Side selects the interface of a D2DInterface fault: the one between
+	// Node's chiplet and the adjacent chiplet in this direction. Ignored by
+	// every other component.
+	Side Side
 }
 
 func (f Fault) internal() fault.Fault {
@@ -187,6 +213,7 @@ func (f Fault) internal() fault.Fault {
 		Component: fault.Component(f.Component),
 		Module:    fault.Module(f.Module % 2),
 		VC:        f.VC,
+		Port:      topology.Direction(f.Side),
 	}
 }
 
@@ -205,6 +232,40 @@ const (
 // String names the class.
 func (c FaultClass) String() string { return fault.Class(c).String() }
 
+// D2DClass selects the signaling class of die-to-die boundary links on a
+// multi-chip topology. The class sets the boundary link's default transit
+// latency, serialization gap, and per-flit transfer energy; Config's
+// D2DLatency/D2DGap override the timing.
+type D2DClass int
+
+const (
+	// D2DParallel models a wide parallel interface over an interposer or
+	// bridge: 2-cycle transit, full flit bandwidth (gap 1), ~5x the on-die
+	// per-flit link energy.
+	D2DParallel D2DClass = iota
+	// D2DSerial models a narrow serialized off-package lane: 4-cycle
+	// transit, one flit per 4 cycles (gap 4), ~17x the on-die per-flit
+	// link energy.
+	D2DSerial
+)
+
+// String names the class.
+func (c D2DClass) String() string {
+	if c == D2DSerial {
+		return "serial"
+	}
+	return "parallel"
+}
+
+// params returns the class's default boundary-link latency and gap in
+// cycles plus the per-flit transfer energy in nJ.
+func (c D2DClass) params() (latency, gap int, xferNJ float64) {
+	if c == D2DSerial {
+		return 4, 4, power.D2DSerialXfer()
+	}
+	return 2, 1, power.D2DParallelXfer()
+}
+
 // RandomFaults draws count random faults of the given class over a
 // width x height mesh, reproducibly from seed.
 func RandomFaults(class FaultClass, count, width, height int, seed uint64) []Fault {
@@ -219,7 +280,10 @@ func RandomFaults(class FaultClass, count, width, height int, seed uint64) []Fau
 
 // publicFault converts an internal fault to the public representation.
 func publicFault(f fault.Fault) Fault {
-	return Fault{Node: f.Node, Component: Component(f.Component), Module: int(f.Module), VC: f.VC}
+	return Fault{
+		Node: f.Node, Component: Component(f.Component),
+		Module: int(f.Module), VC: f.VC, Side: Side(f.Port),
+	}
 }
 
 // TimedFault is one runtime fault event: the fault strikes at the start of
@@ -254,6 +318,24 @@ type Config struct {
 	// (extension; generic router with XY routing only — the RoCo channel
 	// classes of Table 1 have no dateline classes).
 	Torus bool
+	// ChipsX, ChipsY, ChipW and ChipH select a hierarchical multi-chip
+	// (chiplet) topology (extension): a ChipsX x ChipsY grid of chiplets,
+	// each a ChipW x ChipH node grid, stitched into one flat global mesh
+	// (or, with Torus, torus) by die-to-die boundary links. Node ids and
+	// routing are those of the equivalent flat grid — a 1x1-chiplet
+	// configuration is bit-identical to the flat topology — but boundary
+	// links carry the D2DClass latency, serialization gap, and per-flit
+	// energy. Set all four or none; Width and Height must then be left
+	// zero (derived as ChipsX*ChipW x ChipsY*ChipH) or match exactly.
+	ChipsX, ChipsY, ChipW, ChipH int
+	// D2DClass selects the die-to-die signaling class of the boundary
+	// links (default D2DParallel). Ignored on single-die topologies.
+	D2DClass D2DClass
+	// D2DLatency and D2DGap override the class defaults: boundary-link
+	// transit time in cycles, and the serialization interval (at most one
+	// flit enters a boundary link per D2DGap cycles). 0 keeps the class
+	// default; both are ignored on single-die topologies.
+	D2DLatency, D2DGap int
 	// Router selects the microarchitecture under test.
 	Router RouterKind
 	// Algorithm selects the routing discipline.
@@ -351,8 +433,31 @@ type Config struct {
 	TelemetryCapacity int
 }
 
+// multichip reports whether any chiplet-grid field is set (Validate
+// rejects partially-set grids, so post-validation this means all four).
+func (c Config) multichip() bool {
+	return c.ChipsX != 0 || c.ChipsY != 0 || c.ChipW != 0 || c.ChipH != 0
+}
+
+// d2dTiming resolves the boundary-link latency and gap: the D2DClass
+// defaults overridden by any explicit D2DLatency/D2DGap.
+func (c Config) d2dTiming() (latency, gap int) {
+	latency, gap, _ = c.D2DClass.params()
+	if c.D2DLatency > 0 {
+		latency = c.D2DLatency
+	}
+	if c.D2DGap > 0 {
+		gap = c.D2DGap
+	}
+	return latency, gap
+}
+
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
+	if c.multichip() && c.Width == 0 && c.Height == 0 &&
+		c.ChipsX > 0 && c.ChipsY > 0 && c.ChipW > 0 && c.ChipH > 0 {
+		c.Width, c.Height = c.ChipsX*c.ChipW, c.ChipsY*c.ChipH
+	}
 	if c.Width == 0 {
 		c.Width = 8
 	}
@@ -390,6 +495,12 @@ type Result struct {
 	// window totals.
 	EnergyPerPacketNJ    float64
 	DynamicNJ, LeakageNJ float64
+	// D2DFlits counts flits that crossed die-to-die boundary links during
+	// the measurement window; D2DEnergyNJ is the extra dynamic energy those
+	// crossings cost beyond on-die link traversal (already included in
+	// DynamicNJ). Both are zero on single-die topologies.
+	D2DFlits    int64
+	D2DEnergyNJ float64
 	// PEF is the paper's composite Performance-Energy-Fault-tolerance
 	// metric: (AvgLatency x EnergyPerPacketNJ) / Completion.
 	PEF float64

@@ -29,6 +29,13 @@
 #     saturation, where VA/SA arbitration dominates the step), distilled
 #     into BENCH_alloc.json: ns/op, B/op and allocs/op per point.
 #
+#   sh scripts/bench.sh chiplet [benchtime]   — the chiplet-topology
+#     benchmarks (gated kernel, RoCo router, a flat 16x16 mesh vs the
+#     same nodes as 2x2 chiplets of 8x8 with parallel and serial boundary
+#     links, at low and mid load), distilled into BENCH_chiplet.json:
+#     ns/op, B/op and allocs/op per point plus each seam's per-load step
+#     cost relative to the flat die.
+#
 # Every mode defaults to a fixed iteration count (-benchtime=Nx) rather
 # than a duration: per-cycle cost drifts with simulated time (queues
 # deepen toward saturation), so two kernels — or the telemetry off/on
@@ -42,7 +49,7 @@ set -eu
 
 MODE="kernel"
 case "${1:-}" in
-kernel | shard | telemetry | layout | alloc)
+kernel | shard | telemetry | layout | alloc | chiplet)
 	MODE="$1"
 	shift
 	;;
@@ -53,6 +60,7 @@ shard) BENCHTIME="${1:-200x}" ;;
 telemetry) BENCHTIME="${1:-60000x}" ;;
 layout) BENCHTIME="${1:-100x}" ;;
 alloc) BENCHTIME="${1:-15000x}" ;;
+chiplet) BENCHTIME="${1:-3000x}" ;;
 esac
 mkdir -p bench/out
 RAW="bench/out/$MODE.txt"
@@ -218,6 +226,51 @@ if [ "$MODE" = "alloc" ]; then
 	        for (j = 1; j <= nl; j++) {
 	            l = loads[j]
 	            printf "%s\n      \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", (j > 1 ? "," : ""), l, ns[k,l], bytes[k,l], allocs[k,l]
+	        }
+	        printf "\n    }"
+	    }
+	    printf "\n  }\n}\n"
+	}' "$RAW" > "$OUT"
+
+	echo "wrote $OUT"
+	exit 0
+fi
+
+if [ "$MODE" = "chiplet" ]; then
+	OUT="BENCH_chiplet.json"
+
+	go test -run '^$' -bench BenchmarkChiplet -benchmem -benchtime "$BENCHTIME" ./bench/ | tee "$RAW"
+
+	awk -v benchtime="$BENCHTIME" '
+	/^BenchmarkChiplet\// {
+	    # BenchmarkChiplet/seam/load-N  iters  X ns/op  Y B/op  Z allocs/op
+	    name = $1
+	    sub(/^BenchmarkChiplet\//, "", name)
+	    sub(/-[0-9]+$/, "", name)
+	    split(name, part, "/")
+	    seam = part[1]; load = part[2]
+	    ns[seam, load] = $3
+	    bytes[seam, load] = $5
+	    allocs[seam, load] = $7
+	    seen = 1
+	}
+	END {
+	    if (!seen) { print "bench.sh: no chiplet benchmark output parsed" > "/dev/stderr"; exit 1 }
+	    ns_ = split("flat parallel serial", seams, " ")
+	    nl = split("low mid", loads, " ")
+	    printf "{\n  \"benchtime\": \"%s\",\n  \"router\": \"roco\",\n  \"kernel\": \"gated\",\n  \"nodes\": 256,\n  \"seams\": {", benchtime
+	    for (i = 1; i <= ns_; i++) {
+	        s = seams[i]
+	        printf "%s\n    \"%s\": {", (i > 1 ? "," : ""), s
+	        for (j = 1; j <= nl; j++) {
+	            l = loads[j]
+	            printf "%s\n      \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", (j > 1 ? "," : ""), l, ns[s,l], bytes[s,l], allocs[s,l]
+	        }
+	        if (s != "flat") {
+	            for (j = 1; j <= nl; j++) {
+	                l = loads[j]
+	                printf ",\n      \"vs_flat_%s_pct\": %.1f", l, (ns[s,l] / ns["flat",l] - 1) * 100
+	            }
 	        }
 	        printf "\n    }"
 	    }

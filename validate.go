@@ -3,6 +3,8 @@ package roco
 import (
 	"errors"
 	"fmt"
+
+	"github.com/rocosim/roco/internal/topology"
 )
 
 // Validate checks a configuration for mistakes Run would otherwise turn
@@ -15,6 +17,27 @@ func (c Config) Validate() error {
 	var errs []error
 	if c.Width < 2 || c.Height < 2 {
 		errs = append(errs, fmt.Errorf("mesh %dx%d too small (need at least 2x2)", c.Width, c.Height))
+	}
+	multichipOK := false
+	if c.multichip() {
+		switch {
+		case c.ChipsX < 1 || c.ChipsY < 1 || c.ChipW < 1 || c.ChipH < 1:
+			errs = append(errs, fmt.Errorf("chiplet grid needs all of ChipsX, ChipsY, ChipW, ChipH positive (got %dx%d chips of %dx%d)",
+				c.ChipsX, c.ChipsY, c.ChipW, c.ChipH))
+		case c.Width != c.ChipsX*c.ChipW || c.Height != c.ChipsY*c.ChipH:
+			errs = append(errs, fmt.Errorf("grid %dx%d does not match the %dx%d chiplet grid of %dx%d-node chips (leave Width/Height zero to derive them)",
+				c.Width, c.Height, c.ChipsX, c.ChipsY, c.ChipW, c.ChipH))
+		default:
+			multichipOK = true
+		}
+	} else if c.D2DClass != D2DParallel || c.D2DLatency != 0 || c.D2DGap != 0 {
+		errs = append(errs, errors.New("die-to-die knobs (D2DClass/D2DLatency/D2DGap) set without a chiplet grid"))
+	}
+	if c.D2DClass < D2DParallel || c.D2DClass > D2DSerial {
+		errs = append(errs, fmt.Errorf("unknown die-to-die class %d", int(c.D2DClass)))
+	}
+	if c.D2DLatency < 0 || c.D2DGap < 0 {
+		errs = append(errs, fmt.Errorf("die-to-die timing must be non-negative (latency %d, gap %d)", c.D2DLatency, c.D2DGap))
 	}
 	if c.Router < Generic || c.Router > PDR {
 		errs = append(errs, fmt.Errorf("unknown router kind %d", int(c.Router)))
@@ -48,24 +71,44 @@ func (c Config) Validate() error {
 			errs = append(errs, fmt.Errorf("hotspot fraction %v outside [0,1]", c.HotspotFraction))
 		}
 	}
+	// D2DInterface faults are checked against the actual chiplet geometry:
+	// the named node's chiplet must have an interface on the named side.
+	var chip topology.Chiplet
+	if multichipOK && c.Width >= 2 && c.Height >= 2 {
+		if c.Torus {
+			chip = topology.NewMultiChipTorus(c.ChipsX, c.ChipsY, c.ChipW, c.ChipH)
+		} else {
+			chip = topology.NewMultiChipMesh(c.ChipsX, c.ChipsY, c.ChipW, c.ChipH)
+		}
+	}
+	checkFault := func(what string, i int, f Fault) {
+		nodeOK := f.Node >= 0 && f.Node < c.Width*c.Height
+		if !nodeOK {
+			errs = append(errs, fmt.Errorf("%s %d at nonexistent node %d", what, i, f.Node))
+		}
+		if f.Component < RC || f.Component > D2DInterface {
+			errs = append(errs, fmt.Errorf("%s %d has unknown component %d", what, i, int(f.Component)))
+		}
+		if f.Component != D2DInterface {
+			return
+		}
+		switch {
+		case chip == nil:
+			errs = append(errs, fmt.Errorf("%s %d: a D2DInterface fault needs a chiplet topology (set ChipsX et al.)", what, i))
+		case f.Side < SideNorth || f.Side > SideWest:
+			errs = append(errs, fmt.Errorf("%s %d has unknown side %d", what, i, int(f.Side)))
+		case nodeOK && len(chip.InterfaceNodes(chip.ChipOf(f.Node), topology.Direction(f.Side))) == 0:
+			errs = append(errs, fmt.Errorf("%s %d: node %d's chiplet has no die-to-die interface toward %s", what, i, f.Node, f.Side))
+		}
+	}
 	for i, f := range c.Faults {
-		if f.Node < 0 || f.Node >= c.Width*c.Height {
-			errs = append(errs, fmt.Errorf("fault %d at nonexistent node %d", i, f.Node))
-		}
-		if f.Component < RC || f.Component > MuxDemux {
-			errs = append(errs, fmt.Errorf("fault %d has unknown component %d", i, int(f.Component)))
-		}
+		checkFault("fault", i, f)
 	}
 	for i, tf := range c.FaultSchedule {
 		if tf.Cycle < 0 {
 			errs = append(errs, fmt.Errorf("scheduled fault %d at negative cycle %d", i, tf.Cycle))
 		}
-		if tf.Fault.Node < 0 || tf.Fault.Node >= c.Width*c.Height {
-			errs = append(errs, fmt.Errorf("scheduled fault %d at nonexistent node %d", i, tf.Fault.Node))
-		}
-		if tf.Fault.Component < RC || tf.Fault.Component > MuxDemux {
-			errs = append(errs, fmt.Errorf("scheduled fault %d has unknown component %d", i, int(tf.Fault.Component)))
-		}
+		checkFault("scheduled fault", i, tf.Fault)
 	}
 	if c.AuditEvery < 0 {
 		errs = append(errs, fmt.Errorf("audit interval %d negative", c.AuditEvery))
